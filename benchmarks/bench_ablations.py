@@ -1,0 +1,35 @@
+"""Ablations of the Triton join's design choices (beyond the paper)."""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_double_buffering(run_experiment):
+    table = run_experiment(
+        ablations.run_double_buffering, sizes=(512, 2048), scale_divisor=16384
+    )
+    fast = table.row("async flush (paper design)")
+    slow = table.row("sync flush (no spare pool)")
+    for column in table.columns:
+        assert fast.get(column) > slow.get(column)
+
+
+def test_ablation_cache_policy(run_experiment):
+    table = run_experiment(
+        ablations.run_cache_policy, sizes=(512, 2048), scale_divisor=16384
+    )
+    even = table.row("even interleaving (paper)")
+    r0 = table.row("hybrid-hash R0")
+    none = table.row("no caching")
+    for column in table.columns:
+        assert even.get(column) >= r0.get(column) * 0.999
+        assert even.get(column) > none.get(column)
+
+
+def test_ablation_overlap(run_experiment):
+    table = run_experiment(
+        ablations.run_overlap, sizes=(512, 2048), scale_divisor=16384
+    )
+    overlapped = table.row("overlap (paper design)")
+    serial = table.row("serial pipeline")
+    for column in table.columns:
+        assert overlapped.get(column) > serial.get(column)

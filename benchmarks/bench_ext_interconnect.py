@@ -1,0 +1,19 @@
+"""Extension benchmark: the interconnect decides who wins."""
+
+from repro.bench.experiments import ext_interconnect
+
+
+def test_ext_interconnect(run_experiment):
+    table = run_experiment(ext_interconnect.run, scale_divisor=16384)
+    pcie = table.row("Triton over PCI-e 3.0")
+    nvlink = table.row("Triton over NVLink 2.0")
+    doubled = table.row("Triton over 2x NVLink")
+    cpu = table.row("CPU Radix Join (POWER9)")
+    # Pre-fast-interconnect status quo: the CPU beats a PCI-e GPU.
+    assert cpu.get("2048M") > pcie.get("2048M")
+    # NVLink flips the outcome at every size...
+    for column in table.columns:
+        assert nvlink.get(column) > cpu.get(column)
+        assert nvlink.get(column) > 3 * pcie.get(column)
+        # ...and a faster link keeps helping (the join is link-bound).
+        assert doubled.get(column) > 1.2 * nvlink.get(column)

@@ -1,0 +1,26 @@
+"""Extension benchmarks: skew robustness and Bloom-filter pushdown."""
+
+from repro.bench.experiments import ext_robustness
+
+
+def test_ext_skew(run_experiment):
+    table = run_experiment(ext_robustness.run_skew, scale_divisor=16384)
+    curve = [table.row("Triton Join").get(c) for c in table.columns]
+    # Graceful: skew costs something at high theta but never cliffs.
+    assert curve[-1] < curve[0]
+    assert curve[-1] > 0.5 * curve[0]
+    for a, b in zip(curve, curve[1:]):
+        assert b <= a * 1.02  # monotone-ish decline
+
+
+def test_ext_selectivity(run_experiment):
+    table = run_experiment(
+        ext_robustness.run_selectivity, scale_divisor=16384
+    )
+    plain = table.row("Triton Join")
+    filtered = table.row("Bloom-Filtered Triton Join")
+    # Pure overhead at full hit rate...
+    assert filtered.get("hit=1.0") < plain.get("hit=1.0")
+    # ...but a growing win as the join gets selective.
+    assert filtered.get("hit=0.25") > 1.5 * plain.get("hit=0.25")
+    assert filtered.get("hit=0.1") > 2.0 * plain.get("hit=0.1")

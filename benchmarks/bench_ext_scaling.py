@@ -1,0 +1,25 @@
+"""Extension benchmarks: multi-GPU scaling and group-by aggregation."""
+
+from repro.bench.experiments import ext_scaling
+
+
+def test_ext_multi_gpu(run_experiment):
+    table = run_experiment(ext_scaling.run_multi_gpu, scale_divisor=16384)
+    single = table.row("1 GPU")
+    dual = table.row("2 GPUs (radix ownership + X-bus exchange)")
+    for column in table.columns:
+        speedup = dual.get(column) / single.get(column)
+        assert 1.4 < speedup < 2.3
+
+
+def test_ext_aggregation(run_experiment):
+    table = run_experiment(ext_scaling.run_aggregation)
+    baseline = table.row("No-Partitioning Aggregation")
+    triton = table.row("Triton Aggregation")
+    small, _, large = table.columns
+    # Few groups: the global table is fine (and cheaper).
+    assert baseline.get(small) > triton.get(small) * 0.8
+    # Huge group counts: the global table cliffs, Triton does not.
+    assert baseline.get(small) / baseline.get(large) > 4
+    assert triton.get(small) / triton.get(large) < 2
+    assert triton.get(large) > 3 * baseline.get(large)

@@ -1,0 +1,16 @@
+"""Extension benchmark: out-of-core radix sort."""
+
+from repro.bench.experiments import ext_sort
+
+
+def test_ext_sort(run_experiment):
+    table = run_experiment(ext_sort.run)
+    cpu = table.row("CPU Radix Sort (POWER9)")
+    gpu = table.row("GPU Radix Sort (NVLink 2.0)")
+    for column in table.columns:
+        # The GPU wins at every size (including 61 GiB, 4x GPU memory),
+        # by streaming the MSD scatter over the fast interconnect.
+        assert gpu.get(column) > 1.5 * cpu.get(column)
+    # No out-of-core cliff: throughput is flat across sizes.
+    values = [gpu.get(c) for c in table.columns]
+    assert max(values) / min(values) < 1.3

@@ -1,0 +1,15 @@
+"""Regenerates Figure 1: the intro teaser (perfect hashing only)."""
+
+from repro.bench.experiments import fig01_teaser
+
+
+def test_fig01_teaser(run_experiment):
+    table = run_experiment(fig01_teaser.run, sizes=(128, 512, 1024, 2048))
+    # The Triton join must win beyond the GPU memory capacity and avoid
+    # the no-partitioning join's cliff.
+    triton = table.row("GPU Triton Join (Perfect)")
+    np_join = table.row("GPU NP Join (Perfect)")
+    cpu = table.row("CPU Radix Join (POWER9)")
+    assert triton.get("2048M") > np_join.get("2048M")
+    assert triton.get("2048M") > cpu.get("2048M")
+    assert np_join.get("128M") > triton.get("128M")

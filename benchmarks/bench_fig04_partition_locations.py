@@ -1,0 +1,14 @@
+"""Regenerates Figure 4: CPU vs. GPU partitioning throughput."""
+
+from repro.bench.experiments import fig04_partition_locations
+
+
+def test_fig04_partition_locations(run_experiment):
+    table = run_experiment(fig04_partition_locations.run)
+    cpu = table.row("CPU (NVLink 2.0)")
+    gpu = table.row("GPU (NVLink 2.0)")
+    for column in table.columns:
+        # The GPU out-partitions the CPU in both destinations (section 3.2).
+        assert gpu.get(column) > cpu.get(column)
+    # The CPU cannot saturate the fast interconnect even at alpha = 1.
+    assert cpu.get("(b) CPU to CPU mem") < 55.0

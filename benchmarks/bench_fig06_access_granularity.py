@@ -1,0 +1,18 @@
+"""Regenerates Figure 6: interconnect bandwidth vs. access granularity."""
+
+from repro.bench.experiments import fig06_access_granularity
+
+
+def test_fig06_access_granularity(run_experiment):
+    panel_a, panel_b = run_experiment(fig06_access_granularity.run)
+    # Bandwidth grows linearly with granularity and saturates at 128 B.
+    reads = [panel_a.row(f"{g} B").get("read") for g in (4, 8, 16, 32, 64)]
+    assert all(b > a * 1.8 for a, b in zip(reads, reads[1:]))
+    assert abs(panel_a.row("128 B").get("read") - 63.5) < 1.0
+    # Small reads beat small writes by 44-74%.
+    for g in (4, 8, 16, 32, 64):
+        row = panel_a.row(f"{g} B")
+        assert 1.3 < row.get("read") / row.get("write") < 1.9
+    # Misalignment penalties (Fig. 6b): ~20% reads, ~56% writes.
+    assert panel_b.row("misaligned").get("read") < 52.0
+    assert panel_b.row("misaligned").get("write") < 30.0

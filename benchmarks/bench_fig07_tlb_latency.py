@@ -1,0 +1,18 @@
+"""Regenerates Figure 7: TLB miss latency plateaus."""
+
+from repro.bench.experiments import fig07_tlb_latency
+
+
+def test_fig07_tlb_latency(run_experiment):
+    gpu_table, cpu_table = run_experiment(fig07_tlb_latency.run)
+    assert abs(gpu_table.row("6.0 GiB").get("latency") - 151.9) < 1.0
+    assert abs(gpu_table.row("9.8 GiB").get("latency") - 226.7) < 1.0
+    assert abs(cpu_table.row("4.0 GiB").get("latency") - 449.7) < 1.0
+    assert abs(cpu_table.row("16.0 GiB").get("latency") - 532.9) < 1.0
+    assert abs(cpu_table.row("64.0 GiB").get("latency") - 3186.4) < 1.0
+    # Out-of-range CPU-memory misses are ~an order of magnitude worse
+    # than GPU-memory misses (the paper's headline TLB insight).
+    ratio = cpu_table.row("64.0 GiB").get("latency") / gpu_table.row(
+        "9.8 GiB"
+    ).get("latency")
+    assert ratio > 10

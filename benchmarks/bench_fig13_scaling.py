@@ -1,0 +1,27 @@
+"""Regenerates Figure 13: the headline scaling experiment."""
+
+from repro.bench.experiments import fig13_scaling
+
+SIZES = (128, 512, 1024, 1536, 2048)
+
+
+def test_fig13_scaling(run_experiment):
+    table = run_experiment(fig13_scaling.run, sizes=SIZES, scale_divisor=16384)
+    triton = table.row("GPU Triton Join (Bucket Chaining)")
+    np_perfect = table.row("GPU NP Join (Perfect)")
+    np_linear = table.row("GPU NP Join (Linear Probing)")
+    p9 = table.row("CPU Radix Join (POWER9)")
+    xeon = table.row("CPU Radix Join (Xeon)")
+
+    # NP perfect cliffs once the table outgrows GPU memory.
+    assert np_perfect.get("128M") / np_perfect.get("2048M") > 4
+    # Linear probing collapses by orders of magnitude out of TLB range
+    # (the paper reports up to 400x vs. perfect hashing).
+    assert np_perfect.get("2048M") / np_linear.get("2048M") > 50
+    # Triton degrades gracefully: >= 70% of peak at 2048M (paper: 74%).
+    assert triton.get("2048M") / triton.get("128M") > 0.7
+    # Triton beats every baseline at the largest size.
+    for other in (np_perfect, np_linear, p9, xeon):
+        assert triton.get("2048M") > other.get("2048M")
+    # The Xeon falls behind the POWER9 once it needs two passes.
+    assert xeon.get("2048M") < p9.get("2048M")

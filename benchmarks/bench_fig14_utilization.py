@@ -1,0 +1,17 @@
+"""Regenerates Figure 14: interconnect utilization and IOMMU requests."""
+
+from repro.bench.experiments import fig14_utilization
+
+
+def test_fig14_utilization(run_experiment):
+    util, tlb = run_experiment(fig14_utilization.run, scale_divisor=16384)
+    # Triton's utilization grows with the data size (more spilling).
+    triton = util.row("Triton Join (Bucket Chaining)")
+    assert triton.get("2048M") > triton.get("512M") * 0.95
+    # Linear probing's utilization collapses out of TLB range.
+    linear = util.row("NP Join (Linear Probing)")
+    assert linear.get("2048M") < 1.0
+    # IOMMU pressure: linear probing ~1 request/tuple, Triton orders of
+    # magnitude quieter.
+    assert tlb.row("NP Join (Linear Probing)").get("2048M") > 0.5
+    assert tlb.row("Triton Join (Bucket Chaining)").get("2048M") < 0.01

@@ -1,0 +1,22 @@
+"""Regenerates Figure 15: the Triton join's time breakdown."""
+
+from repro.bench.experiments import fig15_time_breakdown
+
+
+def test_fig15_time_breakdown(run_experiment):
+    breakdown, stalls = run_experiment(
+        fig15_time_breakdown.run, scale_divisor=16384
+    )
+    for size in ("128M", "512M", "2048M"):
+        row = breakdown.row(size)
+        # The first pass dominates (paper: 43.8-47.2%).
+        assert row.get("Part 1") == max(row.values.values())
+        # Percentages describe the full runtime.
+        assert abs(sum(row.values.values()) - 100.0) < 1.0
+    # Spilling inflates PS 2 at 2048M relative to the cached sizes.
+    assert breakdown.row("2048M").get("PS 2") > breakdown.row("128M").get("PS 2")
+    # The first pass is interconnect-bound (low issue share); the second
+    # pass and the join issue substantially more.
+    row = stalls.row("2048M")
+    assert row.get("Part 1 issue%") < 35
+    assert row.get("Join issue%") > row.get("PS 1 issue%")

@@ -1,0 +1,19 @@
+"""Regenerates Figure 16: CPU-partitioned vs. GPU-partitioned join."""
+
+from repro.bench.experiments import fig16_cpu_vs_gpu_partitioned
+
+
+def test_fig16_cpu_vs_gpu_partitioned(run_experiment):
+    end_to_end, partitioning = run_experiment(
+        fig16_cpu_vs_gpu_partitioned.run, scale_divisor=16384
+    )
+    triton = end_to_end.row("Triton Join (GPU-Partitioned)")
+    cpu_part = end_to_end.row("CPU-Partitioned Radix Join")
+    for column in end_to_end.columns:
+        # The GPU-partitioned strategy wins end-to-end (paper: 1.2-1.3x).
+        assert triton.get(column) > cpu_part.get(column)
+    gpu = partitioning.row("GPU (NVLink 2.0)")
+    cpu = partitioning.row("CPU")
+    for column in partitioning.columns:
+        # The GPU partitions 1.3-1.7x faster than the CPU.
+        assert 1.2 < gpu.get(column) / cpu.get(column) < 2.3

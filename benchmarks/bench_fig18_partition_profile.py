@@ -1,0 +1,37 @@
+"""Regenerates Figure 18: partitioning algorithm profiles vs. fanout."""
+
+from repro.bench.experiments import fig18_partition_profile
+
+
+def test_fig18_partition_profile(run_experiment):
+    table = run_experiment(fig18_partition_profile.run)
+
+    # (a) throughput: Shared leads at low fanout, Hierarchical scales.
+    assert table.row("Shared @ 64").get("throughput GiB/s") > 50
+    assert table.row("Hierarchical @ 2048").get("throughput GiB/s") > 30
+    assert table.row("Shared @ 2048").get("throughput GiB/s") < 5
+    assert table.row("Standard @ 2048").get("throughput GiB/s") < 0.5
+
+    # (b) coalescing: ours perfect (2 tuples / 32 B txn), Linear decays.
+    assert table.row("Hierarchical @ 2048").get("tuples/32B txn") == 2.0
+    assert table.row("Linear @ 512").get("tuples/32B txn") < 1.8
+
+    # (c) transfer volume: Linear's overhead grows with fanout.
+    assert (
+        table.row("Linear @ 512").get("transfer volume GiB")
+        > table.row("Linear @ 4").get("transfer volume GiB")
+    )
+
+    # (d) TLB: Shared's misses jump ~33x between fanout 64 and 128
+    # and Hierarchical stays orders of magnitude lower at 2048.
+    shared_64 = table.row("Shared @ 64").get("IOMMU req/tuple")
+    shared_128 = table.row("Shared @ 128").get("IOMMU req/tuple")
+    assert shared_128 > shared_64 * 30
+    ratio = table.row("Shared @ 2048").get("IOMMU req/tuple") / table.row(
+        "Hierarchical @ 2048"
+    ).get("IOMMU req/tuple")
+    assert ratio > 100
+
+    # (e)/(f): only Hierarchical shows high issue-slot utilization.
+    assert table.row("Hierarchical @ 2048").get("issue slot util %") > 25
+    assert table.row("Shared @ 64").get("issue slot util %") < 10

@@ -1,0 +1,24 @@
+"""Regenerates Figure 19: scaling the GPU memory cache."""
+
+from repro.bench.experiments import fig19_cache_sweep
+
+
+def test_fig19_cache_sweep(run_experiment):
+    np_table, triton_table = run_experiment(
+        fig19_cache_sweep.run, scale_divisor=16384
+    )
+    # NP join: caching the whole table is a multi-x win in-core
+    # (paper: 4.6-4.8x)...
+    gain = np_table.row("cache 14.9 GiB").get("128M") / np_table.row(
+        "cache 0.0 GiB"
+    ).get("128M")
+    assert gain > 3
+    # ...but cannot rescue the out-of-core 2048M workload.
+    assert np_table.row("cache 14.9 GiB").get("2048M") < 1.0
+    # Triton: smooth, cliff-free improvement (paper: 1.4x / 1.1x).
+    t0 = triton_table.row("cache 0.0 GiB")
+    t_full = triton_table.row("cache 14.9 GiB")
+    assert 1.2 < t_full.get("128M") / t0.get("128M") < 1.8
+    assert 1.02 < t_full.get("2048M") / t0.get("2048M") < 1.35
+    col = triton_table.column("512M")
+    assert all(b >= a * 0.99 for a, b in zip(col, col[1:]))

@@ -1,0 +1,17 @@
+"""Regenerates Figure 20: CPU vs. GPU prefix sum."""
+
+from repro.bench.experiments import fig20_prefix_sum
+
+
+def test_fig20_prefix_sum(run_experiment):
+    end_to_end, rates = run_experiment(fig20_prefix_sum.run, scale_divisor=16384)
+    cpu = end_to_end.row("prefix sum on CPU")
+    gpu = end_to_end.row("prefix sum on GPU")
+    for column in end_to_end.columns:
+        # CPU prefix sum is ~1.1x better end-to-end but never huge.
+        assert 1.0 <= cpu.get(column) / gpu.get(column) < 1.3
+    # The CPU streams its memory ~1.6-2.2x faster than the GPU's
+    # link-bound scan (paper: 96-130 vs 63 GiB/s).
+    for column in rates.columns:
+        ratio = rates.row("CPU").get(column) / rates.row("GPU").get(column)
+        assert 1.5 < ratio < 2.3

@@ -1,0 +1,25 @@
+"""Regenerates Figure 21: build-to-probe ratios."""
+
+from repro.bench.experiments import fig21_build_probe_ratio
+
+
+def test_fig21_build_probe_ratio(run_experiment):
+    tables = run_experiment(
+        fig21_build_probe_ratio.run,
+        sizes=(128, 2048),
+        ratios=(1, 4, 32),
+        scale_divisor=16384,
+    )
+    by_name = {t.experiment: t for t in tables}
+    large = by_name["fig21_2048M"]
+    # Triton is insensitive to the ratio (paper: 1.66-1.88 G tuples/s).
+    triton = [large.row("Triton Join").get(c) for c in large.columns]
+    assert max(triton) / min(triton) < 1.45
+    # The NP join with linear probing swings by orders of magnitude
+    # (paper: 3414x between 1:1 and 1:32).
+    linear = large.row("NP Join (Linear Probing)")
+    assert linear.get("1:32") / linear.get("1:1") > 50
+    # In-core, shrinking the build side speeds the NP join up.
+    small = by_name["fig21_128M"]
+    np_perfect = small.row("NP Join (Perfect)")
+    assert np_perfect.get("1:32") > np_perfect.get("1:1")

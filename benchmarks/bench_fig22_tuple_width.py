@@ -1,0 +1,19 @@
+"""Regenerates Figure 22: payload width and late materialization."""
+
+from repro.bench.experiments import fig22_tuple_width
+
+
+def test_fig22_tuple_width(run_experiment):
+    table = run_experiment(fig22_tuple_width.run, scale_divisor=16384)
+    row = table.row("512M")
+    # The join index alone runs at ~the default setup's speed.
+    assert row.get("0 attrs") > 1.5
+    # Late materialization collapses with many payloads (paper: 86-88
+    # M tuples/s at 16 attributes).
+    assert row.get("16 attrs") < 0.2
+    assert row.get("16 attrs") > 0.02
+    # Monotone degradation with width.
+    widths = [row.get(c) for c in table.columns if row.get(c) is not None]
+    assert all(a >= b for a, b in zip(widths, widths[1:]))
+    # The 2048M workload stops early (CPU memory capacity).
+    assert table.row("2048M").get("16 attrs") is None

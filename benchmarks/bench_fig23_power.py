@@ -1,0 +1,15 @@
+"""Regenerates Figure 23: performance per Watt."""
+
+from repro.bench.experiments import fig23_power
+
+
+def test_fig23_power(run_experiment):
+    table = run_experiment(fig23_power.run, scale_divisor=16384)
+    cpu = table.row("CPU Radix Join")
+    triton = table.row("GPU Triton Join")
+    np_join = table.row("GPU NP Join")
+    # The CPU join is the most power-efficient (paper: 7-9.4 M t/s/W).
+    for column in table.columns:
+        assert cpu.get(column) > triton.get(column)
+        assert cpu.get(column) > np_join.get(column)
+    assert 6 < cpu.get("2048M") < 12

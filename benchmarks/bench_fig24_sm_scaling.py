@@ -1,0 +1,22 @@
+"""Regenerates Figure 24: compute power scaling."""
+
+from repro.bench.experiments import fig24_sm_scaling
+
+
+def test_fig24_sm_scaling(run_experiment):
+    scaling, breakdown = run_experiment(
+        fig24_sm_scaling.run, scale_divisor=16384
+    )
+    for size in ("128M", "512M", "2048M"):
+        row = scaling.row(f"{size}")
+        # Throughput grows with SMs and saturates well before 80: the
+        # Triton join is interconnect-bound (paper: 95% by 55 SMs).
+        assert row.get("55 SMs") > 95
+        assert row.get("5 SMs") < 80
+    # At low SM counts the partitioning passes eat a larger share of
+    # time (compute-bound region of Fig. 24b).
+    few = breakdown.row("5 SMs")
+    many = breakdown.row("80 SMs")
+    part2_share_few = few.get("Part 2") + few.get("Join")
+    part2_share_many = many.get("Part 2") + many.get("Join")
+    assert part2_share_few > part2_share_many * 0.95

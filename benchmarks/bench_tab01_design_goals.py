@@ -1,0 +1,15 @@
+"""Regenerates Table 1: partitioning design goals."""
+
+from repro.bench.experiments import tab01_design_goals
+
+
+def test_tab01_design_goals(run_experiment):
+    table = run_experiment(tab01_design_goals.run)
+    assert table.row("Hierarchical").values == {
+        "space efficient": 1.0,
+        "perfect coalescing": 1.0,
+        "high fanout": 1.0,
+    }
+    assert table.row("Shared").get("high fanout") == 0.0
+    assert table.row("Linear").get("perfect coalescing") == 0.0
+    assert table.row("Standard").get("space efficient") == 0.0

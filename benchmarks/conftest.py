@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs one paper-figure experiment exactly once under
+pytest-benchmark (the experiments are deterministic simulations; timing
+variance comes only from the host, so one round suffices) and prints the
+reproduced table for comparison against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment once under the benchmark fixture and print it."""
+
+    def _run(fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(**kwargs), iterations=1, rounds=1
+        )
+        tables = result if isinstance(result, tuple) else (result,)
+        with capsys.disabled():
+            for table in tables:
+                print()
+                print(table.format())
+        return result
+
+    return _run

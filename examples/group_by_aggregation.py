@@ -1,0 +1,82 @@
+"""Beyond joins: out-of-core group-by aggregation on the Triton machinery.
+
+Section 2.2 claims the radix-partitioning technique "also applies to
+other hash-based relational operators, such as group-based
+aggregations". This example aggregates a 2048 M-tuple fact table with a
+growing number of distinct groups and shows the same story as the join:
+the global-table baseline cliffs once its state outgrows GPU memory and
+the TLB reach, while the GPU-partitioned strategy degrades gracefully.
+
+Run:
+    python examples/group_by_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ac922
+from repro.aggregate import (
+    AggregateFunction,
+    NoPartitioningAggregation,
+    TritonAggregation,
+    reference_aggregate,
+)
+from repro.data.relation import Relation
+from repro.units import GIB
+
+INPUT_M_TUPLES = 2048
+GROUP_COUNTS = (1e6, 1e7, 1e8, 5e8, 1e9, 2e9, 4e9)
+
+
+def make_fact_table(groups: int, rows_nominal: int) -> Relation:
+    rng = np.random.default_rng(13)
+    materialized = 200_000
+    keys = rng.integers(1, groups + 1, size=materialized).astype(np.int64)
+    values = rng.integers(0, 100, size=materialized).astype(np.int64)
+    return Relation(
+        keys, {"attr0": values}, nominal_rows=rows_nominal, name="fact"
+    )
+
+
+def main() -> None:
+    system = ac922()
+    rows = INPUT_M_TUPLES * 1_000_000
+    print(
+        f"SUM(value) GROUP BY key over {INPUT_M_TUPLES} M tuples "
+        f"({rows * 16 / GIB:.0f} GiB) on the AC922\n"
+    )
+    print(
+        f"{'groups':>10} {'state':>8} {'global table':>13} "
+        f"{'Triton agg':>11} {'winner':>8}"
+    )
+    for groups in GROUP_COUNTS:
+        relation = make_fact_table(min(int(groups), 100_000), rows)
+        baseline_op = NoPartitioningAggregation(system, AggregateFunction.SUM)
+        triton_op = TritonAggregation(system, AggregateFunction.SUM)
+        baseline = baseline_op.run(relation, groups_nominal=int(groups))
+        triton = triton_op.run(relation, groups_nominal=int(groups))
+        # Both compute the same functional answer.
+        assert baseline.result == triton.result
+        assert triton.result == reference_aggregate(relation)
+        state_gib = groups * 16 / GIB
+        winner = (
+            "Triton" if triton.seconds < baseline.seconds else "global"
+        )
+        print(
+            f"{groups:>10.0e} {state_gib:>7.1f}G "
+            f"{baseline.throughput_g_tuples_per_s:>12.2f} "
+            f"{triton.throughput_g_tuples_per_s:>11.2f} {winner:>8}"
+        )
+
+    print(
+        "\nThe crossover sits where the aggregation state (16 B per"
+        "\ndistinct group) outgrows what the GPU can hold: beyond it the"
+        "\nglobal table's random NVLink updates collapse, while the"
+        "\npartitioned strategy keeps streaming at link speed — the"
+        "\nTriton join's insight, transplanted to aggregation."
+    )
+
+
+if __name__ == "__main__":
+    main()

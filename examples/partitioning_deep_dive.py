@@ -1,0 +1,79 @@
+"""Partitioning deep dive: why Hierarchical wins at high fanouts.
+
+Profiles the four GPU radix-partitioning algorithms (section 4) on an
+out-of-core 60 GiB input across a fanout sweep, showing the three
+mechanisms the paper isolates in Figure 18: write coalescing, NVLink
+protocol overhead, and GPU TLB misses through the IOMMU.
+
+Run:
+    python examples/partitioning_deep_dive.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HierarchicalPartitioner,
+    LinearPartitioner,
+    SharedPartitioner,
+    StandardPartitioner,
+    ac922,
+)
+from repro.bench.experiments.fig18_partition_profile import profile_algorithm
+from repro.hw.tlb import MemSpace
+
+FANOUTS = (32, 64, 128, 512, 2048)
+ALGORITHMS = (
+    StandardPartitioner(),
+    LinearPartitioner(),
+    SharedPartitioner(),
+    HierarchicalPartitioner(),
+)
+
+
+def main() -> None:
+    system = ac922()
+    scratch = system.gpu.usable_scratchpad_bytes
+    print("Partitioning 60 GiB from CPU memory back to CPU memory")
+    print(f"(64 KiB scratchpad, {system.interconnect.name})\n")
+
+    header = (
+        f"{'algorithm':>13} {'fanout':>6} {'GiB/s':>7} "
+        f"{'tuples/txn':>10} {'overhead':>9} {'IOMMU/tuple':>12} "
+        f"{'flush':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for algorithm in ALGORITHMS:
+        for fanout in FANOUTS:
+            if fanout > algorithm.max_fanout(16, scratch):
+                continue
+            metrics = profile_algorithm(algorithm, fanout)
+            profile = algorithm.write_profile(fanout, 16, scratch, MemSpace.CPU)
+            overhead = metrics["transfer volume GiB"] / 120.0 - 1.0
+            print(
+                f"{algorithm.name:>13} {fanout:>6} "
+                f"{metrics['throughput GiB/s']:>7.1f} "
+                f"{metrics['tuples/32B txn']:>10.2f} "
+                f"{100 * overhead:>8.0f}% "
+                f"{metrics['IOMMU req/tuple']:>12.2e} "
+                f"{profile.flush_bytes:>6}B"
+            )
+        print()
+
+    print("Reading the table:")
+    print(" - Standard scatters 16-byte tuples: partial transactions,")
+    print("   byte-enable headers, and a TLB miss per write at high")
+    print("   fanout. At fanout 2048 the IOMMU's 12 page-table walkers")
+    print("   throttle it to ~0.1 GiB/s (the paper's 10-minute run).")
+    print(" - Linear's opportunistic batches shrink with fanout and are")
+    print("   misaligned, so transactions split and overhead grows.")
+    print(" - Shared flushes whole buffers, perfectly coalesced - until")
+    print("   the per-partition buffer drops below one 128-byte")
+    print("   transaction and TLB misses hit every second flush.")
+    print(" - Hierarchical adds GPU-memory L2 buffers: flushes to CPU")
+    print("   memory stay large and aligned at ANY fanout, trading a")
+    print("   detour through GPU memory and extra instructions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: run the Triton join on the paper's default workload.
+
+Generates a PK/FK workload (section 6.1), executes the Triton join both
+functionally (real numpy join, verified against a reference) and against
+the simulated AC922, and prints throughput, the phase breakdown, and the
+hardware counters the paper reports.
+
+Run:
+    python examples/quickstart.py [m_tuples_per_relation]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import TritonJoin, ac922, generate_workload, reference_join
+from repro.units import GIB
+
+
+def main(m_tuples: float = 512.0) -> None:
+    system = ac922()
+    print(f"System: {system.name}")
+    print(
+        f"  GPU memory {system.gpu_memory_capacity / GIB:.0f} GiB, "
+        f"CPU memory {system.cpu_memory_capacity / GIB:.0f} GiB, "
+        f"{system.interconnect.name} at "
+        f"{system.interconnect.effective_bytes_per_s / GIB:.1f} GiB/s"
+    )
+
+    # Nominal cardinalities drive the cost model; the functional join
+    # runs on a 1024x scaled-down materialization of the same data.
+    workload = generate_workload(m_tuples, m_tuples, scale_divisor=1024)
+    data_gib = workload.total_nominal_bytes / GIB
+    print(
+        f"\nWorkload: |R| = |S| = {m_tuples:.0f} M tuples "
+        f"({data_gib:.1f} GiB of 16-byte tuples)"
+    )
+
+    join = TritonJoin(system)
+    run = join.run(workload)
+
+    expected = reference_join(workload.build, workload.probe)
+    verified = "verified" if run.match == expected else "MISMATCH!"
+    print(f"\nJoin result: {run.match.matches:,} matches ({verified})")
+
+    print(f"\nSimulated execution on the AC922:")
+    print(f"  radix plan:      {run.notes['plan_bits']} bits per pass")
+    print(f"  cached in GPU:   {100 * run.notes['gpu_fraction']:.0f}% of state")
+    print(f"  runtime:         {run.seconds * 1e3:.1f} ms")
+    print(f"  throughput:      {run.throughput_g_tuples_per_s:.2f} G tuples/s")
+    print(f"  link utilization {100 * run.interconnect_utilization:.0f}%")
+    print(f"  IOMMU requests   {run.iommu_requests_per_tuple:.2e} per tuple")
+
+    print("\nWhere the time goes (Fig. 15 style):")
+    for phase, pct in sorted(
+        run.sim.phase_breakdown().percentages().items(),
+        key=lambda kv: -kv[1],
+    ):
+        print(f"  {phase:8s} {pct:5.1f}%")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 512.0)

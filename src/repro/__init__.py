@@ -1,0 +1,108 @@
+"""Triton Join reproduction: out-of-core GPU joins over fast interconnects.
+
+A faithful, simulation-backed reproduction of *"Triton Join: Efficiently
+Scaling to a Large Join State on GPUs with Fast Interconnects"* (Lutz,
+Breß, Zeuch, Rabl, Markl — SIGMOD 2022).
+
+The library has three layers:
+
+- :mod:`repro.hw` + :mod:`repro.sim`: a calibrated hardware model of the
+  paper's IBM AC922 evaluation system (V100 GPU, POWER9 CPU, NVLink 2.0,
+  IOMMU/TLB hierarchy) and a fluid-flow discrete-event simulator.
+- :mod:`repro.data`, :mod:`repro.hashing`, :mod:`repro.partition`,
+  :mod:`repro.join`: functionally real implementations of the paper's
+  workloads, hash tables, radix partitioning algorithms (Standard,
+  Linear, Shared, Hierarchical, CPU SWWC), and joins (Triton,
+  no-partitioning, CPU radix, CPU-partitioned).
+- :mod:`repro.bench`: one experiment per paper table/figure.
+
+Quickstart::
+
+    from repro import ac922, TritonJoin, generate_workload
+
+    system = ac922()
+    workload = generate_workload(512, 512, scale_divisor=1024)
+    run = TritonJoin(system).run(workload)
+    print(f"{run.throughput_g_tuples_per_s:.2f} G tuples/s")
+"""
+
+from repro.advisor import JoinAdvisor
+from repro.aggregate import (
+    AggregateFunction,
+    NoPartitioningAggregation,
+    TritonAggregation,
+    reference_aggregate,
+)
+from repro.data import Relation, WorkloadConfig, generate_workload
+from repro.hashing import HashScheme
+from repro.hw import (
+    CpuModel,
+    GpuModel,
+    PerfCounters,
+    PowerModel,
+    SystemSpec,
+    ac922,
+    v100_pcie,
+    xeon_system,
+)
+from repro.join import (
+    BloomFilteredTritonJoin,
+    CachePolicy,
+    CpuPartitionedJoin,
+    CpuRadixJoin,
+    JoinRun,
+    MultiGpuTritonJoin,
+    NoPartitioningJoin,
+    TritonJoin,
+    reference_join,
+)
+from repro.sort import GpuRadixSort
+from repro.partition import (
+    CpuSwwcPartitioner,
+    HierarchicalPartitioner,
+    LinearPartitioner,
+    SharedPartitioner,
+    StandardPartitioner,
+    partition_relation,
+    plan_radix_join,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateFunction",
+    "BloomFilteredTritonJoin",
+    "CachePolicy",
+    "CpuModel",
+    "CpuPartitionedJoin",
+    "CpuRadixJoin",
+    "CpuSwwcPartitioner",
+    "GpuModel",
+    "GpuRadixSort",
+    "HashScheme",
+    "JoinAdvisor",
+    "MultiGpuTritonJoin",
+    "NoPartitioningAggregation",
+    "HierarchicalPartitioner",
+    "JoinRun",
+    "LinearPartitioner",
+    "NoPartitioningJoin",
+    "PerfCounters",
+    "PowerModel",
+    "Relation",
+    "SharedPartitioner",
+    "StandardPartitioner",
+    "SystemSpec",
+    "TritonAggregation",
+    "TritonJoin",
+    "WorkloadConfig",
+    "__version__",
+    "ac922",
+    "generate_workload",
+    "partition_relation",
+    "plan_radix_join",
+    "reference_aggregate",
+    "reference_join",
+    "v100_pcie",
+    "xeon_system",
+]

@@ -1,0 +1,144 @@
+"""Cost-based operator selection (the §1 optimizer angle).
+
+The paper motivates robustness with the query optimizer's dilemma:
+"spilling the join state to CPU memory results in a performance cliff
+[and] cardinality estimates can be significantly wrong". This module is
+the optimizer-side counterpart: given a workload and a system, it costs
+every join operator through the simulator (no functional execution —
+only nominal cardinalities matter) and recommends one, optionally
+hedging against cardinality misestimates by evaluating each candidate
+across an error band.
+
+The expected recommendation pattern, asserted in tests: the
+no-partitioning join for comfortably in-core workloads and high
+build:probe ratios, the Triton join elsewhere — and, under
+cardinality uncertainty, the Triton join even near the cliff, because
+its worst case degrades gracefully while the NP join's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.data.generator import Workload, generate_workload
+from repro.errors import ConfigurationError
+from repro.hashing import HashScheme
+from repro.hw.specs import SystemSpec
+from repro.join import CpuRadixJoin, NoPartitioningJoin, TritonJoin
+from repro.units import G_TUPLES
+
+#: Functional arrays are irrelevant for costing; keep them minimal.
+_COSTING_DIVISOR = 1 << 17
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """One candidate operator's estimated cost for one cardinality."""
+
+    operator: str
+    seconds: float
+    throughput_g_tuples_per_s: float
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict."""
+
+    operator: str
+    estimates: List[CostEstimate]
+    hedged: bool
+
+    @property
+    def best(self) -> CostEstimate:
+        return self.estimates[0]
+
+
+def _default_candidates(system: SystemSpec) -> Dict[str, Callable]:
+    return {
+        "triton": lambda: TritonJoin(system),
+        "no_partitioning": lambda: NoPartitioningJoin(
+            system, HashScheme.PERFECT
+        ),
+        "cpu_radix": lambda: CpuRadixJoin(system, HashScheme.PERFECT),
+    }
+
+
+class JoinAdvisor:
+    """Costs join operators and recommends one per workload."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        candidates: Optional[Dict[str, Callable]] = None,
+    ) -> None:
+        self.system = system
+        if candidates is None:
+            candidates = _default_candidates(system)
+        if not candidates:
+            raise ConfigurationError("advisor needs at least one candidate")
+        self.candidates = candidates
+
+    def _cost(self, name: str, build_m: float, probe_m: float) -> CostEstimate:
+        workload = generate_workload(
+            build_m, probe_m, scale_divisor=_COSTING_DIVISOR
+        )
+        run = self.candidates[name]().run(workload)
+        return CostEstimate(
+            operator=name,
+            seconds=run.seconds,
+            throughput_g_tuples_per_s=(
+                workload.total_nominal_tuples / run.seconds / G_TUPLES
+            ),
+        )
+
+    def estimate(self, build_m_tuples: float, probe_m_tuples: float) -> List[
+        CostEstimate
+    ]:
+        """All candidates' costs for one cardinality pair, best first."""
+        estimates = [
+            self._cost(name, build_m_tuples, probe_m_tuples)
+            for name in self.candidates
+        ]
+        return sorted(estimates, key=lambda e: e.seconds)
+
+    def recommend(
+        self,
+        build_m_tuples: float,
+        probe_m_tuples: Optional[float] = None,
+        cardinality_error: float = 1.0,
+    ) -> Recommendation:
+        """Recommend an operator for the estimated cardinalities.
+
+        ``cardinality_error`` hedges against misestimation: each
+        candidate is costed at the estimate and at estimate × error, and
+        ranked by its *worst* case — a robust (minimax) choice, which is
+        exactly where the Triton join's graceful degradation pays.
+        """
+        if build_m_tuples <= 0:
+            raise ConfigurationError("cardinality must be positive")
+        if cardinality_error < 1.0:
+            raise ConfigurationError("cardinality_error must be >= 1")
+        probe_m = (
+            probe_m_tuples if probe_m_tuples is not None else build_m_tuples
+        )
+        scenarios: Sequence = [(build_m_tuples, probe_m)]
+        hedged = cardinality_error > 1.0
+        if hedged:
+            scenarios = [
+                (build_m_tuples, probe_m),
+                (
+                    build_m_tuples * cardinality_error,
+                    probe_m * cardinality_error,
+                ),
+            ]
+        worst: Dict[str, CostEstimate] = {}
+        for build_m, this_probe_m in scenarios:
+            for estimate in self.estimate(build_m, this_probe_m):
+                current = worst.get(estimate.operator)
+                if current is None or estimate.seconds > current.seconds:
+                    worst[estimate.operator] = estimate
+        ranked = sorted(worst.values(), key=lambda e: e.seconds)
+        return Recommendation(
+            operator=ranked[0].operator, estimates=ranked, hedged=hedged
+        )

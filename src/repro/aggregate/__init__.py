@@ -1,0 +1,35 @@
+"""Hash-based group-by aggregation on the Triton machinery.
+
+Section 2.2 notes that radix partitioning "also applies to other
+hash-based relational operators, such as group-based aggregations and
+duplicate elimination". This package puts that claim into practice: a
+GPU-partitioned aggregation that reuses the Hierarchical/Shared
+partitioners, the hybrid cache, and the overlap pipeline — plus the
+no-partitioning baseline with a single global aggregation table.
+"""
+
+from repro.aggregate.group_by import (
+    AggregateFunction,
+    AggregationResult,
+    NoPartitioningAggregation,
+    TritonAggregation,
+    reference_aggregate,
+)
+from repro.aggregate.distinct import (
+    DistinctResult,
+    NoPartitioningDistinct,
+    TritonDistinct,
+    reference_distinct,
+)
+
+__all__ = [
+    "AggregateFunction",
+    "AggregationResult",
+    "DistinctResult",
+    "NoPartitioningAggregation",
+    "NoPartitioningDistinct",
+    "TritonAggregation",
+    "TritonDistinct",
+    "reference_aggregate",
+    "reference_distinct",
+]

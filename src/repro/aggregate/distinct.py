@@ -1,0 +1,81 @@
+"""Duplicate elimination (DISTINCT) on the aggregation machinery.
+
+Section 2.2 lists duplicate elimination alongside group-by aggregation
+as operators the radix-partitioning technique serves. DISTINCT *is* a
+degenerate aggregation — group by the key, keep nothing — so both
+operators here delegate to :mod:`repro.aggregate.group_by` with a COUNT
+accumulator and reinterpret the result: the distinct count is the group
+count, and the state per distinct value is just the 8-byte key (half an
+aggregation entry), which the cost side accounts for by halving the
+emitted volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aggregate.group_by import (
+    AggregateFunction,
+    AggregationRun,
+    NoPartitioningAggregation,
+    TritonAggregation,
+)
+from repro.data.relation import Relation
+from repro.hw.specs import SystemSpec
+from repro.join.caching import CachePolicy
+
+
+@dataclass(frozen=True)
+class DistinctResult:
+    """Functional outcome: the distinct count plus a key checksum."""
+
+    distinct: int
+    key_checksum: int
+
+
+def reference_distinct(relation: Relation) -> DistinctResult:
+    """Ground truth via numpy."""
+    keys = np.unique(relation.keys)
+    mod = np.int64(2**62)
+    return DistinctResult(
+        distinct=int(len(keys)), key_checksum=int((keys % mod).sum() % mod)
+    )
+
+
+class _DistinctMixin:
+    """Shared result adaptation for the two DISTINCT operators."""
+
+    def distinct(self, relation: Relation, distinct_nominal: int) -> tuple:
+        """Run duplicate elimination; returns (DistinctResult, run)."""
+        run: AggregationRun = self.run(relation, groups_nominal=distinct_nominal)
+        keys = np.unique(relation.keys)
+        mod = np.int64(2**62)
+        result = DistinctResult(
+            distinct=run.result.groups,
+            key_checksum=int((keys % mod).sum() % mod),
+        )
+        return result, run
+
+
+class TritonDistinct(_DistinctMixin, TritonAggregation):
+    """GPU-partitioned duplicate elimination."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        cache_policy: CachePolicy = CachePolicy.EVEN_INTERLEAVED,
+    ) -> None:
+        super().__init__(
+            system, AggregateFunction.COUNT, cache_policy=cache_policy
+        )
+        self.name = "GPU Triton Distinct"
+
+
+class NoPartitioningDistinct(_DistinctMixin, NoPartitioningAggregation):
+    """Global-table duplicate elimination."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        super().__init__(system, AggregateFunction.COUNT)
+        self.name = "GPU No-Partitioning Distinct"

@@ -1,0 +1,393 @@
+"""Group-by aggregation operators (an extension beyond the paper's joins).
+
+Two operators aggregate a relation's payload column grouped by its key:
+
+- :class:`TritonAggregation` — the GPU-partitioned strategy: a
+  Hierarchical first pass spreads groups over radix partitions (cached
+  in the interleaved hybrid cache), a Shared second pass refines within
+  GPU memory, and per-partition scratchpad tables aggregate. Exactly the
+  Triton join's skeleton with the probe phase replaced by in-place
+  aggregation, so its out-of-core behaviour (graceful degradation,
+  TLB quietness) carries over.
+- :class:`NoPartitioningAggregation` — one global aggregation table
+  updated with atomics; like the no-partitioning join it cliffs when the
+  table outgrows GPU memory or the TLB reach.
+
+Aggregation state is 16 bytes per distinct group (key + accumulator),
+so the *group cardinality*, not the input size, decides when state goes
+out of core — the interesting regime the paper's joins cannot show.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError
+from repro.hw.gpu import GpuModel, MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.specs import SystemSpec
+from repro.hw.tlb import MemSpace
+from repro.join.caching import CachePolicy, plan_cache
+from repro.partition.hierarchical import HierarchicalPartitioner
+from repro.partition.planner import plan_radix_join
+from repro.partition.shared import SharedPartitioner
+from repro.sim.engine import SimEngine, SimResult
+from repro.sim.kernels import GpuKernelBuilder
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import TaskGraph, chain
+from repro.units import G_TUPLES
+
+#: Bytes per aggregation table entry: 8-byte group key + 8-byte state.
+ENTRY_BYTES = 16
+#: Issue slots per input tuple (hash + atomic accumulate with replays).
+UPDATE_SLOTS_PER_TUPLE = 4.0
+
+
+class AggregateFunction(enum.Enum):
+    """Supported per-group accumulators."""
+
+    SUM = "sum"
+    COUNT = "count"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """Functional outcome: group count plus an order-independent checksum."""
+
+    groups: int
+    checksum: int
+
+    @classmethod
+    def from_arrays(cls, keys: np.ndarray, values: np.ndarray) -> "AggregationResult":
+        mod = np.int64(2**62)
+        mixed = (keys % mod) ^ (values % mod)
+        return cls(groups=int(len(keys)), checksum=int(mixed.sum() % mod))
+
+
+def _accumulate(
+    function: AggregateFunction, keys: np.ndarray, values: np.ndarray
+):
+    """Vectorized per-group accumulation; returns (group_keys, states).
+
+    Sums accumulate in int64 with wrap-around semantics (like the CUDA
+    atomics they model) rather than via float64 ``bincount`` weights,
+    which would lose precision for payloads above 2^53.
+    """
+    group_keys, inverse = np.unique(keys, return_inverse=True)
+    values = np.asarray(values, dtype=np.int64)
+    if function is AggregateFunction.COUNT:
+        states = np.bincount(inverse, minlength=len(group_keys))
+    elif function is AggregateFunction.SUM:
+        states = np.zeros(len(group_keys), dtype=np.int64)
+        with np.errstate(over="ignore"):
+            np.add.at(states, inverse, values)
+    elif function is AggregateFunction.MIN:
+        states = np.full(len(group_keys), np.iinfo(np.int64).max)
+        np.minimum.at(states, inverse, values)
+    else:
+        states = np.full(len(group_keys), np.iinfo(np.int64).min)
+        np.maximum.at(states, inverse, values)
+    return group_keys.astype(np.int64), states.astype(np.int64)
+
+
+def reference_aggregate(
+    relation: Relation, function: AggregateFunction = AggregateFunction.SUM
+) -> AggregationResult:
+    """Ground-truth aggregation for verification."""
+    values = (
+        relation.payloads[next(iter(relation.payloads))]
+        if relation.payload_columns
+        else np.ones(len(relation), dtype=np.int64)
+    )
+    keys, states = _accumulate(function, relation.keys, values)
+    return AggregationResult.from_arrays(keys, states)
+
+
+@dataclass
+class AggregationRun:
+    """One measured aggregation: functional result + simulated cost."""
+
+    name: str
+    result: AggregationResult
+    seconds: float
+    input_rows_nominal: int
+    sim: Optional[SimResult] = None
+
+    @property
+    def throughput_g_tuples_per_s(self) -> float:
+        if self.seconds <= 0:
+            raise ConfigurationError("runtime must be positive")
+        return self.input_rows_nominal / self.seconds / G_TUPLES
+
+
+class NoPartitioningAggregation:
+    """Global-table hash aggregation on the GPU (the baseline)."""
+
+    def __init__(
+        self, system: SystemSpec, function: AggregateFunction = AggregateFunction.SUM
+    ) -> None:
+        self.system = system
+        self.function = function
+        self.name = "GPU No-Partitioning Aggregation"
+        self.gpu = GpuModel(system)
+        self.builder = GpuKernelBuilder(self.gpu)
+
+    def run(self, relation: Relation, groups_nominal: int) -> AggregationRun:
+        if groups_nominal <= 0:
+            raise ConfigurationError("groups_nominal must be positive")
+        result = reference_aggregate(relation, self.function)
+
+        rows = relation.nominal_rows
+        table_bytes = groups_nominal * ENTRY_BYTES
+        in_gpu = table_bytes <= self.system.gpu_memory_capacity - (1 << 30)
+        space = MemSpace.GPU if in_gpu else MemSpace.CPU
+        update = self.builder.build(
+            name="aggregate",
+            phase="Aggregate",
+            requests=[
+                MemoryRequest(
+                    total_bytes=rows * relation.tuple_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                ),
+                # Read-modify-write of the group's accumulator.
+                MemoryRequest(
+                    total_bytes=rows * ENTRY_BYTES,
+                    access_bytes=ENTRY_BYTES,
+                    op=Op.READ,
+                    space=space,
+                    pattern=AccessPattern.RANDOM,
+                    footprint_bytes=table_bytes,
+                ),
+                MemoryRequest(
+                    total_bytes=rows * ENTRY_BYTES,
+                    access_bytes=ENTRY_BYTES,
+                    op=Op.WRITE,
+                    space=space,
+                    pattern=AccessPattern.RANDOM,
+                    footprint_bytes=table_bytes,
+                ),
+            ],
+            instructions=rows * UPDATE_SLOTS_PER_TUPLE,
+            tuples=rows,
+        )
+        emit = self.builder.build(
+            name="emit",
+            phase="Emit",
+            requests=[
+                MemoryRequest(
+                    total_bytes=groups_nominal * ENTRY_BYTES,
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            ],
+            tuples=0.0,
+        )
+        graph = TaskGraph(chain([update, emit]))
+        sim = SimEngine(ResourcePool.for_system(self.system)).run(graph)
+        return AggregationRun(
+            name=self.name,
+            result=result,
+            seconds=sim.makespan_seconds,
+            input_rows_nominal=rows,
+            sim=sim,
+        )
+
+
+class TritonAggregation:
+    """GPU-partitioned hash aggregation (the Triton strategy)."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        function: AggregateFunction = AggregateFunction.SUM,
+        cache_policy: CachePolicy = CachePolicy.EVEN_INTERLEAVED,
+        pipeline_chunks: int = 8,
+    ) -> None:
+        self.system = system
+        self.function = function
+        self.cache_policy = cache_policy
+        self.pipeline_chunks = pipeline_chunks
+        self.name = "GPU Triton Aggregation"
+        self.gpu = GpuModel(system)
+        self.builder = GpuKernelBuilder(self.gpu)
+        self.first_pass = HierarchicalPartitioner()
+        self.second_pass = SharedPartitioner()
+
+    def _functional(self, relation: Relation, bits1: int) -> AggregationResult:
+        """Partition, aggregate per partition, combine."""
+        parts = self.first_pass.partition(relation, min(bits1, 10))
+        all_keys = []
+        all_states = []
+        values = (
+            relation.payloads[next(iter(relation.payloads))]
+            if relation.payload_columns
+            else np.ones(len(relation), dtype=np.int64)
+        )
+        # Values travel with their tuples through the partitioning.
+        part_values = (
+            parts.relation.payloads[next(iter(parts.relation.payloads))]
+            if parts.relation.payload_columns
+            else np.ones(len(parts.relation), dtype=np.int64)
+        )
+        _ = values
+        for index in range(parts.fanout):
+            rows = parts.partition_rows(index)
+            if rows.stop == rows.start:
+                continue
+            keys, states = _accumulate(
+                self.function,
+                parts.relation.keys[rows],
+                part_values[rows.start : rows.stop],
+            )
+            all_keys.append(keys)
+            all_states.append(states)
+        if not all_keys:
+            empty = np.empty(0, dtype=np.int64)
+            return AggregationResult.from_arrays(empty, empty)
+        # Hash partitions are disjoint in keys, so no cross-partition merge
+        # is needed — the combine step is a concatenation.
+        return AggregationResult.from_arrays(
+            np.concatenate(all_keys), np.concatenate(all_states)
+        )
+
+    def run(self, relation: Relation, groups_nominal: int) -> AggregationRun:
+        if groups_nominal <= 0:
+            raise ConfigurationError("groups_nominal must be positive")
+        rows = relation.nominal_rows
+        tuple_bytes = relation.tuple_bytes
+        plan = plan_radix_join(
+            max(groups_nominal, 1), rows, ENTRY_BYTES, self.system
+        )
+        result = self._functional(relation, plan.bits1)
+
+        state_bytes = float(rows * tuple_bytes)
+        cache = plan_cache(
+            state_bytes, self.system.gpu_memory_capacity, policy=self.cache_policy
+        )
+        scratch = self.system.gpu.usable_scratchpad_bytes
+
+        # Pass 1: partition the input into the hybrid cache.
+        g = cache.gpu_fraction
+        tasks = []
+        requests = []
+        issue = 0.0
+        if g < 1.0:
+            work = self.first_pass.gpu_work(
+                rows * (1 - g), tuple_bytes, plan.fanout1,
+                MemSpace.CPU, MemSpace.CPU, scratch,
+            )
+            requests += [r for r in work.requests if r.op is Op.WRITE
+                         or r.space is MemSpace.GPU]
+            issue += work.issue_slots
+        if g > 0.0:
+            work = self.first_pass.gpu_work(
+                rows * g, tuple_bytes, plan.fanout1,
+                MemSpace.CPU, MemSpace.GPU, scratch,
+            )
+            requests += [r for r in work.requests if r.op is Op.WRITE]
+            issue += work.issue_slots
+        requests.append(
+            MemoryRequest(
+                total_bytes=rows * tuple_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.CPU,
+                pattern=AccessPattern.SEQUENTIAL,
+                duplex=g < 1.0,
+            )
+        )
+        part1 = self.builder.build(
+            "part1", requests, instructions=issue, phase="Part 1", tuples=rows
+        )
+        tasks.append(part1)
+
+        # Pipeline: per chunk, copy spilled state in, refine, aggregate.
+        previous = part1
+        chunk_rows = rows / self.pipeline_chunks
+        for c in range(self.pipeline_chunks):
+            chunk_bytes = chunk_rows * tuple_bytes
+            spilled = chunk_bytes * (1 - g)
+            chunk_requests = [
+                MemoryRequest(
+                    total_bytes=chunk_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            ]
+            if spilled > 0:
+                chunk_requests.append(
+                    MemoryRequest(
+                        total_bytes=spilled,
+                        access_bytes=128,
+                        op=Op.READ,
+                        space=MemSpace.CPU,
+                        pattern=AccessPattern.SEQUENTIAL,
+                    )
+                )
+            fanout2 = 1 << plan.bits2 if plan.bits2 else 1
+            slots = chunk_rows * UPDATE_SLOTS_PER_TUPLE
+            if plan.bits2:
+                profile = self.second_pass.write_profile(
+                    fanout2, tuple_bytes, scratch, MemSpace.GPU
+                )
+                chunk_requests.append(
+                    MemoryRequest(
+                        total_bytes=chunk_bytes,
+                        access_bytes=profile.flush_bytes,
+                        op=Op.WRITE,
+                        space=MemSpace.GPU,
+                        pattern=AccessPattern.RANDOM,
+                        stream_count=fanout2,
+                    )
+                )
+                slots += chunk_rows * profile.issue_slots_per_tuple
+            task = self.builder.build(
+                f"aggregate[{c}]",
+                chunk_requests,
+                instructions=slots,
+                phase="Aggregate",
+                tuples=chunk_rows,
+                sm_fraction=0.5,
+            )
+            task.depends_on(previous)
+            previous = task
+            tasks.append(task)
+
+        emit = self.builder.build(
+            "emit",
+            [
+                MemoryRequest(
+                    total_bytes=groups_nominal * ENTRY_BYTES,
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            ],
+            phase="Emit",
+        ).depends_on(previous)
+        tasks.append(emit)
+
+        graph = TaskGraph(tasks)
+        sim = SimEngine(ResourcePool.for_system(self.system)).run(graph)
+        return AggregationRun(
+            name=self.name,
+            result=result,
+            seconds=sim.makespan_seconds,
+            input_rows_nominal=rows,
+            sim=sim,
+        )

@@ -1,0 +1,20 @@
+"""Benchmark harness: one experiment per paper table and figure.
+
+Each module in :mod:`repro.bench.experiments` regenerates one artifact of
+the paper's evaluation (sections 3 and 6) and returns an
+:class:`~repro.bench.harness.ExperimentTable` whose rows mirror the
+figure's series. The ``benchmarks/`` directory wraps these in
+pytest-benchmark entry points; ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+"""
+
+from repro.bench.harness import ExperimentTable, Row, format_table
+from repro.bench.workloads import default_workload, DEFAULT_SCALE_DIVISOR
+
+__all__ = [
+    "DEFAULT_SCALE_DIVISOR",
+    "ExperimentTable",
+    "Row",
+    "default_workload",
+    "format_table",
+]

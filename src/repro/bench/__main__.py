@@ -1,0 +1,90 @@
+"""Command-line experiment runner.
+
+Run any paper experiment (or all of them) from the shell::
+
+    python -m repro.bench list
+    python -m repro.bench fig13
+    python -m repro.bench fig13 --sizes 128,2048 --divisor 16384
+    python -m repro.bench all --divisor 65536
+
+Each experiment prints the same table its benchmark produces; the
+``--divisor`` flag trades functional-array size for speed (cost models
+always use nominal sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def _run_one(name: str, sizes, divisor) -> None:
+    module = ALL_EXPERIMENTS[name]
+    kwargs = {}
+    signature = inspect.signature(module.run)
+    if sizes is not None and "sizes" in signature.parameters:
+        kwargs["sizes"] = sizes
+    if divisor is not None and "scale_divisor" in signature.parameters:
+        kwargs["scale_divisor"] = divisor
+    started = time.time()
+    result = module.run(**kwargs)
+    tables = result if isinstance(result, tuple) else (result,)
+    for table in tables:
+        print(table.format())
+        print()
+    print(f"[{name}: {time.time() - started:.1f}s]\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--sizes",
+        help="comma-separated relation sizes in M tuples (e.g. 128,2048)",
+    )
+    parser.add_argument(
+        "--divisor",
+        type=float,
+        default=None,
+        help="nominal-to-materialized scale divisor (default per experiment)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in sorted(ALL_EXPERIMENTS.items()):
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+
+    sizes = None
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+
+    if args.experiment == "all":
+        for name in ALL_EXPERIMENTS:
+            _run_one(name, sizes, args.divisor)
+        return 0
+
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try "
+            f"'python -m repro.bench list'",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.experiment, sizes, args.divisor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

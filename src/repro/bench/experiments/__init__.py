@@ -1,0 +1,59 @@
+"""Experiment definitions, one module per paper table/figure.
+
+Every module exposes ``run(...) -> ExperimentTable`` (some return several
+tables). Defaults favour harness speed: functional arrays are scaled by
+``DEFAULT_SCALE_DIVISOR`` and sweeps use a representative subset of the
+paper's x-axis; pass explicit parameters for denser sweeps.
+"""
+
+from repro.bench.experiments import (
+    fig01_teaser,
+    fig04_partition_locations,
+    fig06_access_granularity,
+    fig07_tlb_latency,
+    fig13_scaling,
+    fig14_utilization,
+    fig15_time_breakdown,
+    fig16_cpu_vs_gpu_partitioned,
+    fig17_partition_algorithms,
+    fig18_partition_profile,
+    fig19_cache_sweep,
+    fig20_prefix_sum,
+    fig21_build_probe_ratio,
+    fig22_tuple_width,
+    fig23_power,
+    fig24_sm_scaling,
+    tab01_design_goals,
+    ablations,
+    ext_interconnect,
+    ext_scaling,
+    ext_robustness,
+    ext_sort,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_teaser,
+    "fig04": fig04_partition_locations,
+    "fig06": fig06_access_granularity,
+    "fig07": fig07_tlb_latency,
+    "fig13": fig13_scaling,
+    "fig14": fig14_utilization,
+    "fig15": fig15_time_breakdown,
+    "fig16": fig16_cpu_vs_gpu_partitioned,
+    "fig17": fig17_partition_algorithms,
+    "fig18": fig18_partition_profile,
+    "fig19": fig19_cache_sweep,
+    "fig20": fig20_prefix_sum,
+    "fig21": fig21_build_probe_ratio,
+    "fig22": fig22_tuple_width,
+    "fig23": fig23_power,
+    "fig24": fig24_sm_scaling,
+    "tab01": tab01_design_goals,
+    "ablations": ablations,
+    "ext_interconnect": ext_interconnect,
+    "ext_scaling": ext_scaling,
+    "ext_robustness": ext_robustness,
+    "ext_sort": ext_sort,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,155 @@
+"""Ablations of the Triton join's design choices (ours, beyond the paper).
+
+Three experiments isolating the mechanisms DESIGN.md calls out:
+
+- **Double buffering** (section 4.3): Hierarchical's asynchronous,
+  spare-pool L2 flushes vs. a synchronous-flush variant that exposes the
+  flush latency inside the critical section.
+- **Cache policy** (section 5.3): the paper's even page interleaving vs.
+  the classic hybrid-hash "cache R0 entirely" policy vs. no caching.
+- **Overlap** (section 5.2): concurrent-kernel pipelining of the second
+  pass and the join vs. strictly serial execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import ac922
+from repro.hw.tlb import MemSpace
+from repro.join import CachePolicy, TritonJoin
+from repro.partition.hierarchical import HierarchicalPartitioner
+
+DEFAULT_SIZES = (128, 512, 2048)
+
+
+class SynchronousFlushHierarchical(HierarchicalPartitioner):
+    """Hierarchical without double buffering: flushes block the warp.
+
+    Removing the spare pool means every L2 flush's CPU-memory write
+    latency sits inside the buffer lock; the flush pipeline efficiency
+    drops for all configurations, not just tiny buffers.
+    """
+
+    name = "Hierarchical (sync flush)"
+    SYNC_FLUSH_EFFICIENCY = 0.45
+
+    def write_profile(self, fanout, tuple_bytes, scratchpad_bytes, dst):
+        profile = super().write_profile(
+            fanout, tuple_bytes, scratchpad_bytes, dst
+        )
+        if dst is MemSpace.GPU:
+            return profile
+        return type(profile)(
+            flush_bytes=profile.flush_bytes,
+            aligned=profile.aligned,
+            issue_slots_per_tuple=profile.issue_slots_per_tuple,
+            extra_requests=profile.extra_requests,
+            write_efficiency=min(
+                profile.write_efficiency, self.SYNC_FLUSH_EFFICIENCY
+            ),
+        )
+
+
+def _throughput_rows(ops, sizes, scale_divisor):
+    rows = {}
+    for name, op in ops.items():
+        values = {}
+        for size in sizes:
+            workload = default_workload(size, size, scale_divisor=scale_divisor)
+            values[f"{size}M"] = op.run(workload).throughput_g_tuples_per_s
+        rows[name] = values
+    return rows
+
+
+def run_double_buffering(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Ablation A1: asynchronous vs. synchronous L2 flushes."""
+    system = ac922()
+    table = ExperimentTable(
+        experiment="abl_double_buffering",
+        title="Ablation: Hierarchical double buffering on/off",
+        columns=[f"{size}M" for size in sizes],
+        unit="G tuples/s",
+    )
+    ops = {
+        "async flush (paper design)": TritonJoin(
+            system, first_pass=HierarchicalPartitioner(),
+            cache_policy=CachePolicy.NONE,
+        ),
+        "sync flush (no spare pool)": TritonJoin(
+            system, first_pass=SynchronousFlushHierarchical(),
+            cache_policy=CachePolicy.NONE,
+        ),
+    }
+    for name, values in _throughput_rows(ops, sizes, scale_divisor).items():
+        table.add_row(name, values)
+    table.add_note("expected: async flush wins for every out-of-core size")
+    return table
+
+
+def run_cache_policy(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Ablation A2: even interleaving vs. hybrid-hash R0 vs. none."""
+    system = ac922()
+    table = ExperimentTable(
+        experiment="abl_cache_policy",
+        title="Ablation: working-set cache policy",
+        columns=[f"{size}M" for size in sizes],
+        unit="G tuples/s",
+    )
+    ops = {
+        "even interleaving (paper)": TritonJoin(
+            system, cache_policy=CachePolicy.EVEN_INTERLEAVED
+        ),
+        "hybrid-hash R0": TritonJoin(
+            system, cache_policy=CachePolicy.HYBRID_HASH_R0
+        ),
+        "no caching": TritonJoin(system, cache_policy=CachePolicy.NONE),
+    }
+    for name, values in _throughput_rows(ops, sizes, scale_divisor).items():
+        table.add_row(name, values)
+    table.add_note(
+        "expected: even interleaving >= R0 >= none once state spills"
+    )
+    return table
+
+
+def run_overlap(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Ablation A3: concurrent-kernel overlap on/off."""
+    system = ac922()
+    table = ExperimentTable(
+        experiment="abl_overlap",
+        title="Ablation: transfer/compute overlap (concurrent kernels)",
+        columns=[f"{size}M" for size in sizes],
+        unit="G tuples/s",
+    )
+    ops = {
+        "overlap (paper design)": TritonJoin(system, overlap=True),
+        "serial pipeline": TritonJoin(system, overlap=False),
+    }
+    for name, values in _throughput_rows(ops, sizes, scale_divisor).items():
+        table.add_row(name, values)
+    table.add_note("expected: overlap wins, most at large spilled sizes")
+    return table
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+):
+    """All three ablations."""
+    return (
+        run_double_buffering(sizes, scale_divisor),
+        run_cache_policy(sizes, scale_divisor),
+        run_overlap(sizes, scale_divisor),
+    )

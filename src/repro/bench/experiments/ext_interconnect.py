@@ -1,0 +1,78 @@
+"""Extension: the fast interconnect itself as the ablation variable.
+
+The paper's premise is that NVLink 2.0 — not GPU compute — is what makes
+out-of-core GPU joins viable (sections 1 and 3.2). This experiment makes
+that explicit by running the same Triton join against the same V100
+attached over PCI-e 3.0 (the `v100_pcie` preset), over NVLink 2.0 (the
+AC922), and over a hypothetical NVLink 4.0-class link, and comparing to
+the CPU radix join. The expected shape: on PCI-e the CPU wins out-of-core
+(the pre-fast-interconnect status quo); on NVLink the GPU wins; a faster
+link widens the gap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import SystemSpec, ac922, v100_pcie
+from repro.join import CpuRadixJoin, TritonJoin
+
+DEFAULT_SIZES = (128, 512, 2048)
+
+
+def nvlink4_system() -> SystemSpec:
+    """The AC922 with a doubled (NVLink 4.0-class) link."""
+    base = ac922()
+    link = dataclasses.replace(
+        base.interconnect,
+        name="NVLink 4.0-class",
+        raw_bytes_per_s=base.interconnect.raw_bytes_per_s * 2,
+        effective_bytes_per_s=base.interconnect.effective_bytes_per_s * 2,
+        duplex_bytes_per_s=base.interconnect.duplex_bytes_per_s * 2,
+    )
+    return dataclasses.replace(base, interconnect=link, name="AC922 + 2x link")
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Triton join throughput by interconnect, vs. the CPU baseline."""
+    table = ExperimentTable(
+        experiment="ext_interconnect",
+        title="Extension: the interconnect decides who wins",
+        columns=[f"{size}M" for size in sizes],
+        unit="G tuples/s",
+    )
+    systems = {
+        "Triton over PCI-e 3.0": v100_pcie(),
+        "Triton over NVLink 2.0": ac922(),
+        "Triton over 2x NVLink": nvlink4_system(),
+    }
+    for name, system in systems.items():
+        values = {}
+        for size in sizes:
+            workload = default_workload(size, size, scale_divisor=scale_divisor)
+            values[f"{size}M"] = TritonJoin(system).run(
+                workload
+            ).throughput_g_tuples_per_s
+        table.add_row(name, values)
+    cpu = CpuRadixJoin(ac922())
+    table.add_row(
+        "CPU Radix Join (POWER9)",
+        {
+            f"{size}M": cpu.run(
+                default_workload(size, size, scale_divisor=scale_divisor)
+            ).throughput_g_tuples_per_s
+            for size in sizes
+        },
+    )
+    table.add_note(
+        "expected: CPU beats PCI-e-attached GPU out-of-core (the "
+        "pre-fast-interconnect status quo); NVLink flips it; 2x link "
+        "widens the gap"
+    )
+    return table

@@ -1,0 +1,37 @@
+"""Figure 1: the introduction's teaser (a simplified Figure 13).
+
+Only the perfect-hashing variants: CPU radix join, GPU no-partitioning
+join, and the Triton join. The shape that must reproduce: the
+no-partitioning join falls off two cliffs (GPU memory, then the GPU TLB
+reach is the linear-probing story), while the Triton join degrades
+gracefully and stays above the CPU for large state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.experiments.fig13_scaling import run as run_fig13
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR
+
+DEFAULT_SIZES = (128, 512, 1024, 1536, 2048)
+
+SERIES = (
+    "CPU Radix Join (POWER9)",
+    "GPU NP Join (Perfect)",
+    "GPU Triton Join (Perfect)",
+)
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Regenerate Figure 1 (perfect hashing only)."""
+    table = run_fig13(sizes=sizes, scale_divisor=scale_divisor, subset=SERIES)
+    table.experiment = "fig01"
+    table.title = (
+        "Fig. 1: out-of-core state causes a cliff; the Triton join scales"
+    )
+    return table

@@ -1,0 +1,71 @@
+"""Figure 6: interconnect bandwidth of random accesses to CPU memory.
+
+The calibration microbenchmark for the NVLink 2.0 model: random
+read/write bandwidth grows linearly with the access granularity until it
+matches sequential bandwidth at 128 bytes (panel a), and misalignment
+costs ~20% for reads and ~56% for writes at 512 bytes (panel b).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench.harness import ExperimentTable
+from repro.hw.interconnect import AccessPattern, InterconnectModel, Op
+from repro.hw.specs import ac922
+from repro.units import GIB
+
+DEFAULT_GRANULARITIES = (4, 8, 16, 32, 64, 128, 256, 512)
+
+#: The paper's measured values (GiB/s), for side-by-side comparison.
+PAPER_READ = {4: 2.6, 8: 5.1, 16: 10.4, 32: 22.1, 64: 44.1, 128: 63.8, 256: 63.7, 512: 63.8}
+PAPER_WRITE = {4: 1.8, 8: 3.6, 16: 5.9, 32: 12.5, 64: 25.3, 128: 63.6, 256: 63.4, 512: 63.6}
+
+
+def run(
+    granularities: Sequence[int] = DEFAULT_GRANULARITIES,
+) -> Tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 6(a) and 6(b)."""
+    model = InterconnectModel(ac922().interconnect)
+
+    panel_a = ExperimentTable(
+        experiment="fig06a",
+        title="Fig. 6(a): random-access bandwidth vs. access granularity",
+        columns=["read", "write", "paper read", "paper write"],
+        unit="GiB/s",
+    )
+    for g in granularities:
+        panel_a.add_row(
+            f"{g} B",
+            {
+                "read": model.effective_bandwidth(g, Op.READ) / GIB,
+                "write": model.effective_bandwidth(g, Op.WRITE) / GIB,
+                "paper read": PAPER_READ.get(g),
+                "paper write": PAPER_WRITE.get(g),
+            },
+        )
+    seq = model.effective_bandwidth(
+        128, Op.READ, AccessPattern.SEQUENTIAL
+    ) / GIB
+    panel_a.add_note(f"sequential baseline: {seq:.1f} GiB/s (paper 63.5)")
+
+    panel_b = ExperimentTable(
+        experiment="fig06b",
+        title="Fig. 6(b): 512-byte access bandwidth vs. alignment",
+        columns=["read", "write"],
+        unit="GiB/s",
+    )
+    for label, aligned in (("cacheline-aligned", True), ("misaligned", False)):
+        panel_b.add_row(
+            label,
+            {
+                "read": model.effective_bandwidth(
+                    512, Op.READ, aligned=aligned
+                ) / GIB,
+                "write": model.effective_bandwidth(
+                    512, Op.WRITE, aligned=aligned
+                ) / GIB,
+            },
+        )
+    panel_b.add_note("paper: aligned 63.8/63.6, misaligned 50.9/27.8 GiB/s")
+    return panel_a, panel_b

@@ -1,0 +1,80 @@
+"""Figure 15: where the Triton join's time goes.
+
+Panel (a): per-kernel share of the runtime (PS 1, Part 1, PS 2, Part 2,
+Sched, Join) with a GPU prefix sum for a full GPU profile. Panel (b):
+microarchitectural attribution — per kernel, the fraction of time the
+GPU is issuing instructions vs. stalling on memory.
+
+The shapes that must reproduce: the first partitioning pass dominates
+(~44-47%), the pass-1 prefix sum is next (~19-23%), both are
+interconnect-bound; the second pass is compute-heavy; spilling inflates
+the pass-2 prefix sum at 2048 M tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import ac922
+from repro.join import TritonJoin
+from repro.partition.prefix_sum import PrefixSumLocation
+
+DEFAULT_SIZES = (128, 512, 2048)
+PHASES = ("PS 1", "Part 1", "PS 2", "Part 2", "Sched", "Join")
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> Tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 15 (a) and (b)."""
+    system = ac922()
+    op = TritonJoin(system, prefix_sum=PrefixSumLocation.GPU)
+
+    breakdown = ExperimentTable(
+        experiment="fig15a",
+        title="Fig. 15(a): Triton join time breakdown per kernel",
+        columns=list(PHASES),
+        unit="% of runtime",
+    )
+    stalls = ExperimentTable(
+        experiment="fig15b",
+        title="Fig. 15(b): issue vs. memory-stall share per kernel",
+        columns=[f"{p} issue%" for p in PHASES if p != "Sched"],
+    )
+    for size in sizes:
+        workload = default_workload(size, size, scale_divisor=scale_divisor)
+        result = op.run(workload)
+        percentages = result.sim.phase_breakdown().percentages()
+        breakdown.add_row(
+            f"{size}M",
+            {phase: percentages.get(phase, 0.0) for phase in PHASES},
+        )
+        # Attribute stalls from each phase's standalone memory/compute
+        # split: issue share = compute time over kernel time; the rest is
+        # memory dependency (the dominant stall class in the paper).
+        issue = {}
+        graph = op.build_graph(workload)
+        for phase in PHASES:
+            if phase == "Sched":
+                continue
+            mem = compute = 0.0
+            for task in graph.tasks:
+                if task.phase != phase:
+                    continue
+                mem += task.meta.get("memory_seconds", 0.0)
+                compute += task.meta.get("compute_seconds", 0.0)
+            total = mem + compute
+            issue[f"{phase} issue%"] = 100.0 * compute / total if total else 0.0
+        stalls.add_row(f"{size}M", issue)
+    breakdown.add_note(
+        "paper (a): Part 1 43.8-47.2%, PS 1 18.9-23.4%, rest split over "
+        "PS 2 / Part 2 / Sched / Join"
+    )
+    stalls.add_note(
+        "paper (b): prefix sums and Part 1 ~97% memory-stalled; Part 2 "
+        "and Join issue 26-48% of cycles"
+    )
+    return breakdown, stalls

@@ -1,0 +1,78 @@
+"""Figure 16: CPU-partitioned vs. GPU-partitioned join.
+
+Pits the reimplemented Sioulas-style CPU-partitioned radix join against
+the Triton join (panel a: end-to-end throughput) and compares the raw
+partitioning rates of the two processors (panel b). The shape that must
+reproduce: the GPU partitions 1.5-1.7x faster than the CPU, and the
+Triton join ends up 1.2-1.3x faster end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench.experiments.fig04_partition_locations import (
+    cpu_partition_throughput,
+    gpu_partition_throughput,
+)
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import ac922
+from repro.hw.tlb import MemSpace
+from repro.join import CpuPartitionedJoin, TritonJoin
+from repro.units import GIB
+
+DEFAULT_SIZES = (128, 512, 2048)
+TUPLE_BYTES = 16
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> Tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 16 (a) and (b)."""
+    system = ac922()
+    columns = [f"{size}M" for size in sizes]
+
+    end_to_end = ExperimentTable(
+        experiment="fig16a",
+        title="Fig. 16(a): end-to-end join, CPU- vs. GPU-partitioned",
+        columns=columns,
+        unit="G tuples/s",
+    )
+    for name, op in (
+        ("CPU-Partitioned Radix Join", CpuPartitionedJoin(system)),
+        ("Triton Join (GPU-Partitioned)", TritonJoin(system)),
+    ):
+        values = {}
+        for size in sizes:
+            workload = default_workload(size, size, scale_divisor=scale_divisor)
+            values[f"{size}M"] = op.run(workload).throughput_g_tuples_per_s
+        end_to_end.add_row(name, values)
+    end_to_end.add_note(
+        "paper (a): CPU-partitioned 1.3-1.8, Triton 1.2-1.3x faster"
+    )
+
+    partitioning = ExperimentTable(
+        experiment="fig16b",
+        title="Fig. 16(b): partitioning throughput, CPU vs. GPU",
+        columns=columns,
+        unit="GiB/s",
+    )
+    cpu_values = {}
+    gpu_values = {}
+    for size in sizes:
+        data_gib = 2 * size * 1e6 * TUPLE_BYTES / GIB
+        fanout = TritonJoin(system).plan(
+            default_workload(size, size, scale_divisor=scale_divisor)
+        ).fanout1
+        cpu_values[f"{size}M"] = cpu_partition_throughput(
+            system, data_gib, fanout
+        )
+        gpu_values[f"{size}M"] = gpu_partition_throughput(
+            system, data_gib, fanout, MemSpace.CPU
+        )
+    partitioning.add_row("CPU", cpu_values)
+    partitioning.add_row("GPU (NVLink 2.0)", gpu_values)
+    partitioning.add_note("paper (b): CPU 32-41.8 GiB/s, GPU 55.3-63.2 GiB/s")
+    return end_to_end, partitioning

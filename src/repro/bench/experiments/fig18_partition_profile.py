@@ -1,0 +1,117 @@
+"""Figure 18: profiling the partitioning algorithms across fanouts.
+
+Six panels over a fanout sweep on 60 GiB of out-of-core data:
+(a) throughput, (b) write coalescing (tuples per 32-byte transaction),
+(c) NVLink transfer volume including protocol overhead, (d) GPU TLB
+misses (IOMMU requests per tuple), (e) compute (issue-slot) utilization,
+(f) memory-stall share.
+
+The shapes that must reproduce: Shared and Hierarchical coalesce
+perfectly (2.0 tuples per 32-byte unit) while Linear degrades with
+fanout; Linear's protocol overhead reaches >150% vs. Hierarchical's
+<43%; Shared's TLB misses jump 33x between fanout 64 and 128 while
+Hierarchical stays orders of magnitude lower; only Hierarchical shows
+substantial issue-slot utilization at high fanouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.bench.harness import ExperimentTable
+from repro.hw.gpu import GpuModel
+from repro.hw.specs import ac922
+from repro.hw.tlb import MemSpace
+from repro.partition import (
+    GpuPartitioner,
+    HierarchicalPartitioner,
+    LinearPartitioner,
+    SharedPartitioner,
+    StandardPartitioner,
+)
+from repro.sim.kernels import GpuKernelBuilder
+from repro.units import GIB, gib
+
+DEFAULT_FANOUTS = (4, 32, 64, 128, 256, 512, 2048)
+DEFAULT_DATA_GIB = 60.0
+TUPLE_BYTES = 16
+
+
+def profile_algorithm(
+    algorithm: GpuPartitioner,
+    fanout: int,
+    data_gib: float = DEFAULT_DATA_GIB,
+) -> Dict[str, float]:
+    """All six Fig. 18 metrics for one (algorithm, fanout) point."""
+    system = ac922()
+    gpu = GpuModel(system)
+    builder = GpuKernelBuilder(gpu)
+    tuples = gib(data_gib) / TUPLE_BYTES
+    work = algorithm.gpu_work(
+        tuples, TUPLE_BYTES, fanout, MemSpace.CPU, MemSpace.CPU,
+        system.gpu.usable_scratchpad_bytes,
+    )
+    task = builder.build(
+        "partition", work.requests, instructions=work.issue_slots,
+        tuples=work.tuples,
+    )
+    seconds = task.standalone_seconds()
+    counters = task.counters
+    # Tuples per 32-byte memory transaction: perfect coalescing moves
+    # two 16-byte tuples per transaction; misaligned flushes occupy one
+    # extra boundary transaction, sub-32-byte flushes waste payload.
+    profile = algorithm.write_profile(
+        fanout, TUPLE_BYTES, system.gpu.usable_scratchpad_bytes, MemSpace.CPU
+    )
+    txn_units = -(-profile.flush_bytes // 32) + (0 if profile.aligned else 1)
+    tuples_per_unit = (profile.flush_bytes / TUPLE_BYTES) / txn_units
+    return {
+        "throughput GiB/s": gib(data_gib) / seconds / GIB,
+        "tuples/32B txn": min(tuples_per_unit, 2.0),
+        "transfer volume GiB": counters.nvlink_wire_bytes / GIB,
+        "IOMMU req/tuple": counters.iommu_requests / tuples,
+        "issue slot util %": 100.0
+        * task.meta["compute_seconds"]
+        / seconds,
+        "memory stall %": 100.0
+        * max(0.0, 1.0 - task.meta["compute_seconds"] / seconds),
+    }
+
+
+def run(
+    fanouts: Sequence[int] = DEFAULT_FANOUTS,
+    data_gib: float = DEFAULT_DATA_GIB,
+) -> ExperimentTable:
+    """Regenerate Figure 18 as one table (rows = algorithm @ fanout)."""
+    table = ExperimentTable(
+        experiment="fig18",
+        title="Fig. 18: partitioning algorithm profiles (60 GiB, CPU->CPU)",
+        columns=[
+            "throughput GiB/s",
+            "tuples/32B txn",
+            "transfer volume GiB",
+            "IOMMU req/tuple",
+            "issue slot util %",
+            "memory stall %",
+        ],
+    )
+    algorithms = (
+        StandardPartitioner(),
+        LinearPartitioner(),
+        SharedPartitioner(),
+        HierarchicalPartitioner(),
+    )
+    for algorithm in algorithms:
+        for fanout in fanouts:
+            if fanout > algorithm.max_fanout(TUPLE_BYTES, 64 * 1024):
+                continue
+            table.add_row(
+                f"{algorithm.name} @ {fanout}",
+                profile_algorithm(algorithm, fanout, data_gib),
+            )
+    table.add_note(
+        "paper: Shared 54 GiB/s up to fanout 64; Hierarchical 38.3 at "
+        "2048; Standard ~10 min at high fanout; Shared TLB misses jump "
+        "33x between 64 and 128"
+    )
+    return table

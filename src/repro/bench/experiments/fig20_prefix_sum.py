@@ -1,0 +1,80 @@
+"""Figure 20: computing the prefix sum on the CPU vs. the GPU.
+
+Panel (a): Triton join end-to-end with either processor computing the
+pass-1 prefix sum. Panel (b): the raw prefix-sum throughput. The shapes
+that must reproduce: the CPU streams its own memory at ~130 GiB/s while
+the GPU is capped by the unidirectional link (~63 GiB/s) — making the
+CPU prefix sum ~1.1x better end-to-end, but the phase is small either
+way.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel
+from repro.hw.specs import ac922
+from repro.join import TritonJoin
+from repro.partition.prefix_sum import PrefixSumLocation, prefix_sum_task
+from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
+from repro.units import GIB
+
+DEFAULT_SIZES = (128, 512, 2048)
+
+
+def prefix_sum_throughput(
+    location: PrefixSumLocation, m_tuples: float
+) -> float:
+    """Standalone prefix-sum rate in GiB/s of scanned key-column data."""
+    system = ac922()
+    tuples = 2 * m_tuples * 1e6  # both relations' key columns
+    if location is PrefixSumLocation.CPU:
+        builder = CpuTaskBuilder(CpuModel(system.cpu))
+    else:
+        builder = GpuKernelBuilder(GpuModel(system))
+    task = prefix_sum_task(tuples, location, builder)
+    return tuples * 8 / task.standalone_seconds() / GIB
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> Tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 20 (a) and (b)."""
+    system = ac922()
+    columns = [f"{size}M" for size in sizes]
+
+    end_to_end = ExperimentTable(
+        experiment="fig20a",
+        title="Fig. 20(a): Triton join by prefix-sum processor",
+        columns=columns,
+        unit="G tuples/s",
+    )
+    for location in (PrefixSumLocation.CPU, PrefixSumLocation.GPU):
+        op = TritonJoin(system, prefix_sum=location)
+        values = {}
+        for size in sizes:
+            workload = default_workload(size, size, scale_divisor=scale_divisor)
+            values[f"{size}M"] = op.run(workload).throughput_g_tuples_per_s
+        end_to_end.add_row(f"prefix sum on {location.value.upper()}", values)
+    end_to_end.add_note("paper (a): CPU prefix sum ~1.1x faster end-to-end")
+
+    rates = ExperimentTable(
+        experiment="fig20b",
+        title="Fig. 20(b): prefix sum throughput",
+        columns=columns,
+        unit="GiB/s",
+    )
+    for location in (PrefixSumLocation.CPU, PrefixSumLocation.GPU):
+        rates.add_row(
+            location.value.upper(),
+            {
+                f"{size}M": prefix_sum_throughput(location, size)
+                for size in sizes
+            },
+        )
+    rates.add_note("paper (b): CPU 96-130 GiB/s, GPU ~63 GiB/s flat")
+    return end_to_end, rates

@@ -1,0 +1,68 @@
+"""Figure 24: compute power required for high throughput.
+
+Scales the number of streaming multiprocessors from a handful to the
+V100's 80 and measures Triton join throughput as a percentage of the
+80-SM maximum, plus the time breakdown over SM counts for the 512 M
+workload. The shapes that must reproduce: ~28 SMs reach 75% and ~55 SMs
+reach 95% of peak; below ~25 SMs the partitioning passes are compute
+bound, above that the first pass becomes interconnect bound and scaling
+flattens — the Triton join is interconnect bound, so a faster GPU would
+not help, but a faster interconnect would.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import ac922
+from repro.join import TritonJoin
+
+DEFAULT_SM_COUNTS = (5, 10, 15, 20, 25, 28, 40, 55, 70, 80)
+DEFAULT_SIZES = (128, 512, 2048)
+BREAKDOWN_SIZE = 512
+
+
+def run(
+    sm_counts: Sequence[int] = DEFAULT_SM_COUNTS,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> Tuple[ExperimentTable, ExperimentTable]:
+    """Regenerate Figure 24 (a) and (b)."""
+    base_system = ac922()
+    scaling = ExperimentTable(
+        experiment="fig24a",
+        title="Fig. 24(a): throughput vs. streaming multiprocessors",
+        columns=[f"{n} SMs" for n in sm_counts],
+        unit="% of max",
+    )
+    breakdown = ExperimentTable(
+        experiment="fig24b",
+        title=f"Fig. 24(b): time breakdown vs. SMs ({BREAKDOWN_SIZE}M)",
+        columns=["PS 1", "Part 1", "PS 2", "Part 2", "Sched", "Join"],
+        unit="% of runtime",
+    )
+    for size in sizes:
+        workload = default_workload(size, size, scale_divisor=scale_divisor)
+        throughputs = {}
+        for n in sm_counts:
+            system = base_system.with_gpu(base_system.gpu.with_sm_count(n))
+            result = TritonJoin(system).run(workload)
+            throughputs[n] = result.throughput_g_tuples_per_s
+            if size == BREAKDOWN_SIZE:
+                percentages = result.sim.phase_breakdown().percentages()
+                breakdown.add_row(
+                    f"{n} SMs",
+                    {
+                        phase: percentages.get(phase, 0.0)
+                        for phase in breakdown.columns
+                    },
+                )
+        peak = max(throughputs.values())
+        scaling.add_row(
+            f"{size}M",
+            {f"{n} SMs": 100.0 * t / peak for n, t in throughputs.items()},
+        )
+    scaling.add_note("paper: 28 SMs -> 75% (128/512M); 55 SMs -> 95% (all)")
+    return scaling, breakdown

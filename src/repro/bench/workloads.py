@@ -1,0 +1,41 @@
+"""Standard workloads for the benchmark harness (section 6.1).
+
+The paper's default workloads join |R| = |S| ∈ {128, 512, 2048} M tuples
+of 16 bytes each. Cost models always use the nominal cardinalities; the
+functional layer materializes ``nominal / DEFAULT_SCALE_DIVISOR`` rows so
+the harness stays fast while running the identical code path.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.generator import Workload, generate_workload
+
+#: Default nominal-to-materialized ratio for harness runs: 2048 M tuples
+#: materialize as 250 K rows.
+DEFAULT_SCALE_DIVISOR = 8192
+
+#: The paper's default workload sizes (M tuples per relation).
+PAPER_WORKLOAD_SIZES = (128, 512, 2048)
+
+#: The Fig. 13/17 sweep (128-2048 M tuples per relation).
+SCALING_SIZES = (128, 256, 512, 768, 1024, 1280, 1536, 1792, 2048)
+
+
+@lru_cache(maxsize=64)
+def default_workload(
+    build_m_tuples: float,
+    probe_m_tuples: float = None,
+    payload_columns: int = 1,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+    seed: int = 42,
+) -> Workload:
+    """A cached PK/FK workload in the paper's default configuration."""
+    return generate_workload(
+        build_m_tuples,
+        probe_m_tuples,
+        payload_columns=payload_columns,
+        scale_divisor=scale_divisor,
+        seed=seed,
+    )

@@ -1,0 +1,24 @@
+"""Workload data: columnar relations and the paper's generators.
+
+The paper's default workload (section 6.1) joins two relations of
+16-byte ``<key, record-id>`` tuples stored column-oriented: R holds
+shuffled unique primary keys, S references them uniformly at random.
+:mod:`repro.data.relation` provides the columnar container (with the
+nominal-vs-materialized split that lets the cost model reason about
+2 G-tuple relations while the functional layer runs on scaled-down
+arrays), and :mod:`repro.data.generator` builds the workloads.
+"""
+
+from repro.data.relation import Relation
+from repro.data.generator import (
+    WorkloadConfig,
+    generate_workload,
+    generate_pk_fk,
+)
+
+__all__ = [
+    "Relation",
+    "WorkloadConfig",
+    "generate_pk_fk",
+    "generate_workload",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Triton join reproduction.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single exception type at API boundaries. Subclasses distinguish the three
+broad failure domains: configuration mistakes, capacity violations detected
+by the hardware model, and invariant violations inside the simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A spec, workload, or algorithm parameter is invalid or inconsistent.
+
+    Examples: a fanout that is not a power of two where one is required, a
+    negative cardinality, or a scratchpad buffer configuration that cannot
+    hold a single tuple.
+    """
+
+
+class CapacityError(ReproError):
+    """An allocation exceeds the capacity of a modeled memory space.
+
+    The hardware model enforces the paper's capacity constraints (16 GiB of
+    GPU memory, 128 GiB per CPU socket); algorithms are expected to spill
+    rather than over-allocate, so hitting this error indicates a planning
+    bug.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state.
+
+    Raised for malformed task graphs (cycles, tasks with no demands and no
+    duration) or for internal accounting that fails validation.
+    """
+
+
+class PlanError(ReproError):
+    """A join or partitioning plan cannot be constructed for the workload.
+
+    For example, requesting a single-pass partitioning whose per-partition
+    working set cannot fit into the scratchpad no matter the fanout.
+    """

@@ -1,0 +1,105 @@
+"""Bucket-chaining hash table, vectorized on numpy.
+
+The Triton and radix joins use a bucket-chaining table with 2048 buckets
+per partition, held in the GPU's scratchpad (section 6.1). Chains are
+materialized contiguously by sorting build tuples by bucket — which is
+also how the scratchpad variant lays memory out — and probes expand each
+lookup over the candidate range of its bucket.
+
+Unlike linear probing, bucket chaining naturally supports duplicate
+build keys, so it is also the scheme used when the build side is not a
+key column.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.functions import multiply_shift
+from repro.hashing.hash_table import (
+    HashScheme,
+    HashTable,
+    TableProfile,
+    bucket_chaining_profile,
+)
+
+#: The paper's bucket count per table (section 6.1, citing Sioulas et al.).
+DEFAULT_BUCKETS = 2048
+
+
+class BucketChainingTable(HashTable):
+    """A chained hash table with a fixed power-of-two bucket count."""
+
+    scheme = HashScheme.BUCKET_CHAINING
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.shape != values.shape:
+            raise ConfigurationError("keys and values must align")
+        if buckets <= 0 or buckets & (buckets - 1):
+            raise ConfigurationError("buckets must be a positive power of two")
+        self._buckets = buckets
+        self._bits = int(np.log2(buckets))
+        bucket_of = self._bucket_of(keys)
+        order = np.argsort(bucket_of, kind="stable")
+        self._keys = keys[order]
+        self._values = values[order]
+        counts = np.bincount(bucket_of, minlength=buckets)
+        self._offsets = np.zeros(buckets + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._offsets[1:])
+        self.profile: TableProfile = bucket_chaining_profile(
+            max(len(keys), 1), buckets
+        )
+
+    def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
+        if self._bits == 0:
+            # A single bucket: everything chains together.
+            return np.zeros(len(keys), dtype=np.int64)
+        return multiply_shift(keys, bits=self._bits)
+
+    def probe(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        keys = np.asarray(keys, dtype=np.int64)
+        if len(self._keys) == 0 or len(keys) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        bucket_of = self._bucket_of(keys)
+        starts = self._offsets[bucket_of]
+        ends = self._offsets[bucket_of + 1]
+        counts = (ends - starts).astype(np.int64)
+        nonzero = counts > 0
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        # Expand each probe over its bucket's candidate range: for probe
+        # i, candidates are starts[i], starts[i]+1, ..., ends[i]-1.
+        seg_counts = counts[nonzero]
+        probe_idx = np.repeat(np.nonzero(nonzero)[0], seg_counts)
+        seg_start = np.repeat(starts[nonzero], seg_counts)
+        seg_offset = np.repeat(
+            np.cumsum(seg_counts) - seg_counts, seg_counts
+        )
+        candidates = seg_start + (np.arange(total) - seg_offset)
+        hit = self._keys[candidates] == keys[probe_idx]
+        return probe_idx[hit], self._values[candidates[hit]]
+
+    @property
+    def table_bytes(self) -> int:
+        return int(self.profile.table_bytes)
+
+    @property
+    def bucket_count(self) -> int:
+        return self._buckets
+
+    def chain_lengths(self) -> np.ndarray:
+        """Per-bucket chain lengths (for balance diagnostics)."""
+        return np.diff(self._offsets)

@@ -1,0 +1,83 @@
+"""Vectorized hash functions.
+
+The joins use the multiply-shift scheme of Dietzfelbinger et al., as in
+the paper (section 6.1); a Murmur-style finalizer and the Fibonacci
+constant variant are provided for tests and extensions. All functions
+take int64 numpy arrays and return non-negative int64 hashes (or bucket
+indices when ``bits`` is given).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+# A fixed odd 64-bit multiplier (random, chosen once) for multiply-shift.
+MULTIPLY_SHIFT_A = np.uint64(0x9E2F_96BF_4DDC_B80D | 1)
+# Knuth's golden-ratio constant for Fibonacci hashing.
+FIBONACCI_A = np.uint64(0x9E37_79B9_7F4A_7C15)
+
+
+def _as_uint64(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys)
+    return keys.astype(np.uint64, copy=False)
+
+
+def _finish(hashed: np.ndarray, bits: int | None) -> np.ndarray:
+    if bits is not None:
+        if not 0 < bits <= 63:
+            raise ConfigurationError(f"bits must be in [1, 63], got {bits}")
+        hashed = hashed >> np.uint64(64 - bits)
+    # Clear the sign bit so the int64 view is non-negative.
+    return (hashed & np.uint64(0x7FFF_FFFF_FFFF_FFFF)).astype(np.int64)
+
+
+def multiply_shift(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """Multiply-shift hashing: ``(a * k) >> (64 - bits)``.
+
+    With ``bits`` set, returns values in ``[0, 2**bits)`` — the paper's
+    radix/bucket selector. Without ``bits``, returns full-width hashes.
+    """
+    with np.errstate(over="ignore"):
+        hashed = _as_uint64(keys) * MULTIPLY_SHIFT_A
+    return _finish(hashed, bits)
+
+
+def fibonacci_hash(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """Fibonacci (golden ratio) multiplicative hashing."""
+    with np.errstate(over="ignore"):
+        hashed = _as_uint64(keys) * FIBONACCI_A
+    return _finish(hashed, bits)
+
+
+def murmur_mix(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """MurmurHash3's 64-bit finalizer: strong avalanche, slower."""
+    h = _as_uint64(keys).copy()
+    with np.errstate(over="ignore"):
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xFF51_AFD7_ED55_8CCD)
+        h ^= h >> np.uint64(33)
+        h *= np.uint64(0xC4CE_B9FE_1A85_EC53)
+        h ^= h >> np.uint64(33)
+    return _finish(h, bits)
+
+
+def radix_bits_of(keys: np.ndarray, bits: int, offset: int = 0) -> np.ndarray:
+    """Radix partition selector over the *hashed* key.
+
+    The radix join partitions by the lower ``bits`` of the hashed join
+    key starting at bit ``offset`` (section 5.1: pass 1 uses the lowest
+    B1 bits, pass 2 the next-higher B2 bits). Using hash bits rather than
+    raw key bits keeps partitions balanced for arbitrary key
+    distributions.
+    """
+    if bits <= 0:
+        raise ConfigurationError("bits must be positive")
+    if offset < 0 or offset + bits > 63:
+        raise ConfigurationError(
+            f"radix window [{offset}, {offset + bits}) out of range"
+        )
+    hashed = multiply_shift(keys).astype(np.uint64)
+    window = (hashed >> np.uint64(offset)) & np.uint64((1 << bits) - 1)
+    return window.astype(np.int64)

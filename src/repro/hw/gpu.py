@@ -1,0 +1,251 @@
+"""The GPU processor model.
+
+Combines the interconnect packet model and the translation model into a
+single access-cost primitive that every GPU kernel in the library uses:
+given a stream of memory accesses (how many bytes, at what granularity,
+in which direction, against which memory, over what footprint), it
+returns achievable bandwidth, time, and the hardware counter deltas.
+
+The model captures the paper's three GPU-memory-path regimes:
+
+- **GPU memory**: 900 GB/s sequential; random accesses pay the measured
+  read/write asymmetry (random reads are 3.2-6x faster than writes,
+  section 6.2.9) and sub-transaction granularity waste.
+- **CPU memory, sequential**: the full effective NVLink bandwidth
+  (63.5 GiB/s), with one coalesced IOMMU walk per 32 MiB.
+- **CPU memory, random**: granularity-limited bandwidth (Fig. 6), latency
+  degradation when the footprint outgrows the TLB layers (Fig. 7), and a
+  hard access-rate ceiling from the IOMMU's 12 page walkers once full
+  walks dominate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.counters import PerfCounters
+from repro.hw.interconnect import AccessPattern, InterconnectModel, Op
+from repro.hw.specs import SystemSpec
+from repro.hw.tlb import MemSpace, TranslationModel
+
+# GPU-memory transactions are 32 bytes (section 3.4.1: coalescing widens
+# them to 128 bytes only on the NVLink path).
+GPU_MEM_TRANSACTION_BYTES = 32
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """A homogeneous stream of memory accesses issued by a GPU kernel.
+
+    Attributes:
+        total_bytes: useful bytes to move.
+        access_bytes: granularity of each access (e.g. the flush size of a
+            partitioner, or the tuple size of a hash probe).
+        op: read or write, from the GPU's perspective.
+        space: which physical memory is targeted.
+        pattern: sequential or random.
+        footprint_bytes: address range the random accesses spread over
+            (defaults to ``total_bytes``); drives TLB behaviour.
+        aligned: whether accesses are aligned to their granularity.
+        duplex: True when the opposite link direction is simultaneously
+            saturated (e.g. out-of-core partitioning reads and writes CPU
+            memory at once), capping per-direction bandwidth at the
+            measured 55.9 GiB/s.
+        stream_count: when set, the accesses follow a *stream-cursor*
+            pattern over this many destinations (one write cursor per
+            partition) instead of uniform random addresses; translation
+            behaviour then comes from the stream model (Fig. 18d) rather
+            than the footprint model (Fig. 7).
+        efficiency: pipeline efficiency multiplier on the achievable
+            bandwidth (< 1 when, e.g., a double-buffered flush pipeline
+            stalls because buffers are too small to hide flush latency).
+    """
+
+    total_bytes: float
+    access_bytes: int
+    op: Op
+    space: MemSpace
+    pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    footprint_bytes: Optional[float] = None
+    aligned: bool = True
+    duplex: bool = False
+    stream_count: Optional[int] = None
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ConfigurationError("total_bytes cannot be negative")
+        if self.access_bytes <= 0:
+            raise ConfigurationError("access_bytes must be positive")
+        if not 0 < self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+
+    @property
+    def footprint(self) -> float:
+        if self.footprint_bytes is not None:
+            return self.footprint_bytes
+        return max(self.total_bytes, float(self.access_bytes))
+
+    @property
+    def accesses(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        return math.ceil(self.total_bytes / self.access_bytes)
+
+
+@dataclass(frozen=True)
+class AccessCost:
+    """Result of costing a :class:`MemoryRequest`.
+
+    ``walks`` counts full IOMMU page walks (a subset of the IOMMU request
+    counter: requests served by the IOTLB do not occupy a walker).
+    """
+
+    seconds: float
+    bandwidth_bytes_per_s: float
+    counters: PerfCounters
+    walks: float = 0.0
+
+
+class GpuModel:
+    """Cost model of the V100 GPU inside a fast-interconnect system."""
+
+    def __init__(self, system: SystemSpec) -> None:
+        self.system = system
+        self.spec = system.gpu
+        self.interconnect = InterconnectModel(system.interconnect)
+        self.translation = TranslationModel(system.gpu.tlb, system.cpu.iommu)
+
+    # -- compute --------------------------------------------------------------
+
+    def compute_time(self, instructions: float, sm_fraction: float = 1.0) -> float:
+        """Seconds to issue ``instructions`` simple operations.
+
+        ``sm_fraction`` models concurrent kernel execution (section 5.2):
+        a kernel restricted to half the SMs gets half the issue rate.
+        """
+        if not 0 < sm_fraction <= 1.0:
+            raise ConfigurationError("sm_fraction must be in (0, 1]")
+        return instructions / (self.spec.total_ops_per_s * sm_fraction)
+
+    def scratchpad_bytes(self) -> int:
+        """Usable scratchpad per thread block (one SM's share)."""
+        return self.spec.usable_scratchpad_bytes
+
+    # -- memory ---------------------------------------------------------------
+
+    def access_cost(self, request: MemoryRequest) -> AccessCost:
+        """Bandwidth, time, and counters for one access stream."""
+        if request.total_bytes == 0:
+            return AccessCost(0.0, float("inf"), PerfCounters())
+        if request.space is MemSpace.GPU:
+            return self._gpu_mem_cost(request)
+        return self._cpu_mem_cost(request)
+
+    def _gpu_mem_cost(self, request: MemoryRequest) -> AccessCost:
+        mem = self.spec.memory
+        counters = PerfCounters()
+        if request.op is Op.READ:
+            counters.gpu_mem_read_bytes += request.total_bytes
+        else:
+            counters.gpu_mem_write_bytes += request.total_bytes
+
+        if request.pattern is AccessPattern.SEQUENTIAL:
+            bandwidth = mem.bandwidth_bytes_per_s
+        else:
+            factor = (
+                mem.random_read_factor
+                if request.op is Op.READ
+                else mem.random_write_factor
+            )
+            # Large scattered bursts regain row-buffer locality: the
+            # random penalty interpolates away as the access granularity
+            # approaches a DRAM row (4 KiB).
+            locality = min(1.0, request.access_bytes / 4096)
+            factor = factor + (1.0 - factor) * locality
+            # Sub-transaction random accesses waste transaction bandwidth.
+            waste = min(1.0, request.access_bytes / GPU_MEM_TRANSACTION_BYTES)
+            bandwidth = mem.bandwidth_bytes_per_s * factor * waste
+        bandwidth *= request.efficiency
+        seconds = request.total_bytes / bandwidth
+        return AccessCost(seconds, bandwidth, counters, walks=0.0)
+
+    def _cpu_mem_cost(self, request: MemoryRequest) -> AccessCost:
+        counters = PerfCounters()
+        if request.op is Op.READ:
+            counters.cpu_mem_read_bytes += request.total_bytes
+        else:
+            counters.cpu_mem_write_bytes += request.total_bytes
+
+        wire = self.interconnect.wire_cost_bulk(
+            int(math.ceil(request.total_bytes)),
+            request.access_bytes,
+            request.op,
+            aligned=request.aligned,
+        )
+        counters.nvlink_payload_bytes += wire.payload_bytes
+        counters.nvlink_wire_to_gpu_bytes += wire.to_gpu_bytes
+        counters.nvlink_wire_to_cpu_bytes += wire.to_cpu_bytes
+        counters.nvlink_transactions += wire.transactions
+
+        link_bw = self.interconnect.effective_bandwidth(
+            request.access_bytes,
+            request.op,
+            request.pattern,
+            aligned=request.aligned,
+            duplex=request.duplex,
+        )
+
+        walks = 0.0
+        if request.pattern is AccessPattern.SEQUENTIAL:
+            # Streaming accesses prefetch well: translation latency hides
+            # behind the deep pipeline, and walks coalesce 16 translations.
+            requests = self.translation.sequential_iommu_requests(
+                request.total_bytes, self.system.cpu.memory.page_bytes
+            )
+            counters.iommu_requests += requests
+            walks = requests
+            bandwidth = link_bw
+        elif request.stream_count is not None:
+            # Stream-cursor pattern (partitioning writes): miss behaviour
+            # depends on the number of open cursors, flushes are
+            # asynchronous so only the walker-pool ceiling throttles.
+            stream = self.translation.stream_profile(request.stream_count)
+            counters.iommu_requests += request.accesses * stream.gpu_miss_fraction
+            counters.gpu_tlb_misses += request.accesses * stream.gpu_miss_fraction
+            walks = request.accesses * stream.walk_fraction
+            ceiling = stream.access_rate_ceiling_per_s * request.access_bytes
+            bandwidth = min(link_bw, ceiling)
+        else:
+            profile = self.translation.random_profile(request.footprint, MemSpace.CPU)
+            counters.iommu_requests += (
+                request.accesses * profile.iommu_requests_per_access
+            )
+            counters.gpu_tlb_misses += request.accesses * profile.l2_miss_fraction
+            walks = request.accesses * profile.walk_fraction
+            # Latency degradation: the random-access rate constants were
+            # calibrated in-TLB (449.7 ns base); higher average latency
+            # shrinks the sustainable in-flight window proportionally.
+            base = self.spec.tlb.l2_hit_cpu_mem_s
+            latency_scale = min(1.0, base / profile.avg_latency_s)
+            ceiling = profile.access_rate_ceiling_per_s * request.access_bytes
+            bandwidth = min(link_bw * latency_scale, ceiling)
+
+        bandwidth *= request.efficiency
+        seconds = request.total_bytes / bandwidth
+        return AccessCost(seconds, bandwidth, counters, walks=walks)
+
+    def transfer_and_compute_time(
+        self, costs: list, compute_seconds: float
+    ) -> float:
+        """Kernel time: memory phases serialize, compute overlaps.
+
+        GPUs hide memory latency behind computation within a kernel, so a
+        kernel's duration is the maximum of its total memory time and its
+        compute time.
+        """
+        memory_seconds = sum(c.seconds for c in costs)
+        return max(memory_seconds, compute_seconds)

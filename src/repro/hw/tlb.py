@@ -1,0 +1,236 @@
+"""GPU address-translation model: TLB hierarchy and IOMMU.
+
+Reproduces section 3.4.2 (Figure 7) and underpins the TLB-driven results
+(Figures 13, 14b, 18d, 19):
+
+- The GPU L2 TLB covers 8 GiB with 32 MiB reach per entry (16 coalesced
+  2 MiB pages), in both GPU and CPU memory.
+- GPU memory: L2 hit 151.9 ns, miss 226.7 ns.
+- CPU memory over NVLink 2.0: L2 hit 449.7 ns; a speculative extra layer
+  ("L3 TLB*") covers ~32 GiB at 532.9 ns; beyond ~37 GiB a full walk costs
+  3186.4 ns and occupies one of the IOMMU's 12 page-table walkers.
+
+For *random* access streams over a footprint larger than the TLB reach,
+the walker pool becomes a throughput bottleneck: walks cannot coalesce
+(neighbouring translations are not useful), so the sustainable
+page-translation rate collapses to ``walkers / walk_latency`` — this is
+what drops the no-partitioning join with linear probing to ~1 M tuples/s
+(section 6.2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.specs import GpuTlbSpec, IommuSpec
+
+
+class MemSpace(enum.Enum):
+    """Which physical memory a GPU access targets."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+# The Miss* plateau starts above ~37 GiB; between the 32 GiB L3* reach and
+# 37 GiB the paper's curve transitions (Fig. 7b).
+_MISS_STAR_ONSET_BYTES = 37 * 1024**3
+
+# Effective TLB entry counts for *stream-cursor* access patterns, i.e. a
+# partitioning kernel cycling through `fanout` write cursors. These differ
+# from the byte-reach coverage of uniform random accesses: between two
+# visits to the same cursor, ~fanout other cursors are touched, so an
+# entry survives only if the fanout stays below the effective entry count.
+# EFFECTIVE_GPU_TLB_STREAMS is calibrated from Fig. 18d, which shows the
+# Shared partitioner's GPU TLB misses jumping 33x between fanout 64 and
+# 128 ("a miss on every second flush"): 1 - 64/128 = 0.5.
+# EFFECTIVE_IOTLB_STREAMS reproduces the Standard partitioner's ~10 minute
+# runtime at fanout 2048 (half of the per-write IOMMU requests become full
+# page walks) while keeping mid-fanout partitioning IOTLB-resident.
+EFFECTIVE_GPU_TLB_STREAMS = 64
+EFFECTIVE_IOTLB_STREAMS = 1024
+
+
+@dataclass(frozen=True)
+class TranslationProfile:
+    """Translation behaviour of a random access stream.
+
+    Attributes:
+        avg_latency_s: expected translation + access latency per access.
+        l2_miss_fraction: fraction of accesses missing the GPU L2 TLB.
+        iommu_requests_per_access: fraction of accesses that send a
+            translation request to the IOMMU (the paper's GPU-TLB-miss
+            proxy).
+        walk_fraction: fraction of accesses that need a full page walk.
+        access_rate_ceiling_per_s: sustainable accesses/second imposed by
+            the walker pool (``inf`` when walks are rare).
+    """
+
+    avg_latency_s: float
+    l2_miss_fraction: float
+    iommu_requests_per_access: float
+    walk_fraction: float
+    access_rate_ceiling_per_s: float
+
+
+@dataclass(frozen=True)
+class StreamTranslationProfile:
+    """Translation behaviour of a stream-cursor (partitioning) pattern.
+
+    Attributes:
+        gpu_miss_fraction: fraction of flushes missing the GPU TLB — each
+            such miss is one IOMMU request (the paper's counter).
+        walk_fraction: fraction of flushes needing a full page walk.
+        access_rate_ceiling_per_s: sustainable flushes/second imposed by
+            the walker pool (``inf`` when walks are rare).
+    """
+
+    gpu_miss_fraction: float
+    walk_fraction: float
+    access_rate_ceiling_per_s: float
+
+
+class TranslationModel:
+    """Latency and throughput effects of virtual address translation."""
+
+    def __init__(self, tlb: GpuTlbSpec, iommu: IommuSpec) -> None:
+        self.tlb = tlb
+        self.iommu = iommu
+
+    # -- pointer chasing (Fig. 7) -------------------------------------------
+
+    def chase_latency(self, range_bytes: float, space: MemSpace) -> float:
+        """Latency of one dependent access striding through ``range_bytes``.
+
+        Mirrors the paper's pointer-chasing microbenchmark: strides larger
+        than the TLB entry reach touch a new entry on every access, so the
+        observed latency is determined purely by which translation layer
+        covers the accessed range.
+        """
+        if range_bytes <= 0:
+            raise ConfigurationError("range must be positive")
+        tlb = self.tlb
+        if space is MemSpace.GPU:
+            if range_bytes <= tlb.l2_reach_bytes:
+                return tlb.l2_hit_gpu_mem_s
+            return tlb.l2_miss_gpu_mem_s
+        if range_bytes <= tlb.l2_reach_bytes:
+            return tlb.l2_hit_cpu_mem_s
+        if range_bytes <= tlb.l3_star_reach_bytes:
+            return tlb.l3_star_latency_s
+        if range_bytes >= _MISS_STAR_ONSET_BYTES:
+            return tlb.full_miss_latency_s
+        # Transition window between the L3* reach and the Miss* onset:
+        # an increasing fraction of accesses fall outside the L3* layer.
+        span = _MISS_STAR_ONSET_BYTES - tlb.l3_star_reach_bytes
+        miss_fraction = (range_bytes - tlb.l3_star_reach_bytes) / span
+        return (
+            tlb.l3_star_latency_s * (1 - miss_fraction)
+            + tlb.full_miss_latency_s * miss_fraction
+        )
+
+    # -- random streams -------------------------------------------------------
+
+    def _coverage(self, reach_bytes: float, footprint_bytes: float) -> float:
+        """Probability that a uniform random access hits a layer's reach."""
+        if footprint_bytes <= 0:
+            raise ConfigurationError("footprint must be positive")
+        return min(1.0, reach_bytes / footprint_bytes)
+
+    def random_profile(
+        self, footprint_bytes: float, space: MemSpace
+    ) -> TranslationProfile:
+        """Translation profile for uniform random accesses over a footprint.
+
+        A hot TLB retains the most recently used entries; with a uniform
+        access pattern a layer of reach ``R`` over footprint ``F`` hits
+        with probability ``min(1, R/F)``.
+        """
+        tlb = self.tlb
+        p_l2 = self._coverage(tlb.l2_reach_bytes, footprint_bytes)
+
+        if space is MemSpace.GPU:
+            # GPU-memory walks are served from the GPU-local hierarchy and
+            # never reach the IOMMU; their cost is the modest L2 miss
+            # penalty and their throughput is effectively unbounded.
+            avg = p_l2 * tlb.l2_hit_gpu_mem_s + (1 - p_l2) * tlb.l2_miss_gpu_mem_s
+            return TranslationProfile(
+                avg_latency_s=avg,
+                l2_miss_fraction=1.0 - p_l2,
+                iommu_requests_per_access=0.0,
+                walk_fraction=0.0,
+                access_rate_ceiling_per_s=float("inf"),
+            )
+
+        p_l3 = self._coverage(tlb.l3_star_reach_bytes, footprint_bytes)
+        p_l3_only = max(0.0, p_l3 - p_l2)
+        p_walk = max(0.0, 1.0 - p_l3)
+        avg = (
+            p_l2 * tlb.l2_hit_cpu_mem_s
+            + p_l3_only * tlb.l3_star_latency_s
+            + p_walk * tlb.full_miss_latency_s
+        )
+        # The paper counts IOMMU requests: translation requests that leave
+        # the GPU. L3* hits are served by a GPU-side layer (section 3.4.2),
+        # so only full walks reach the IOMMU.
+        iommu_per_access = p_walk
+        if p_walk > 0:
+            # Random walks cannot exploit the 16-way coalescing: the
+            # neighbouring translations a walk returns are not the ones a
+            # uniform stream needs next.
+            walk_rate = self.iommu.page_table_walkers / self.iommu.walk_latency_s
+            ceiling = walk_rate / p_walk
+        else:
+            ceiling = float("inf")
+        return TranslationProfile(
+            avg_latency_s=avg,
+            l2_miss_fraction=1.0 - p_l2,
+            iommu_requests_per_access=iommu_per_access,
+            walk_fraction=p_walk,
+            access_rate_ceiling_per_s=ceiling,
+        )
+
+    def stream_profile(self, streams: int) -> "StreamTranslationProfile":
+        """Translation behaviour of a stream-cursor access pattern.
+
+        Models a partitioning kernel that cycles through ``streams`` write
+        cursors (one per partition). Each flush to a cursor misses the GPU
+        TLB with probability ``1 - E_gpu/streams`` (the entry was evicted
+        by the other cursors) and, of those misses, needs a full IOMMU
+        walk with probability ``1 - E_iotlb/streams``. Walks bound the
+        sustainable flush rate through the 12-walker pool; flushes are
+        asynchronous (double-buffered), so latency itself hides.
+        """
+        if streams <= 0:
+            raise ConfigurationError("streams must be positive")
+        gpu_miss = max(0.0, 1.0 - EFFECTIVE_GPU_TLB_STREAMS / streams)
+        walk_given_miss = max(0.0, 1.0 - EFFECTIVE_IOTLB_STREAMS / streams)
+        walk_fraction = gpu_miss * walk_given_miss
+        if walk_fraction > 0:
+            walk_rate = self.iommu.page_table_walkers / self.iommu.walk_latency_s
+            ceiling = walk_rate / walk_fraction
+        else:
+            ceiling = float("inf")
+        return StreamTranslationProfile(
+            gpu_miss_fraction=gpu_miss,
+            walk_fraction=walk_fraction,
+            access_rate_ceiling_per_s=ceiling,
+        )
+
+    def sequential_iommu_requests(
+        self, total_bytes: float, page_bytes: int
+    ) -> float:
+        """IOMMU requests for a sequential scan of ``total_bytes``.
+
+        Sequential scans touch each translation entry once; walks coalesce
+        16 translations (32 MiB reach per walk with 2 MiB pages), so a
+        streaming pass issues one request per entry reach.
+        """
+        if page_bytes <= 0:
+            raise ConfigurationError("page size must be positive")
+        entry_reach = min(
+            self.tlb.entry_reach_bytes, page_bytes * self.iommu.walk_coalescing
+        )
+        return total_bytes / entry_reach

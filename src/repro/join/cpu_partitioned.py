@@ -1,0 +1,248 @@
+"""The CPU-partitioned GPU join strategy (Sioulas et al., section 3.1).
+
+The prior state of the art for out-of-core GPU joins under a slow
+interconnect: the CPU radix-partitions both relations into working sets
+that fit GPU memory, streams them to the GPU, and the GPU performs the
+second pass and the join. Partitioning the outer relation overlaps with
+transferring/joining the inner one, and the working set is cached in GPU
+memory.
+
+The paper reimplements this strategy on the AC922 (section 6.2.4) and
+shows why it loses to the GPU-partitioned Triton join on a fast
+interconnect: the CPU cannot partition fast enough to saturate the link
+(section 3.1's rate argument), and the partitioned copy must be written
+to and re-read from CPU memory, consuming memory bandwidth. Both effects
+are emergent here: the CPU partition tasks are compute-bound near
+2 G tuples/s, and their memory traffic shares the CPU_MEM_BW resource
+with the GPU's link reads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.generator import Workload
+from repro.errors import ConfigurationError
+from repro.hashing.bucket_chaining import BucketChainingTable
+from repro.hashing.hash_table import HashScheme
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel, MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.join import base
+from repro.join.base import JoinOperator, JoinRun
+from repro.partition.planner import RadixPlan, plan_radix_join
+from repro.partition.shared import SharedPartitioner
+from repro.partition.swwc import CpuSwwcPartitioner
+from repro.sim.engine import SimEngine
+from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+from repro.join.triton import (
+    BUILD_SLOTS_PER_TUPLE,
+    DEFAULT_PIPELINE_CHUNKS,
+    PROBE_SLOTS_PER_TUPLE,
+)
+
+
+class CpuPartitionedJoin(JoinOperator):
+    """CPU partitions, GPU joins — the Fig. 3 strategy."""
+
+    def __init__(
+        self,
+        system,
+        scheme: HashScheme = HashScheme.BUCKET_CHAINING,
+        pipeline_chunks: int = DEFAULT_PIPELINE_CHUNKS,
+        aggregate: bool = False,
+    ) -> None:
+        super().__init__(system)
+        if scheme not in BUILD_SLOTS_PER_TUPLE:
+            raise ConfigurationError(f"unsupported scheme: {scheme}")
+        self.scheme = scheme
+        self.pipeline_chunks = pipeline_chunks
+        self.aggregate = aggregate
+        self.name = "CPU-Partitioned Radix Join"
+        self.cpu = CpuModel(system.cpu)
+        self.partitioner = CpuSwwcPartitioner(self.cpu)
+        self.second_pass = SharedPartitioner()
+        self.gpu_builder = GpuKernelBuilder(GpuModel(system))
+        self.cpu_builder = CpuTaskBuilder(self.cpu)
+
+    def plan(self, workload: Workload) -> RadixPlan:
+        return plan_radix_join(
+            workload.build.nominal_rows,
+            workload.probe.nominal_rows,
+            workload.build.tuple_bytes,
+            self.system,
+        )
+
+    # -- functional -----------------------------------------------------------
+
+    def _functional_join(self, workload: Workload, plan: RadixPlan) -> base.JoinMatch:
+        bits1 = min(plan.bits1, 10)
+        build_parts = self.partitioner.partition(workload.build, bits1)
+        probe_parts = self.partitioner.partition(workload.probe, bits1)
+        probe_keys: List[np.ndarray] = []
+        payloads: List[np.ndarray] = []
+        for index in range(build_parts.fanout):
+            b_rows = build_parts.partition_rows(index)
+            p_rows = probe_parts.partition_rows(index)
+            if b_rows.stop == b_rows.start or p_rows.stop == p_rows.start:
+                continue
+            build_i = build_parts.relation.take(
+                np.arange(b_rows.start, b_rows.stop)
+            )
+            probe_i = probe_parts.relation.take(
+                np.arange(p_rows.start, p_rows.stop)
+            )
+            if plan.bits2 > 0:
+                build_i = self.second_pass.partition(
+                    build_i, plan.bits2, offset=bits1
+                ).relation
+                probe_i = self.second_pass.partition(
+                    probe_i, plan.bits2, offset=bits1
+                ).relation
+            table = BucketChainingTable(
+                build_i.keys, base.build_payload_column(build_i)
+            )
+            idx, values = table.probe(probe_i.keys)
+            probe_keys.append(probe_i.keys[idx])
+            payloads.append(values)
+        if not probe_keys:
+            empty = np.empty(0, dtype=np.int64)
+            return base.JoinMatch.from_arrays(empty, empty)
+        return base.JoinMatch.from_arrays(
+            np.concatenate(probe_keys), np.concatenate(payloads)
+        )
+
+    # -- cost -----------------------------------------------------------------
+
+    def _cpu_partition_task(
+        self, name: str, tuples: float, tuple_bytes: int, fanout: int
+    ) -> Task:
+        work = self.partitioner.work(tuples, tuple_bytes, fanout)
+        return self.cpu_builder.build(
+            name=name,
+            phase="CPU Partition",
+            read_bytes=work.read_bytes,
+            write_bytes=work.write_bytes,
+            operations=work.operations,
+            tuples=tuples,
+        )
+
+    def _gpu_chunk_task(
+        self, chunk: int, workload: Workload, tuples: float, plan: RadixPlan
+    ) -> Task:
+        """Transfer one working set, second-pass it, and join it."""
+        tuple_bytes = workload.build.tuple_bytes
+        total_bytes = tuples * tuple_bytes
+        scratch = self.system.gpu.usable_scratchpad_bytes
+        share = tuples / workload.total_nominal_tuples
+        requests = [
+            # Stream the working set from the partitioned copy in CPU
+            # memory (this read also consumes CPU memory bandwidth, which
+            # the concurrent CPU partitioning is fighting for).
+            MemoryRequest(
+                total_bytes=total_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.CPU,
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+        ]
+        issue_slots = 0.0
+        if plan.bits2:
+            fanout2 = 1 << plan.bits2
+            profile = self.second_pass.write_profile(
+                fanout2, tuple_bytes, scratch, MemSpace.GPU
+            )
+            requests.append(
+                MemoryRequest(
+                    total_bytes=total_bytes,
+                    access_bytes=profile.flush_bytes,
+                    op=Op.WRITE,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.RANDOM,
+                    stream_count=fanout2,
+                )
+            )
+            issue_slots += tuples * profile.issue_slots_per_tuple
+        requests.append(
+            MemoryRequest(
+                total_bytes=total_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.GPU,
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+        )
+        if not self.aggregate:
+            requests.append(
+                MemoryRequest(
+                    total_bytes=base.result_bytes(
+                        base.nominal_matches(workload) * share
+                    ),
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            )
+        issue_slots += (
+            workload.build.nominal_rows * share * BUILD_SLOTS_PER_TUPLE[self.scheme]
+            + workload.probe.nominal_rows * share * PROBE_SLOTS_PER_TUPLE[self.scheme]
+        )
+        return self.gpu_builder.build(
+            name=f"gpu[{chunk}]",
+            phase="GPU Join",
+            requests=requests,
+            instructions=issue_slots,
+            tuples=tuples,
+        )
+
+    def run(self, workload: Workload) -> JoinRun:
+        plan = self.plan(workload)
+        match = self._functional_join(workload, plan)
+
+        tuple_bytes = workload.build.tuple_bytes
+        build_tuples = float(workload.build.nominal_rows)
+        probe_tuples = float(workload.probe.nominal_rows)
+        chunks = self.pipeline_chunks
+
+        # The inner relation must be fully partitioned before the join
+        # starts (Fig. 3); the outer relation's partitioning overlaps
+        # with the transfer/join pipeline.
+        part_r = self._cpu_partition_task(
+            "cpu_part_R", build_tuples, tuple_bytes, plan.fanout1
+        )
+        graph = TaskGraph([part_r])
+        previous_gpu: Optional[Task] = None
+        previous_part_s: Task = part_r
+        for c in range(chunks):
+            part_s = self._cpu_partition_task(
+                f"cpu_part_S[{c}]", probe_tuples / chunks, tuple_bytes, plan.fanout1
+            ).depends_on(previous_part_s)
+            gpu = self._gpu_chunk_task(
+                c, workload, (build_tuples + probe_tuples) / chunks, plan
+            ).depends_on(part_s)
+            if previous_gpu is not None:
+                gpu.depends_on(previous_gpu)
+            previous_gpu = gpu
+            previous_part_s = part_s
+            graph.extend([part_s, gpu])
+
+        engine = SimEngine(ResourcePool.for_system(self.system))
+        sim = engine.run(graph)
+        run = JoinRun(
+            name=self.name,
+            workload=workload,
+            match=match,
+            seconds=sim.makespan_seconds,
+            counters=sim.counters,
+            sim=sim,
+            uses_gpu=True,
+        )
+        run.notes["plan_bits"] = plan.bits_per_pass
+        return run

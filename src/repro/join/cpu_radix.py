@@ -1,0 +1,145 @@
+"""The multi-core CPU radix join baseline (section 6.1).
+
+A tuned port of the Balkesen et al. radix join: one SWWC partitioning
+pass with 12-14 radix bits (two passes when the SWWC buffers outgrow the
+per-core cache — the Xeon's fate above 1408 M tuples), followed by
+cache-resident per-partition joins with either bucket chaining or the
+array join ("perfect hashing"). The same operator models both the
+POWER9 and the Xeon host via their :class:`CpuSpec`s.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.generator import Workload
+from repro.hashing.bucket_chaining import BucketChainingTable
+from repro.hashing.hash_table import HashScheme
+from repro.hw.cpu import CpuModel
+from repro.join import base
+from repro.join.base import JoinOperator, JoinRun
+from repro.partition.swwc import CpuSwwcPartitioner
+from repro.sim.engine import SimEngine
+from repro.sim.kernels import CpuTaskBuilder
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import TaskGraph, chain
+
+#: Partition size target: ~128 K tuples keeps a partition's build side
+#: plus hash table inside the per-core cache.
+TARGET_PARTITION_TUPLES = 131072
+#: The paper's single-pass radix window (section 6.1: 12-14 bits).
+MIN_RADIX_BITS = 12
+MAX_RADIX_BITS = 14
+
+#: CPU operations per tuple in the join phase.
+JOIN_OPS = {
+    HashScheme.BUCKET_CHAINING: (4.0, 4.0),  # (build, probe)
+    HashScheme.PERFECT: (2.0, 2.0),
+}
+
+
+def radix_bits_for(build_rows: int) -> int:
+    """Single-pass radix bits (clamped to the paper's 12-14 window)."""
+    needed = math.ceil(math.log2(max(build_rows / TARGET_PARTITION_TUPLES, 1)))
+    return min(MAX_RADIX_BITS, max(MIN_RADIX_BITS, needed))
+
+
+class CpuRadixJoin(JoinOperator):
+    """Radix-partitioned hash join on one CPU socket."""
+
+    uses_gpu = False
+
+    def __init__(self, system, scheme: HashScheme = HashScheme.PERFECT) -> None:
+        super().__init__(system)
+        if scheme not in JOIN_OPS:
+            raise ValueError(f"unsupported CPU join scheme: {scheme}")
+        self.scheme = scheme
+        self.cpu = CpuModel(system.cpu)
+        self.partitioner = CpuSwwcPartitioner(self.cpu)
+        self.builder = CpuTaskBuilder(self.cpu)
+        self.name = f"CPU Radix Join ({system.cpu.name}, {scheme.value})"
+
+    # -- functional -----------------------------------------------------------
+
+    def _functional_join(self, workload: Workload, bits: int) -> base.JoinMatch:
+        build_parts = self.partitioner.partition(workload.build, bits)
+        probe_parts = self.partitioner.partition(workload.probe, bits)
+        probe_keys = []
+        payloads = []
+        build_values = base.build_payload_column(build_parts.relation)
+        for index in range(build_parts.fanout):
+            b_rows = build_parts.partition_rows(index)
+            p_rows = probe_parts.partition_rows(index)
+            if b_rows.stop == b_rows.start or p_rows.stop == p_rows.start:
+                continue
+            table = BucketChainingTable(
+                build_parts.relation.keys[b_rows], build_values[b_rows]
+            )
+            part_probe_keys = probe_parts.relation.keys[p_rows]
+            idx, values = table.probe(part_probe_keys)
+            probe_keys.append(part_probe_keys[idx])
+            payloads.append(values)
+        if not probe_keys:
+            empty = np.empty(0, dtype=np.int64)
+            return base.JoinMatch.from_arrays(empty, empty)
+        return base.JoinMatch.from_arrays(
+            np.concatenate(probe_keys), np.concatenate(payloads)
+        )
+
+    # -- cost -----------------------------------------------------------------
+
+    def run(self, workload: Workload) -> JoinRun:
+        bits = radix_bits_for(workload.build.nominal_rows)
+        match = self._functional_join(workload, bits)
+
+        fanout = 1 << bits
+        tuple_bytes = workload.build.tuple_bytes
+        total_tuples = (
+            workload.build.nominal_rows + workload.probe.nominal_rows
+        )
+        part_work = self.partitioner.work(total_tuples, tuple_bytes, fanout)
+        partition_task = self.builder.build(
+            name="partition",
+            phase="Partition",
+            read_bytes=part_work.read_bytes,
+            write_bytes=part_work.write_bytes,
+            operations=part_work.operations,
+            tuples=total_tuples,
+        )
+
+        build_ops, probe_ops = JOIN_OPS[self.scheme]
+        join_reads = total_tuples * tuple_bytes
+        result_writes = base.result_bytes(base.nominal_matches(workload))
+        # POWER lacks non-temporal stores: result writes pay RFO traffic.
+        write_bytes = result_writes * (
+            1.0 if self.partitioner.non_temporal_stores else 2.0
+        )
+        join_task = self.builder.build(
+            name="join",
+            phase="Join",
+            read_bytes=join_reads,
+            write_bytes=write_bytes,
+            operations=(
+                workload.build.nominal_rows * build_ops
+                + workload.probe.nominal_rows * probe_ops
+            ),
+            tuples=total_tuples,
+        )
+
+        graph = TaskGraph(chain([partition_task, join_task]))
+        engine = SimEngine(ResourcePool.for_system(self.system))
+        sim = engine.run(graph)
+        run = JoinRun(
+            name=self.name,
+            workload=workload,
+            match=match,
+            seconds=sim.makespan_seconds,
+            counters=sim.counters,
+            sim=sim,
+            uses_gpu=False,
+        )
+        run.notes["radix_bits"] = bits
+        run.notes["passes"] = part_work.passes
+        return run

@@ -1,0 +1,156 @@
+"""Multi-GPU Triton join (an extension beyond the paper).
+
+The paper evaluates a single GPU and cites multi-GPU joins (MG-Join,
+Gao & Sakharnykh) as related work. The AC922 actually carries two V100s,
+one per POWER9 socket, each with its own NVLink 2.0 — so this extension
+scales the Triton join across GPUs:
+
+- The base relations are split evenly across the sockets; each GPU runs
+  the first partitioning pass over its socket's slice.
+- Radix ranges are owned by GPUs: tuples whose first-pass partition
+  belongs to the other GPU cross the inter-socket X-bus (64 GB/s on the
+  AC922) during the exchange — the classic shuffle cost.
+- Each GPU then runs its own second-pass + join pipeline over its
+  partition range, exactly like the single-GPU Triton join.
+
+Per-GPU links, SM pools, GPU memories, CPU memories, and IOMMUs are
+independent simulator resources; the X-bus is shared. The expected
+behaviour (asserted in tests): near-linear scaling, degraded by the
+exchange — a faithful miniature of the multi-GPU literature's findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.data.generator import Workload
+from repro.errors import ConfigurationError
+from repro.hw.specs import SystemSpec
+from repro.join.base import JoinOperator, JoinRun
+from repro.join.triton import TritonJoin
+from repro.sim import resources as res
+from repro.sim.engine import SimEngine
+from repro.sim.resources import Resource, ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+
+#: AC922 inter-socket SMP interconnect (X-bus) bandwidth.
+DEFAULT_XBUS_BYTES_PER_S = 64e9
+XBUS = "xbus"
+
+#: Resources that are private to one GPU (or its socket).
+_PER_GPU_RESOURCES = (
+    res.NVLINK_TO_GPU,
+    res.NVLINK_TO_CPU,
+    res.GPU_MEM_BW,
+    res.GPU_SM,
+    res.CPU_MEM_BW,
+    res.IOMMU_WALKS,
+)
+
+
+def _suffixed(name: str, gpu: int) -> str:
+    return f"{name}[{gpu}]"
+
+
+def _retarget(task: Task, gpu: int) -> Task:
+    """Move a task's per-GPU resource demands onto GPU ``gpu``'s copies."""
+    for mapping in (task.demands, task.rate_caps):
+        for name in list(mapping):
+            if name in _PER_GPU_RESOURCES:
+                mapping[_suffixed(name, gpu)] = mapping.pop(name)
+    return task
+
+
+class MultiGpuTritonJoin(JoinOperator):
+    """The Triton join scaled over multiple GPUs with radix ownership."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        gpu_count: int = 2,
+        xbus_bytes_per_s: float = DEFAULT_XBUS_BYTES_PER_S,
+        **triton_kwargs,
+    ) -> None:
+        super().__init__(system)
+        if gpu_count < 1:
+            raise ConfigurationError("gpu_count must be >= 1")
+        self.gpu_count = gpu_count
+        self.xbus_bytes_per_s = xbus_bytes_per_s
+        self.name = f"Multi-GPU Triton Join ({gpu_count} GPUs)"
+        # One single-GPU planner/executor per GPU slice.
+        self._triton = TritonJoin(system, **triton_kwargs)
+
+    # -- resources ----------------------------------------------------------
+
+    def _pool(self) -> ResourcePool:
+        base = ResourcePool.for_system(self.system)
+        resources: Dict[str, Resource] = {}
+        for gpu in range(self.gpu_count):
+            for name in _PER_GPU_RESOURCES:
+                suffixed = _suffixed(name, gpu)
+                resources[suffixed] = Resource(suffixed, base.capacity(name))
+        # Shared cross-socket exchange path.
+        resources[XBUS] = Resource(XBUS, self.xbus_bytes_per_s)
+        # Keep the base names too: CPU-side tasks (prefix sums) use them.
+        for name in base.names():
+            resources[name] = Resource(name, base.capacity(name))
+        return ResourcePool(resources)
+
+    # -- execution ------------------------------------------------------------
+
+    def _slice_workload(self, workload: Workload) -> Workload:
+        """A 1/gpu_count slice of the workload, nominally scaled."""
+        config = workload.config
+        build = workload.build.with_nominal_rows(
+            workload.build.nominal_rows // self.gpu_count
+        )
+        probe = workload.probe.with_nominal_rows(
+            workload.probe.nominal_rows // self.gpu_count
+        )
+        return Workload(config=config, build=build, probe=probe)
+
+    def run(self, workload: Workload) -> JoinRun:
+        # Functional execution: radix ownership does not change the
+        # result, so the single-GPU functional join verifies correctness.
+        plan = self._triton.plan(workload)
+        match = self._triton._functional_join(workload, plan)
+
+        slice_workload = self._slice_workload(workload)
+        graph = TaskGraph()
+        exchange_fraction = (self.gpu_count - 1) / self.gpu_count
+        for gpu in range(self.gpu_count):
+            sub_graph = self._triton.build_graph(slice_workload)
+            for task in sub_graph.tasks:
+                _retarget(task, gpu)
+                graph.add(task)
+                # The first pass's spilled writes that land in the other
+                # socket's partition ranges cross the X-bus.
+                if task.phase == "Part 1" and exchange_fraction > 0:
+                    exchange_bytes = (
+                        slice_workload.total_nominal_bytes * exchange_fraction
+                    )
+                    task.demands[XBUS] = (
+                        task.demands.get(XBUS, 0.0) + exchange_bytes
+                    )
+                    task.rate_caps[XBUS] = self.xbus_bytes_per_s
+
+        engine = SimEngine(self._pool())
+        sim = engine.run(graph)
+        run = JoinRun(
+            name=self.name,
+            workload=workload,
+            match=match,
+            seconds=sim.makespan_seconds,
+            counters=sim.counters,
+            sim=sim,
+            uses_gpu=True,
+        )
+        run.notes["gpu_count"] = self.gpu_count
+        run.notes["plan_bits"] = plan.bits_per_pass
+        return run
+
+    def scaling_efficiency(self, workload: Workload) -> float:
+        """Speedup over one GPU divided by the GPU count."""
+        single = TritonJoin(self.system).run(workload).seconds
+        multi = self.run(workload).seconds
+        return single / multi / self.gpu_count

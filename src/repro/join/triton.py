@@ -1,0 +1,564 @@
+"""The Triton join: a GPU-partitioned, hierarchical hybrid hash join.
+
+Implements the paper's section 5 end to end:
+
+- **1st pass** (section 5.1): the GPU radix-partitions R and S by the
+  lowest B1 hashed-key bits with the Hierarchical partitioner, reading
+  the base relations from pageable CPU memory over the fast interconnect
+  and writing the partitioned state to the hybrid cache.
+- **Caching** (section 5.3): the intermediate state lives in a virtual
+  array of interleaved GPU/CPU pages; the GPU fraction follows the cache
+  plan (by default: all GPU memory left after the pipeline reservation).
+- **2nd pass + join with overlap** (section 5.2): partition pairs stream
+  through a two-stage pipeline on concurrent kernels, each restricted to
+  half the SMs: the second pass (Shared partitioner, B2 bits) reads the
+  cached/spilled state and writes GPU memory; the join kernel builds a
+  scratchpad bucket-chaining table per final partition, probes it, and
+  materializes results to CPU memory. An optional third pass handles
+  radix bits beyond B1+B2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.generator import Workload
+from repro.errors import ConfigurationError
+from repro.hashing.bucket_chaining import BucketChainingTable
+from repro.hashing.hash_table import HashScheme
+from repro.hw.gpu import GpuModel, MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.join import base
+from repro.join.base import JoinOperator, JoinRun
+from repro.join.caching import CachePlan, CachePolicy, plan_cache
+from repro.partition.base import GpuPartitioner
+from repro.partition.hierarchical import HierarchicalPartitioner
+from repro.partition.planner import RadixPlan, plan_radix_join
+from repro.partition.prefix_sum import (
+    CPU_OPS_PER_TUPLE,
+    GPU_SLOTS_PER_TUPLE,
+    PrefixSumLocation,
+)
+from repro.partition.shared import SharedPartitioner
+from repro.sim.engine import SimEngine
+from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+from repro.hw.cpu import CpuModel
+
+#: Pipeline depth: partition pairs are processed in chunks so the second
+#: pass of chunk i+1 overlaps the join of chunk i (Fig. 11). The paper
+#: pipelines pairs; a modest chunk count models the same steady state.
+DEFAULT_PIPELINE_CHUNKS = 8
+
+#: Issue slots per tuple in the join kernel (scratchpad hash build and
+#: probe; scratchpad atomics replay on conflicts). The join kernel issues
+#: instructions 42-48% of its cycles in the paper (Fig. 15b).
+BUILD_SLOTS_PER_TUPLE = {
+    HashScheme.BUCKET_CHAINING: 6.0,
+    HashScheme.PERFECT: 4.0,
+}
+PROBE_SLOTS_PER_TUPLE = {
+    HashScheme.BUCKET_CHAINING: 4.0,
+    HashScheme.PERFECT: 3.0,
+}
+#: Issue slots per tuple for the join task scheduler kernel.
+SCHED_SLOTS_PER_TUPLE = 0.3
+
+
+class TritonJoin(JoinOperator):
+    """The paper's contribution (sections 4-5)."""
+
+    def __init__(
+        self,
+        system,
+        scheme: HashScheme = HashScheme.BUCKET_CHAINING,
+        first_pass: Optional[GpuPartitioner] = None,
+        second_pass: Optional[GpuPartitioner] = None,
+        cache_policy: CachePolicy = CachePolicy.EVEN_INTERLEAVED,
+        cache_bytes: Optional[float] = None,
+        prefix_sum: PrefixSumLocation = PrefixSumLocation.CPU,
+        overlap: bool = True,
+        pipeline_chunks: int = DEFAULT_PIPELINE_CHUNKS,
+        aggregate: bool = False,
+    ) -> None:
+        super().__init__(system)
+        if scheme not in BUILD_SLOTS_PER_TUPLE:
+            raise ConfigurationError(f"unsupported Triton scheme: {scheme}")
+        if pipeline_chunks < 1:
+            raise ConfigurationError("pipeline_chunks must be >= 1")
+        self.scheme = scheme
+        self.first_pass = first_pass or HierarchicalPartitioner()
+        self.second_pass = second_pass or SharedPartitioner()
+        self.cache_policy = cache_policy
+        self.cache_bytes = cache_bytes
+        self.prefix_sum = prefix_sum
+        self.overlap = overlap
+        self.pipeline_chunks = pipeline_chunks
+        self.aggregate = aggregate
+        self.name = "GPU Triton Join"
+        self.gpu = GpuModel(system)
+        self.gpu_builder = GpuKernelBuilder(self.gpu)
+        self.cpu_builder = CpuTaskBuilder(CpuModel(system.cpu))
+
+    # -- planning ---------------------------------------------------------------
+
+    def plan(self, workload: Workload) -> RadixPlan:
+        return plan_radix_join(
+            workload.build.nominal_rows,
+            workload.probe.nominal_rows,
+            workload.build.tuple_bytes,
+            self.system,
+        )
+
+    def cache_plan(self, workload: Workload) -> CachePlan:
+        state_bytes = float(workload.total_nominal_bytes)
+        return plan_cache(
+            state_bytes,
+            self.system.gpu_memory_capacity,
+            policy=self.cache_policy,
+            cache_bytes=self.cache_bytes,
+        )
+
+    # -- functional ---------------------------------------------------------------
+
+    def _functional_join(self, workload: Workload, plan: RadixPlan) -> base.JoinMatch:
+        """Execute the multi-pass partitioned join on the scaled arrays.
+
+        Both passes run for real; the per-final-partition scratchpad joins
+        are equivalent to joining each first-level partition at once
+        (hash partitions are disjoint), which keeps the functional layer
+        vectorized.
+        """
+        bits1 = min(plan.bits1, 10)
+        build_parts = self.first_pass.partition(workload.build, bits1)
+        probe_parts = self.first_pass.partition(workload.probe, bits1)
+        bits2 = plan.bits2
+        probe_keys: List[np.ndarray] = []
+        payloads: List[np.ndarray] = []
+        for index in range(build_parts.fanout):
+            b_rows = build_parts.partition_rows(index)
+            p_rows = probe_parts.partition_rows(index)
+            if b_rows.stop == b_rows.start or p_rows.stop == p_rows.start:
+                continue
+            build_i = build_parts.relation.take(
+                np.arange(b_rows.start, b_rows.stop)
+            )
+            probe_i = probe_parts.relation.take(
+                np.arange(p_rows.start, p_rows.stop)
+            )
+            if bits2 > 0:
+                # Second pass: reorder by the next-higher radix bits.
+                # Payload columns travel with their tuples, so the hash
+                # table values are re-read from the reordered relation.
+                build_i = self.second_pass.partition(
+                    build_i, bits2, offset=bits1
+                ).relation
+                probe_i = self.second_pass.partition(
+                    probe_i, bits2, offset=bits1
+                ).relation
+            values_i = base.build_payload_column(build_i)
+            table = BucketChainingTable(build_i.keys, values_i)
+            idx, values = table.probe(probe_i.keys)
+            probe_keys.append(probe_i.keys[idx])
+            payloads.append(values)
+        if not probe_keys:
+            empty = np.empty(0, dtype=np.int64)
+            return base.JoinMatch.from_arrays(empty, empty)
+        return base.JoinMatch.from_arrays(
+            np.concatenate(probe_keys), np.concatenate(payloads)
+        )
+
+    # -- cost ---------------------------------------------------------------------
+
+    def _prefix_sum_task(
+        self, name: str, phase: str, tuples: float, cache: CachePlan,
+        from_state: bool, tuple_bytes: int = 16, sm_fraction: float = 1.0,
+    ) -> Task:
+        """Histogram + scan over the key column.
+
+        The pass-1 prefix sum reads the base relations' key columns from
+        CPU memory (on the CPU or the GPU per configuration). The pass-2
+        prefix sum reads the partitioned state and *copies the spilled
+        tuples into GPU memory* while it is at it, "to avoid redundant
+        transfers by subsequent kernels" (section 6.2.3) — which is why
+        spilling shows up as prefix-sum time in Fig. 15.
+        """
+        column_bytes = tuples * 8
+        if not from_state:
+            if self.prefix_sum is PrefixSumLocation.CPU:
+                return self.cpu_builder.build(
+                    name=name,
+                    phase=phase,
+                    read_bytes=column_bytes,
+                    operations=tuples * CPU_OPS_PER_TUPLE,
+                    tuples=tuples,
+                )
+            return self.gpu_builder.build(
+                name=name,
+                phase=phase,
+                requests=[
+                    MemoryRequest(
+                        total_bytes=column_bytes,
+                        access_bytes=128,
+                        op=Op.READ,
+                        space=MemSpace.CPU,
+                        pattern=AccessPattern.SEQUENTIAL,
+                    )
+                ],
+                instructions=tuples * GPU_SLOTS_PER_TUPLE,
+                tuples=tuples,
+            )
+        # Pass 2: histogram the cached part's key column, and stream the
+        # spilled tuples into GPU memory (full tuples, not just keys).
+        state_bytes = tuples * tuple_bytes
+        gpu_bytes, spilled_bytes = base.split_gpu_cpu(
+            state_bytes, cache.gpu_fraction
+        )
+        requests = []
+        if spilled_bytes > 0:
+            requests.append(
+                MemoryRequest(
+                    total_bytes=spilled_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                    duplex=not self.aggregate,
+                )
+            )
+            requests.append(
+                MemoryRequest(
+                    total_bytes=spilled_bytes,
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            )
+        if gpu_bytes > 0:
+            requests.append(
+                MemoryRequest(
+                    total_bytes=gpu_bytes * 8 / tuple_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            )
+        return self.gpu_builder.build(
+            name=name,
+            phase=phase,
+            requests=requests,
+            instructions=tuples * GPU_SLOTS_PER_TUPLE,
+            tuples=tuples,
+            sm_fraction=sm_fraction,
+        )
+
+    def _first_pass_task(
+        self, workload: Workload, plan: RadixPlan, cache: CachePlan
+    ) -> Task:
+        """Partition R and S out of CPU memory into the hybrid cache."""
+        tuples = float(workload.total_nominal_tuples)
+        tuple_bytes = workload.build.tuple_bytes
+        scratch = self.system.gpu.usable_scratchpad_bytes
+        g = cache.gpu_fraction
+        spilled_tuples = tuples * (1.0 - g)
+        cached_tuples = tuples * g
+        requests: List[MemoryRequest] = []
+        issue_slots = 0.0
+        if spilled_tuples > 0:
+            work = self.first_pass.gpu_work(
+                spilled_tuples, tuple_bytes, plan.fanout1,
+                MemSpace.CPU, MemSpace.CPU, scratch,
+            )
+            requests.extend(r for r in work.requests if r.op is Op.WRITE or
+                            r.space is MemSpace.GPU)
+            issue_slots += work.issue_slots
+        if cached_tuples > 0:
+            work = self.first_pass.gpu_work(
+                cached_tuples, tuple_bytes, plan.fanout1,
+                MemSpace.CPU, MemSpace.GPU, scratch,
+            )
+            requests.extend(r for r in work.requests if r.op is Op.WRITE)
+            issue_slots += work.issue_slots
+        # One combined sequential read of both base relations; full
+        # duplex only when state actually spills.
+        requests.append(
+            MemoryRequest(
+                total_bytes=tuples * tuple_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.CPU,
+                pattern=AccessPattern.SEQUENTIAL,
+                duplex=spilled_tuples > 0,
+            )
+        )
+        return self.gpu_builder.build(
+            name="part1",
+            phase="Part 1",
+            requests=requests,
+            instructions=issue_slots,
+            tuples=tuples,
+        )
+
+    def _second_pass_task(
+        self,
+        chunk: int,
+        tuples: float,
+        tuple_bytes: int,
+        plan: RadixPlan,
+        cache: CachePlan,
+        sm_fraction: float,
+    ) -> Task:
+        """Partition a chunk of the state within GPU memory.
+
+        The spilled part of the chunk was copied into GPU memory by the
+        pass-2 prefix sum, so this kernel reads and writes GPU memory
+        only ("the second pass ... writes its results to GPU memory",
+        section 5.1).
+        """
+        scratch = self.system.gpu.usable_scratchpad_bytes
+        total_bytes = tuples * tuple_bytes
+        fanout2 = 1 << plan.bits2 if plan.bits2 else 1
+        requests: List[MemoryRequest] = [
+            MemoryRequest(
+                total_bytes=total_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.GPU,
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+        ]
+        issue_slots = 0.0
+        if plan.bits2:
+            profile = self.second_pass.write_profile(
+                fanout2, tuple_bytes, scratch, MemSpace.GPU
+            )
+            requests.append(
+                MemoryRequest(
+                    total_bytes=total_bytes,
+                    access_bytes=profile.flush_bytes,
+                    op=Op.WRITE,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.RANDOM,
+                    stream_count=fanout2,
+                )
+            )
+            issue_slots += tuples * profile.issue_slots_per_tuple
+        # Optional third pass: another in-GPU-memory pass (section 5.1).
+        if plan.passes > 2:
+            fanout3 = 1 << plan.bits_per_pass[2]
+            profile3 = self.second_pass.write_profile(
+                fanout3, tuple_bytes, scratch, MemSpace.GPU
+            )
+            requests.append(
+                MemoryRequest(
+                    total_bytes=total_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            )
+            requests.append(
+                MemoryRequest(
+                    total_bytes=total_bytes,
+                    access_bytes=profile3.flush_bytes,
+                    op=Op.WRITE,
+                    space=MemSpace.GPU,
+                    pattern=AccessPattern.RANDOM,
+                    stream_count=fanout3,
+                )
+            )
+            issue_slots += tuples * profile3.issue_slots_per_tuple
+        return self.gpu_builder.build(
+            name=f"part2[{chunk}]",
+            phase="Part 2",
+            requests=requests,
+            instructions=issue_slots,
+            tuples=tuples,
+            sm_fraction=sm_fraction,
+        )
+
+    def _join_task(
+        self,
+        chunk: int,
+        workload: Workload,
+        tuples: float,
+        sm_fraction: float,
+        duplex: bool = True,
+    ) -> Task:
+        """Build + probe scratchpad hash tables, materialize results."""
+        tuple_bytes = workload.build.tuple_bytes
+        share = tuples / workload.total_nominal_tuples
+        build_tuples = workload.build.nominal_rows * share
+        probe_tuples = workload.probe.nominal_rows * share
+        requests = [
+            MemoryRequest(
+                total_bytes=tuples * tuple_bytes,
+                access_bytes=128,
+                op=Op.READ,
+                space=MemSpace.GPU,
+                pattern=AccessPattern.SEQUENTIAL,
+            )
+        ]
+        if not self.aggregate:
+            requests.append(
+                MemoryRequest(
+                    total_bytes=base.result_bytes(
+                        base.nominal_matches(workload) * share
+                    ),
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                    duplex=duplex,
+                )
+            )
+        slots = (
+            build_tuples * BUILD_SLOTS_PER_TUPLE[self.scheme]
+            + probe_tuples * PROBE_SLOTS_PER_TUPLE[self.scheme]
+        )
+        return self.gpu_builder.build(
+            name=f"join[{chunk}]",
+            phase="Join",
+            requests=requests,
+            instructions=slots,
+            tuples=tuples,
+            sm_fraction=sm_fraction,
+        )
+
+    def _sched_task(self, chunk: int, tuples: float, sm_fraction: float) -> Task:
+        """The join task scheduler kernel (one of the four join-phase
+        kernels in Fig. 15)."""
+        return self.gpu_builder.build(
+            name=f"sched[{chunk}]",
+            phase="Sched",
+            requests=[],
+            instructions=tuples * SCHED_SLOTS_PER_TUPLE,
+            tuples=0.0,
+            sm_fraction=sm_fraction,
+        )
+
+    def chunk_weights(self, workload: Workload, plan: RadixPlan) -> List[float]:
+        """Pipeline chunk weights from the *actual* partition sizes.
+
+        The paper's workloads are uniform, so chunks carry equal shares;
+        under skew (Zipf foreign keys) the first-pass partitions are
+        unbalanced and the pipeline's chunks inherit that imbalance —
+        the straggling heavy chunk lengthens the join tail. Weights are
+        measured on the materialized data (the identical code path the
+        functional join executes) and normalized to sum to 1.
+        """
+        from repro.partition.radix import radix_histogram
+
+        bits = min(plan.bits1, 10)
+        sizes = (
+            radix_histogram(workload.build.keys, bits)
+            + radix_histogram(workload.probe.keys, bits)
+        ).astype(float)
+        total = sizes.sum()
+        if total == 0:
+            return [1.0 / self.pipeline_chunks] * self.pipeline_chunks
+        # Contiguous partition ranges map to pipeline chunks.
+        bounds = [
+            int(round(i * len(sizes) / self.pipeline_chunks))
+            for i in range(self.pipeline_chunks + 1)
+        ]
+        weights = [
+            float(sizes[lo:hi].sum()) / total
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        # Guard against empty chunks (degenerate tiny inputs).
+        floor = 1e-9
+        return [max(w, floor) for w in weights]
+
+    def build_graph(self, workload: Workload) -> TaskGraph:
+        """The complete simulated execution DAG for one workload."""
+        plan = self.plan(workload)
+        cache = self.cache_plan(workload)
+        tuples = float(workload.total_nominal_tuples)
+        tuple_bytes = workload.build.tuple_bytes
+
+        ps1 = self._prefix_sum_task("ps1", "PS 1", tuples, cache, from_state=False)
+        part1 = self._first_pass_task(workload, plan, cache).depends_on(ps1)
+
+        graph = TaskGraph([ps1, part1])
+        chunks = self.pipeline_chunks
+        weights = self.chunk_weights(workload, plan)
+        sm_fraction = 0.5 if self.overlap else 1.0
+        # The spill-copying prefix sums are memory-bound; they run as a
+        # third, thin kernel stream (the paper schedules the four
+        # join-phase kernels over multiple CUDA streams, Fig. 11).
+        ps2_fraction = 0.25 if self.overlap else 1.0
+        previous_ps2: Optional[Task] = None
+        previous_part2: Optional[Task] = None
+        previous_join: Optional[Task] = None
+        for c in range(chunks):
+            chunk_tuples = tuples * weights[c]
+            ps2 = self._prefix_sum_task(
+                f"ps2[{c}]", "PS 2", chunk_tuples, cache, from_state=True,
+                tuple_bytes=tuple_bytes, sm_fraction=ps2_fraction,
+            )
+            part2 = self._second_pass_task(
+                c, chunk_tuples, tuple_bytes, plan, cache, sm_fraction
+            )
+            sched = self._sched_task(c, chunk_tuples, sm_fraction)
+            join = self._join_task(
+                c, workload, chunk_tuples, sm_fraction,
+                duplex=cache.spilled_fraction > 0,
+            )
+            ps2.depends_on(part1)
+            part2.depends_on(ps2)
+            sched.depends_on(part2)
+            join.depends_on(sched)
+            if self.overlap:
+                # Each kernel kind forms its own pipelined stream: the
+                # copy of chunk c+1 overlaps the partitioning of chunk c,
+                # which overlaps the join of chunk c-1.
+                if previous_ps2 is not None:
+                    ps2.depends_on(previous_ps2)
+                if previous_part2 is not None:
+                    part2.depends_on(previous_part2)
+                if previous_join is not None:
+                    join.depends_on(previous_join)
+            elif previous_join is not None:
+                # Without overlap the whole pipeline serializes.
+                ps2.depends_on(previous_join)
+            previous_ps2, previous_part2, previous_join = ps2, part2, join
+            graph.extend([ps2, part2, sched, join])
+        return graph
+
+    def run(self, workload: Workload) -> JoinRun:
+        plan = self.plan(workload)
+        cache = self.cache_plan(workload)
+        match = self._functional_join(workload, plan)
+        graph = self.build_graph(workload)
+        engine = SimEngine(ResourcePool.for_system(self.system))
+        sim = engine.run(graph)
+        seconds = sim.makespan_seconds
+        # The hybrid-hash-R0 ablation policy loses transfer/compute
+        # overlap: the spilled transfer time no longer hides behind the
+        # cached partitions' processing (section 5.3's hypothetical).
+        if cache.policy is CachePolicy.HYBRID_HASH_R0 and cache.spilled_fraction > 0:
+            spill_bytes = cache.state_bytes * cache.spilled_fraction
+            lost_overlap = spill_bytes / self.system.interconnect.effective_bytes_per_s
+            seconds += 0.5 * lost_overlap
+        run = JoinRun(
+            name=self.name,
+            workload=workload,
+            match=match,
+            seconds=seconds,
+            counters=sim.counters,
+            sim=sim,
+            uses_gpu=True,
+        )
+        run.notes["plan_bits"] = plan.bits_per_pass
+        run.notes["gpu_fraction"] = cache.gpu_fraction
+        run.notes["state_bytes"] = cache.state_bytes
+        return run

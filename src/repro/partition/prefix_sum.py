@@ -1,0 +1,97 @@
+"""Prefix sums: the offset computation of every partitioning pass.
+
+Before scattering tuples, a radix partitioner scans the key column to
+build a histogram and turns it into exclusive partition offsets. The
+paper evaluates computing this on the CPU vs. the GPU (section 6.2.8,
+Figure 20): the CPU streams its own memory at up to ~130 GiB/s, while
+the GPU is capped at the unidirectional link bandwidth (~63 GiB/s) —
+but either way the prefix sum reads only the key column, so its share of
+the join is small.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hw.gpu import MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
+from repro.sim.tasks import Task
+
+#: Issue slots per tuple for the GPU histogram (hash + atomic increment
+#: into a scratchpad histogram with replays).
+GPU_SLOTS_PER_TUPLE = 1.0
+#: CPU operations per tuple. The SIMD-vectorized histogram (one private
+#: histogram per SIMD lane to avoid read-after-write hazards, section
+#: 6.1) processes several keys per operation, keeping the CPU prefix sum
+#: memory-bound at ~130 GiB/s (Fig. 20b).
+CPU_OPS_PER_TUPLE = 1.5
+
+
+class PrefixSumLocation(enum.Enum):
+    """Which processor computes the prefix sum (section 6.2.8)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+def exclusive_scan(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of partition counts -> partition offsets."""
+    counts = np.asarray(counts)
+    if counts.ndim != 1:
+        raise ConfigurationError("counts must be 1-D")
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+def prefix_sum_task(
+    tuples: float,
+    location: PrefixSumLocation,
+    builder,
+    name: str = "prefix_sum",
+    phase: str = "PS",
+    key_bytes: int = 8,
+    src: MemSpace = MemSpace.CPU,
+) -> Task:
+    """Build the simulator task for one histogram + scan pass.
+
+    The pass reads the key column (``tuples * key_bytes``, the columnar
+    layout means only one column per relation is touched) and performs a
+    handful of operations per tuple; the scan itself is negligible.
+
+    ``builder`` must match the location: a :class:`GpuKernelBuilder` for
+    GPU prefix sums, a :class:`CpuTaskBuilder` for CPU ones.
+    """
+    column_bytes = tuples * key_bytes
+    if location is PrefixSumLocation.GPU:
+        if not isinstance(builder, GpuKernelBuilder):
+            raise ConfigurationError("GPU prefix sum needs a GpuKernelBuilder")
+        return builder.build(
+            name=name,
+            phase=phase,
+            requests=[
+                MemoryRequest(
+                    total_bytes=column_bytes,
+                    access_bytes=128,
+                    op=Op.READ,
+                    space=src,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            ],
+            instructions=tuples * GPU_SLOTS_PER_TUPLE,
+            tuples=tuples,
+        )
+    if not isinstance(builder, CpuTaskBuilder):
+        raise ConfigurationError("CPU prefix sum needs a CpuTaskBuilder")
+    return builder.build(
+        name=name,
+        phase=phase,
+        read_bytes=column_bytes,
+        operations=tuples * CPU_OPS_PER_TUPLE,
+        tuples=tuples,
+    )

@@ -1,0 +1,207 @@
+"""The fluid-flow simulation engine.
+
+Advances simulated time through a task DAG. At every scheduling point the
+engine solves a rate-allocation problem: each running task gets a
+progress rate bounded by its own rate caps, then rates are scaled down
+iteratively on over-committed resources (proportional sharing) until all
+resource capacities are respected. The next event is the earliest task
+completion at the resulting rates; dependent tasks become ready and the
+allocation is re-solved.
+
+Proportional sharing matches the hardware behaviour we need: two
+concurrent kernels issuing memory traffic split the NVLink roughly in
+proportion to their demand, and a compute-bound kernel coexists with a
+transfer without slowing it — which is exactly the concurrent-kernel
+overlap the Triton join exploits (section 5.2, Figure 11).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.hw.counters import PerfCounters
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+from repro.sim.trace import PhaseBreakdown, TraceEntry
+
+_EPSILON = 1e-12
+_CONVERGENCE = 1e-9
+_MAX_SCALING_ROUNDS = 10_000
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one task graph."""
+
+    makespan_seconds: float
+    trace: List[TraceEntry]
+    counters: PerfCounters
+    resource_busy_units: Dict[str, float] = field(default_factory=dict)
+
+    def phase_breakdown(self) -> PhaseBreakdown:
+        """Wall-clock seconds attributed to each phase label.
+
+        Overlapping tasks of different phases split the overlapped wall
+        time proportionally to their demand-weighted activity; the
+        breakdown's total equals the makespan.
+        """
+        return PhaseBreakdown.from_trace(self.trace, self.makespan_seconds)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Total task-active seconds per phase (can exceed makespan)."""
+        seconds: Dict[str, float] = {}
+        for entry in self.trace:
+            seconds[entry.phase] = seconds.get(entry.phase, 0.0) + entry.duration
+        return seconds
+
+    def resource_utilization(self, pool: ResourcePool) -> Dict[str, float]:
+        """Average utilization of each resource over the makespan."""
+        if self.makespan_seconds <= 0:
+            return {name: 0.0 for name in self.resource_busy_units}
+        return {
+            name: units / pool.capacity(name) / self.makespan_seconds
+            for name, units in self.resource_busy_units.items()
+        }
+
+
+class SimEngine:
+    """Simulates task graphs against a resource pool."""
+
+    def __init__(self, pool: ResourcePool) -> None:
+        self.pool = pool
+
+    # -- rate allocation ------------------------------------------------------
+
+    def _allocate_rates(self, running: List[Task]) -> Dict[int, float]:
+        """Progress rates (fraction/s) for the running tasks.
+
+        Starts every task at its own cap and iteratively scales down the
+        users of the most over-committed resource until feasible.
+        """
+        rates: Dict[int, float] = {}
+        for task in running:
+            cap = math.inf
+            if task.min_seconds > 0:
+                cap = 1.0 / task.min_seconds
+            for resource, amount in task.demands.items():
+                if amount <= 0:
+                    continue
+                capacity = self.pool.capacity(resource)
+                resource_cap = task.rate_caps.get(resource, capacity)
+                cap = min(cap, resource_cap / amount)
+            if math.isinf(cap):
+                # No demands and no minimum duration: completes instantly.
+                cap = math.inf
+            rates[task.task_id] = cap
+
+        for _ in range(_MAX_SCALING_ROUNDS):
+            worst_name = None
+            worst_ratio = 1.0 + _CONVERGENCE
+            for name in self.pool.names():
+                usage = sum(
+                    task.demands.get(name, 0.0) * rates[task.task_id]
+                    for task in running
+                    if not math.isinf(rates[task.task_id])
+                )
+                capacity = self.pool.capacity(name)
+                ratio = usage / capacity
+                if ratio > worst_ratio:
+                    worst_ratio = ratio
+                    worst_name = name
+            if worst_name is None:
+                return rates
+            scale = 1.0 / worst_ratio
+            for task in running:
+                if task.demands.get(worst_name, 0.0) > 0:
+                    rates[task.task_id] *= scale
+        raise SimulationError("rate allocation did not converge")
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, graph: TaskGraph) -> SimResult:
+        """Simulate the graph to completion and return the result."""
+        graph.validate()
+        graph.reset()
+
+        pending = set(graph.tasks)
+        done_ids = set()
+        running: List[Task] = []
+        now = 0.0
+        trace: List[TraceEntry] = []
+        busy: Dict[str, float] = {name: 0.0 for name in self.pool.names()}
+
+        def ready_tasks() -> List[Task]:
+            ready = [
+                t
+                for t in pending
+                if all(dep.task_id in done_ids for dep in t.after)
+            ]
+            # Deterministic order: creation order.
+            return sorted(ready, key=lambda t: t.task_id)
+
+        while pending or running:
+            for task in ready_tasks():
+                pending.remove(task)
+                task.start_time = now
+                running.append(task)
+
+            if not running:
+                raise SimulationError(
+                    "deadlock: pending tasks but none are ready"
+                )
+
+            rates = self._allocate_rates(running)
+
+            # Instantly complete zero-work tasks (pure barriers).
+            instant = [t for t in running if math.isinf(rates[t.task_id])]
+            if instant:
+                for task in instant:
+                    task.end_time = now
+                    task.remaining_fraction = 0.0
+                    running.remove(task)
+                    done_ids.add(task.task_id)
+                    trace.append(TraceEntry.from_task(task))
+                continue
+
+            # Time until the earliest completion at current rates.
+            dt = math.inf
+            for task in running:
+                rate = rates[task.task_id]
+                if rate <= _EPSILON:
+                    raise SimulationError(
+                        f"task {task.name!r} cannot make progress"
+                    )
+                dt = min(dt, task.remaining_fraction / rate)
+            if not math.isfinite(dt):
+                raise SimulationError("no finite completion time")
+
+            # Advance and account resource usage.
+            now += dt
+            finished: List[Task] = []
+            for task in running:
+                rate = rates[task.task_id]
+                progressed = rate * dt
+                for resource, amount in task.demands.items():
+                    busy[resource] += amount * progressed
+                task.remaining_fraction -= progressed
+                if task.remaining_fraction <= _EPSILON:
+                    task.remaining_fraction = 0.0
+                    task.end_time = now
+                    finished.append(task)
+            if not finished:
+                raise SimulationError("time advanced without completions")
+            for task in finished:
+                running.remove(task)
+                done_ids.add(task.task_id)
+                trace.append(TraceEntry.from_task(task))
+
+        trace.sort(key=lambda entry: (entry.start, entry.end))
+        return SimResult(
+            makespan_seconds=now,
+            trace=trace,
+            counters=graph.total_counters(),
+            resource_busy_units=busy,
+        )

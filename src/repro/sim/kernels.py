@@ -1,0 +1,178 @@
+"""Builders that turn hardware access costs into simulator tasks.
+
+A GPU kernel is described by the memory-request streams it issues plus an
+instruction count; :class:`GpuKernelBuilder` costs each stream with the
+hardware model and produces a :class:`Task` whose resource demands and
+rate caps make it behave correctly both standalone (duration = max of
+memory time and compute time) and under contention (proportional sharing
+of the link, memory systems, SM pool, and IOMMU walkers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hw.counters import PerfCounters
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel, MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.sim import resources as res
+from repro.sim.tasks import Task
+
+# Fixed launch overhead per GPU kernel (CUDA launch + TLB flush by the
+# runtime, section 3.4.2 notes the GPU TLBs are flushed per launch).
+KERNEL_LAUNCH_SECONDS = 10e-6
+
+
+def _resources_for_request(request: MemoryRequest) -> Sequence[str]:
+    """Resource names a request stream draws from."""
+    if request.space is MemSpace.GPU:
+        return (res.GPU_MEM_BW,)
+    link = res.NVLINK_TO_GPU if request.op is Op.READ else res.NVLINK_TO_CPU
+    return (link, res.CPU_MEM_BW)
+
+
+class GpuKernelBuilder:
+    """Builds simulator tasks for GPU kernels."""
+
+    def __init__(self, gpu: GpuModel) -> None:
+        self.gpu = gpu
+
+    def build(
+        self,
+        name: str,
+        requests: Iterable[MemoryRequest],
+        instructions: float = 0.0,
+        phase: str = "",
+        sm_fraction: float = 1.0,
+        tuples: float = 0.0,
+        min_seconds: float = KERNEL_LAUNCH_SECONDS,
+    ) -> Task:
+        """Create a task for one GPU kernel.
+
+        Demands aggregate payload bytes per resource. Rate caps encode the
+        achievable standalone bandwidth per resource (requests on the same
+        resource serialize, so caps combine harmonically), making the
+        task's standalone duration ``max(memory time, compute time)``.
+        """
+        demands: Dict[str, float] = {}
+        alone_seconds: Dict[str, float] = {}
+        counters = PerfCounters()
+        memory_seconds = 0.0
+        cpu_mem_capacity = self.gpu.system.cpu.memory.bandwidth_bytes_per_s
+        iommu = self.gpu.system.cpu.iommu
+        walk_capacity = iommu.page_table_walkers / iommu.walk_latency_s
+
+        for request in requests:
+            if request.total_bytes <= 0:
+                continue
+            cost = self.gpu.access_cost(request)
+            counters.merge(cost.counters)
+            memory_seconds = max(memory_seconds, cost.seconds)
+            for resource in _resources_for_request(request):
+                demands[resource] = demands.get(resource, 0.0) + request.total_bytes
+                # The standalone time charged to a resource is what this
+                # request needs from *that* resource: the link (or GPU
+                # memory) time reflects the stream's achievable bandwidth
+                # with all its degradations, while the DRAM behind the
+                # link only sees well-formed 128-byte transactions.
+                if resource == res.CPU_MEM_BW:
+                    seconds = request.total_bytes / cpu_mem_capacity
+                else:
+                    seconds = cost.seconds
+                alone_seconds[resource] = (
+                    alone_seconds.get(resource, 0.0) + seconds
+                )
+            if cost.walks > 0:
+                demands[res.IOMMU_WALKS] = (
+                    demands.get(res.IOMMU_WALKS, 0.0) + cost.walks
+                )
+                alone_seconds[res.IOMMU_WALKS] = (
+                    alone_seconds.get(res.IOMMU_WALKS, 0.0)
+                    + cost.walks / walk_capacity
+                )
+
+        rate_caps = {
+            resource: demands[resource] / alone_seconds[resource]
+            for resource in demands
+            if alone_seconds.get(resource, 0.0) > 0
+        }
+
+        compute_seconds = 0.0
+        if instructions > 0:
+            if not 0 < sm_fraction <= 1.0:
+                raise ConfigurationError("sm_fraction must be in (0, 1]")
+            demands[res.GPU_SM] = instructions
+            rate_caps[res.GPU_SM] = (
+                self.gpu.spec.total_ops_per_s * sm_fraction
+            )
+            compute_seconds = self.gpu.compute_time(instructions, sm_fraction)
+            counters.instructions += instructions
+
+        counters.tuples_processed += tuples
+        task = Task(
+            name=name,
+            phase=phase or name,
+            demands=demands,
+            rate_caps=rate_caps,
+            min_seconds=min_seconds,
+            counters=counters,
+        )
+        task.meta["memory_seconds"] = memory_seconds
+        task.meta["compute_seconds"] = compute_seconds
+        return task
+
+
+class CpuTaskBuilder:
+    """Builds simulator tasks for CPU-side work (prefix sums, partitioning)."""
+
+    def __init__(self, cpu: CpuModel) -> None:
+        self.cpu = cpu
+
+    def build(
+        self,
+        name: str,
+        read_bytes: float = 0.0,
+        write_bytes: float = 0.0,
+        operations: float = 0.0,
+        phase: str = "",
+        core_fraction: float = 1.0,
+        tuples: float = 0.0,
+        random_writes: bool = False,
+    ) -> Task:
+        """Create a task for CPU work that streams through CPU memory."""
+        demands: Dict[str, float] = {}
+        rate_caps: Dict[str, float] = {}
+        counters = PerfCounters()
+        mem_bytes = read_bytes + write_bytes
+        memory_seconds = 0.0
+        if mem_bytes > 0:
+            read_cost = self.cpu.access_cost(read_bytes, Op.READ)
+            write_pattern = (
+                AccessPattern.RANDOM if random_writes else AccessPattern.SEQUENTIAL
+            )
+            write_cost = self.cpu.access_cost(write_bytes, Op.WRITE, write_pattern)
+            memory_seconds = read_cost.seconds + write_cost.seconds
+            counters.merge(read_cost.counters)
+            counters.merge(write_cost.counters)
+            demands[res.CPU_MEM_BW] = mem_bytes
+            rate_caps[res.CPU_MEM_BW] = mem_bytes / memory_seconds
+        compute_seconds = 0.0
+        if operations > 0:
+            demands[res.CPU_CORES] = operations
+            rate_caps[res.CPU_CORES] = self.cpu.spec.total_ops_per_s * core_fraction
+            compute_seconds = self.cpu.compute_time(operations, core_fraction)
+            counters.instructions += operations
+        counters.tuples_processed += tuples
+        task = Task(
+            name=name,
+            phase=phase or name,
+            demands=demands,
+            rate_caps=rate_caps,
+            counters=counters,
+        )
+        task.meta["memory_seconds"] = memory_seconds
+        task.meta["compute_seconds"] = compute_seconds
+        return task

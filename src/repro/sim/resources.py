@@ -1,0 +1,92 @@
+"""Shared hardware resources with rate capacities.
+
+A :class:`Resource` delivers units (bytes, operations, page walks) at a
+bounded rate; concurrent tasks share that rate. The standard resource
+names for a fast-interconnect system are defined here so algorithms and
+the engine agree on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.hw.specs import SystemSpec
+
+
+# Canonical resource names.
+NVLINK_TO_GPU = "nvlink_to_gpu"  # payload bytes flowing CPU -> GPU
+NVLINK_TO_CPU = "nvlink_to_cpu"  # payload bytes flowing GPU -> CPU
+CPU_MEM_BW = "cpu_mem_bw"  # bytes through the CPU socket's memory
+GPU_MEM_BW = "gpu_mem_bw"  # bytes through the GPU's on-board memory
+GPU_SM = "gpu_sm"  # GPU instruction issue (operations)
+CPU_CORES = "cpu_cores"  # CPU operations
+IOMMU_WALKS = "iommu_walks"  # page table walks
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One shared resource with a rate capacity in units/second."""
+
+    name: str
+    capacity_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_per_s <= 0:
+            raise ConfigurationError(
+                f"resource {self.name!r} needs positive capacity"
+            )
+
+
+class ResourcePool:
+    """The set of resources available during one simulation run."""
+
+    def __init__(self, resources: Dict[str, Resource]) -> None:
+        self._resources = dict(resources)
+
+    def __getitem__(self, name: str) -> Resource:
+        if name not in self._resources:
+            raise ConfigurationError(f"unknown resource {name!r}")
+        return self._resources[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._resources
+
+    def names(self):
+        return self._resources.keys()
+
+    def capacity(self, name: str) -> float:
+        return self[name].capacity_per_s
+
+    @classmethod
+    def for_system(cls, system: SystemSpec) -> "ResourcePool":
+        """Build the standard resource pool for a system spec.
+
+        Link capacities are the effective payload bandwidths; memory
+        capacities are the achievable stream bandwidths; the IOMMU
+        capacity is the walker pool's walk completion rate.
+        """
+        iommu = system.cpu.iommu
+        return cls(
+            {
+                NVLINK_TO_GPU: Resource(
+                    NVLINK_TO_GPU, system.interconnect.effective_bytes_per_s
+                ),
+                NVLINK_TO_CPU: Resource(
+                    NVLINK_TO_CPU, system.interconnect.effective_bytes_per_s
+                ),
+                CPU_MEM_BW: Resource(
+                    CPU_MEM_BW, system.cpu.memory.bandwidth_bytes_per_s
+                ),
+                GPU_MEM_BW: Resource(
+                    GPU_MEM_BW, system.gpu.memory.bandwidth_bytes_per_s
+                ),
+                GPU_SM: Resource(GPU_SM, system.gpu.total_ops_per_s),
+                CPU_CORES: Resource(CPU_CORES, system.cpu.total_ops_per_s),
+                IOMMU_WALKS: Resource(
+                    IOMMU_WALKS,
+                    iommu.page_table_walkers / iommu.walk_latency_s,
+                ),
+            }
+        )

@@ -1,0 +1,95 @@
+"""Execution traces and phase breakdowns.
+
+The paper accounts where join time goes per kernel (Fig. 15a) and which
+stall reasons dominate (Fig. 15b). The simulator produces a trace of
+(task, phase, start, end) entries; :class:`PhaseBreakdown` turns it into
+the percentage-of-total-time view the paper plots, splitting overlapped
+wall-clock time between concurrently running phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.tasks import Task
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One completed task occurrence in the simulated timeline."""
+
+    name: str
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @classmethod
+    def from_task(cls, task: "Task") -> "TraceEntry":
+        if task.start_time is None or task.end_time is None:
+            raise SimulationError(f"task {task.name!r} has not completed")
+        return cls(
+            name=task.name,
+            phase=task.phase or task.name,
+            start=task.start_time,
+            end=task.end_time,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Wall-clock seconds attributed to each phase; sums to the makespan."""
+
+    seconds_by_phase: Dict[str, float]
+    total_seconds: float
+
+    @classmethod
+    def from_trace(
+        cls, trace: List[TraceEntry], makespan: float
+    ) -> "PhaseBreakdown":
+        """Split the timeline into slices; share each slice among phases.
+
+        Within every time slice bounded by task starts/ends, each active
+        phase receives an equal share of the slice (tasks of the same
+        phase pool their share). The result preserves the paper's reading
+        of the breakdown: percentages sum to 100% of the runtime.
+        """
+        if not trace:
+            return cls(seconds_by_phase={}, total_seconds=0.0)
+        boundaries = sorted({e.start for e in trace} | {e.end for e in trace})
+        seconds: Dict[str, float] = {}
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            if hi <= lo:
+                continue
+            active_phases = {
+                e.phase for e in trace if e.start < hi and e.end > lo
+            }
+            if not active_phases:
+                continue
+            share = (hi - lo) / len(active_phases)
+            for phase in active_phases:
+                seconds[phase] = seconds.get(phase, 0.0) + share
+        return cls(seconds_by_phase=seconds, total_seconds=makespan)
+
+    def fraction(self, phase: str) -> float:
+        """Fraction of total time spent in ``phase``."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.seconds_by_phase.get(phase, 0.0) / self.total_seconds
+
+    def percentages(self) -> Dict[str, float]:
+        """Phase percentages, normalized to sum to 100."""
+        total = sum(self.seconds_by_phase.values())
+        if total <= 0:
+            return {phase: 0.0 for phase in self.seconds_by_phase}
+        return {
+            phase: 100.0 * sec / total
+            for phase, sec in self.seconds_by_phase.items()
+        }

@@ -1,0 +1,15 @@
+"""Out-of-core GPU radix sort on the partitioning substrate.
+
+The partitioning algorithms of section 4 descend from GPU sorting work
+(Stehle & Jacobsen's hybrid radix sort is the source of the Linear
+baseline; the paper's related work also cites NVLink sorting studies).
+This package closes the loop: a most-significant-digit radix sort whose
+scatter passes *are* the paper's partitioners, so everything learned
+about out-of-core partitioning — flush coalescing, TLB stream behaviour,
+the hybrid cache — applies verbatim to sorting data larger than GPU
+memory.
+"""
+
+from repro.sort.radix_sort import CpuRadixSort, GpuRadixSort, SortRun
+
+__all__ = ["CpuRadixSort", "GpuRadixSort", "SortRun"]

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel
+from repro.hw.specs import ac922, xeon_system
+
+
+@pytest.fixture(scope="session")
+def system():
+    """The paper's AC922 evaluation system."""
+    return ac922()
+
+
+@pytest.fixture(scope="session")
+def xeon():
+    """The Xeon Gold 6126 comparison host."""
+    return xeon_system()
+
+
+@pytest.fixture(scope="session")
+def gpu_model(system):
+    return GpuModel(system)
+
+
+@pytest.fixture(scope="session")
+def cpu_model(system):
+    return CpuModel(system.cpu)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A small, full-scale (divisor 1) PK/FK workload."""
+    return generate_workload(0.05, 0.1, scale_divisor=1, seed=7)
+
+
+@pytest.fixture(scope="session")
+def scaled_workload():
+    """A nominal 512M workload materialized at a 8192x divisor."""
+    return generate_workload(512, 512, scale_divisor=8192, seed=11)

@@ -1,0 +1,76 @@
+"""Unit tests for the cost-based join advisor (repro.advisor)."""
+
+import pytest
+
+from repro.advisor import JoinAdvisor
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def advisor(system):
+    return JoinAdvisor(system)
+
+
+class TestEstimates:
+    def test_all_candidates_costed(self, advisor):
+        estimates = advisor.estimate(128, 128)
+        assert {e.operator for e in estimates} == {
+            "triton",
+            "no_partitioning",
+            "cpu_radix",
+        }
+
+    def test_sorted_fastest_first(self, advisor):
+        estimates = advisor.estimate(512, 512)
+        seconds = [e.seconds for e in estimates]
+        assert seconds == sorted(seconds)
+
+    def test_estimates_have_throughput(self, advisor):
+        for estimate in advisor.estimate(128, 128):
+            assert estimate.throughput_g_tuples_per_s > 0
+
+
+class TestRecommendations:
+    def test_np_join_for_small_state(self, advisor):
+        # Comfortably in-core: the no-partitioning join wins (Fig. 13).
+        assert advisor.recommend(128).operator == "no_partitioning"
+
+    def test_triton_for_large_state(self, advisor):
+        assert advisor.recommend(2048).operator == "triton"
+
+    def test_hedging_prefers_triton_near_the_cliff(self, advisor):
+        # At 640M the NP join still wins on the point estimate, but a 2x
+        # cardinality error would push it off the GPU-memory cliff; the
+        # robust choice is the Triton join.
+        point = advisor.recommend(640)
+        hedged = advisor.recommend(640, cardinality_error=2.0)
+        assert point.operator == "no_partitioning"
+        assert hedged.operator == "triton"
+        assert hedged.hedged and not point.hedged
+
+    def test_hedging_is_noop_when_already_robust(self, advisor):
+        assert advisor.recommend(2048, cardinality_error=1.5).operator == (
+            "triton"
+        )
+
+    def test_probe_defaults_to_build(self, advisor):
+        rec = advisor.recommend(128)
+        assert rec.best.operator == rec.operator
+
+    def test_rejects_bad_inputs(self, advisor):
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(0)
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(128, cardinality_error=0.5)
+
+    def test_custom_candidates(self, system):
+        from repro.join import TritonJoin
+
+        advisor = JoinAdvisor(
+            system, candidates={"only": lambda: TritonJoin(system)}
+        )
+        assert advisor.recommend(128).operator == "only"
+
+    def test_empty_candidates_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            JoinAdvisor(system, candidates={})

@@ -1,0 +1,126 @@
+"""Unit tests for the group-by aggregation extension (repro.aggregate)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregate import (
+    AggregateFunction,
+    NoPartitioningAggregation,
+    TritonAggregation,
+    reference_aggregate,
+)
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError
+from repro.join.caching import CachePolicy
+
+
+def make_relation(rows=20_000, groups=500, seed=0, nominal=None):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(1, groups + 1, size=rows).astype(np.int64)
+    values = rng.integers(-1000, 1000, size=rows).astype(np.int64)
+    return Relation(keys, {"attr0": values}, nominal_rows=nominal, name="F")
+
+
+class TestReferenceAggregate:
+    def test_sum(self):
+        relation = Relation(
+            np.array([1, 2, 1], dtype=np.int64),
+            {"attr0": np.array([10, 20, 5], dtype=np.int64)},
+        )
+        result = reference_aggregate(relation, AggregateFunction.SUM)
+        assert result.groups == 2
+
+    def test_count_ignores_values(self):
+        relation = make_relation(1000, 10)
+        result = reference_aggregate(relation, AggregateFunction.COUNT)
+        assert result.groups == 10
+
+    @pytest.mark.parametrize("fn", list(AggregateFunction))
+    def test_deterministic(self, fn):
+        relation = make_relation()
+        assert reference_aggregate(relation, fn) == reference_aggregate(
+            relation, fn
+        )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", list(AggregateFunction))
+    def test_triton_matches_reference(self, system, fn):
+        relation = make_relation(seed=int(ord(fn.value[0])))
+        expected = reference_aggregate(relation, fn)
+        run = TritonAggregation(system, fn).run(relation, groups_nominal=500)
+        assert run.result == expected
+
+    @pytest.mark.parametrize("fn", list(AggregateFunction))
+    def test_np_matches_reference(self, system, fn):
+        relation = make_relation(seed=7)
+        expected = reference_aggregate(relation, fn)
+        run = NoPartitioningAggregation(system, fn).run(
+            relation, groups_nominal=500
+        )
+        assert run.result == expected
+
+    def test_single_group(self, system):
+        relation = Relation(
+            np.ones(100, dtype=np.int64),
+            {"attr0": np.arange(100, dtype=np.int64)},
+        )
+        run = TritonAggregation(system).run(relation, groups_nominal=1)
+        assert run.result.groups == 1
+
+    def test_all_distinct_groups(self, system):
+        keys = np.arange(1, 5001, dtype=np.int64)
+        relation = Relation(keys, {"attr0": keys})
+        run = TritonAggregation(system).run(relation, groups_nominal=5000)
+        assert run.result.groups == 5000
+
+
+class TestCostBehaviour:
+    def test_np_cliff_when_groups_outgrow_gpu(self, system):
+        relation = make_relation(nominal=2_048_000_000)
+        op = NoPartitioningAggregation(system)
+        few_groups = op.run(relation, groups_nominal=10_000_000)
+        many_groups = op.run(relation, groups_nominal=4_000_000_000)
+        assert many_groups.seconds > 3 * few_groups.seconds
+
+    def test_triton_insensitive_to_group_count(self, system):
+        # The group count only adds result-emission volume; no cliff.
+        relation = make_relation(nominal=2_048_000_000)
+        op = TritonAggregation(system)
+        few = op.run(relation, groups_nominal=10_000_000)
+        many = op.run(relation, groups_nominal=2_000_000_000)
+        assert many.seconds < 2.0 * few.seconds
+
+    def test_triton_wins_out_of_core(self, system):
+        # The headline claim transfers from joins to aggregation.
+        relation = make_relation(nominal=2_048_000_000)
+        groups = 4_000_000_000
+        triton = TritonAggregation(system).run(relation, groups)
+        baseline = NoPartitioningAggregation(system).run(relation, groups)
+        assert triton.seconds < baseline.seconds
+
+    def test_np_competitive_with_few_groups(self, system):
+        # With an in-GPU table the baseline is close to (or better than)
+        # the partitioned strategy — there is nothing to spill.
+        relation = make_relation(nominal=512_000_000)
+        groups = 1_000_000
+        triton = TritonAggregation(system).run(relation, groups)
+        baseline = NoPartitioningAggregation(system).run(relation, groups)
+        assert baseline.seconds < 1.5 * triton.seconds
+
+    def test_cache_policy_matters(self, system):
+        relation = make_relation(nominal=2_048_000_000)
+        cached = TritonAggregation(system).run(relation, 2_000_000_000)
+        uncached = TritonAggregation(
+            system, cache_policy=CachePolicy.NONE
+        ).run(relation, 2_000_000_000)
+        assert cached.seconds < uncached.seconds
+
+    def test_throughput_metric(self, system):
+        relation = make_relation(nominal=512_000_000)
+        run = TritonAggregation(system).run(relation, 100_000_000)
+        assert run.throughput_g_tuples_per_s > 0
+
+    def test_rejects_bad_group_count(self, system):
+        with pytest.raises(ConfigurationError):
+            TritonAggregation(system).run(make_relation(), 0)

@@ -1,0 +1,114 @@
+"""Smoke tests: every experiment module runs and returns sane tables.
+
+The benchmarks exercise full configurations; these tests run reduced
+sweeps so the whole harness stays covered by `pytest tests/`.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import ExperimentTable
+
+FAST = dict(scale_divisor=65536)
+
+
+def tables_of(result):
+    return result if isinstance(result, tuple) else (result,)
+
+
+def assert_sane(result):
+    for table in tables_of(result):
+        assert isinstance(table, ExperimentTable)
+        assert table.rows, table.experiment
+        assert table.columns, table.experiment
+        for row in table.rows:
+            for value in row.values.values():
+                if value is not None:
+                    assert value == value  # no NaNs
+                    assert value >= 0
+
+
+def test_fig01(): assert_sane(ALL_EXPERIMENTS["fig01"].run(sizes=(128, 2048), **FAST))
+
+
+def test_fig04(): assert_sane(ALL_EXPERIMENTS["fig04"].run())
+
+
+def test_fig06(): assert_sane(ALL_EXPERIMENTS["fig06"].run())
+
+
+def test_fig07(): assert_sane(ALL_EXPERIMENTS["fig07"].run())
+
+
+def test_tab01(): assert_sane(ALL_EXPERIMENTS["tab01"].run())
+
+
+def test_fig13():
+    assert_sane(ALL_EXPERIMENTS["fig13"].run(sizes=(128, 2048), **FAST))
+
+
+def test_fig14():
+    assert_sane(ALL_EXPERIMENTS["fig14"].run(sizes=(128, 2048), **FAST))
+
+
+def test_fig15():
+    result = ALL_EXPERIMENTS["fig15"].run(sizes=(512,), **FAST)
+    assert_sane(result)
+    breakdown = result[0]
+    assert sum(breakdown.row("512M").values.values()) == pytest.approx(
+        100.0, abs=1.0
+    )
+
+
+def test_fig16():
+    assert_sane(ALL_EXPERIMENTS["fig16"].run(sizes=(512,), **FAST))
+
+
+def test_fig17():
+    assert_sane(ALL_EXPERIMENTS["fig17"].run(sizes=(128, 2048), **FAST))
+
+
+def test_fig18():
+    assert_sane(ALL_EXPERIMENTS["fig18"].run(fanouts=(64, 2048)))
+
+
+def test_fig19():
+    assert_sane(
+        ALL_EXPERIMENTS["fig19"].run(
+            cache_sizes_gib=(0.0, 14.9), sizes=(512,), **FAST
+        )
+    )
+
+
+def test_fig20():
+    assert_sane(ALL_EXPERIMENTS["fig20"].run(sizes=(512,), **FAST))
+
+
+def test_fig21():
+    assert_sane(
+        ALL_EXPERIMENTS["fig21"].run(sizes=(512,), ratios=(1, 8), **FAST)
+    )
+
+
+def test_fig22():
+    assert_sane(
+        ALL_EXPERIMENTS["fig22"].run(
+            payload_counts=(0, 4), sizes=(512,), **FAST
+        )
+    )
+
+
+def test_fig23():
+    assert_sane(ALL_EXPERIMENTS["fig23"].run(sizes=(512,), **FAST))
+
+
+def test_fig24():
+    assert_sane(
+        ALL_EXPERIMENTS["fig24"].run(
+            sm_counts=(10, 80), sizes=(512,), **FAST
+        )
+    )
+
+
+def test_ablations():
+    assert_sane(ALL_EXPERIMENTS["ablations"].run(sizes=(512,), **FAST))

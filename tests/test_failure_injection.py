@@ -1,0 +1,146 @@
+"""Failure injection: extreme and hostile configurations.
+
+The library must either handle or loudly reject degenerate hardware and
+workload configurations — no silent nonsense. These tests push the
+models outside the paper's envelope.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError, PlanError
+from repro.hw.specs import ac922
+from repro.join import TritonJoin, NoPartitioningJoin, reference_join
+from repro.join.caching import PIPELINE_RESERVED_BYTES, plan_cache
+from repro.partition.planner import plan_radix_join
+from repro.units import GIB, MIB, gib
+
+
+class TestTinyGpu:
+    """A GPU with almost no memory: everything must spill."""
+
+    @pytest.fixture(scope="class")
+    def tiny_system(self):
+        base = ac922()
+        tiny_mem = dataclasses.replace(
+            base.gpu.memory, capacity_bytes=2 * GIB
+        )
+        return base.with_gpu(dataclasses.replace(base.gpu, memory=tiny_mem))
+
+    def test_cache_plan_degrades_to_spill(self, tiny_system):
+        plan = plan_cache(gib(61), tiny_system.gpu_memory_capacity)
+        assert plan.gpu_fraction < 0.02
+
+    def test_triton_still_correct_and_finite(self, tiny_system):
+        workload = generate_workload(512, 512, scale_divisor=65536)
+        run = TritonJoin(tiny_system).run(workload)
+        assert run.match == reference_join(workload.build, workload.probe)
+        assert np.isfinite(run.seconds)
+
+    def test_gpu_smaller_than_reservation(self):
+        # Capacity below the pipeline reservation: cache goes to zero
+        # rather than negative.
+        plan = plan_cache(gib(10), PIPELINE_RESERVED_BYTES / 2)
+        assert plan.cache_bytes == 0.0
+        assert plan.gpu_fraction == 0.0
+
+
+class TestOneSmGpu:
+    def test_join_completes_compute_bound(self):
+        base = ac922()
+        system = base.with_gpu(base.gpu.with_sm_count(1))
+        workload = generate_workload(128, 128, scale_divisor=65536)
+        run = TritonJoin(system).run(workload)
+        full = TritonJoin(base).run(workload)
+        assert run.match == full.match
+        assert run.seconds > 2 * full.seconds  # severely compute bound
+
+
+class TestTinyScratchpad:
+    def test_planner_rejects_impossible_configurations(self):
+        base = ac922()
+        # A 1 KiB scratchpad cannot hold partitions of a 2048M build
+        # within the supported radix budget.
+        crippled = base.with_gpu(
+            dataclasses.replace(
+                base.gpu,
+                usable_scratchpad_bytes=64,
+                scratchpad_bytes_per_sm=96 * 1024,
+            )
+        )
+        with pytest.raises(PlanError):
+            plan_radix_join(
+                2_048_000_000, 2_048_000_000, 136, crippled
+            )
+
+    def test_partitioner_rejects_overflowing_fanout(self):
+        from repro.hw.tlb import MemSpace
+        from repro.partition import SharedPartitioner
+
+        with pytest.raises(ConfigurationError):
+            SharedPartitioner().gpu_work(
+                1e6, 16, 2048, MemSpace.CPU, MemSpace.CPU, 1024
+            )
+
+
+class TestHostileWorkloads:
+    def test_probe_keys_far_outside_build_range(self, system):
+        build = Relation(
+            np.arange(1, 1001, dtype=np.int64),
+            {"attr0": np.arange(1000, dtype=np.int64)},
+        )
+        probe = Relation(
+            np.array([-(2**62), 2**62, 0, 500], dtype=np.int64),
+            {"attr0": np.zeros(4, dtype=np.int64)},
+        )
+        from repro.data.generator import Workload, WorkloadConfig
+
+        workload = Workload(
+            config=WorkloadConfig(1e-3, 4e-6), build=build, probe=probe
+        )
+        expected = reference_join(build, probe)
+        assert expected.matches == 1
+        assert TritonJoin(system).run(workload).match == expected
+        assert NoPartitioningJoin(
+            system, cache_bytes=0.0
+        ).run(workload).match == expected
+
+    def test_extreme_build_probe_asymmetry(self, system):
+        workload = generate_workload(0.005, 5.0, scale_divisor=1, seed=44)
+        run = TritonJoin(system).run(workload)
+        assert run.match == reference_join(workload.build, workload.probe)
+
+    def test_maximal_zipf_skew(self, system):
+        workload = generate_workload(
+            0.01, 0.1, zipf_theta=2.5, scale_divisor=1, seed=44
+        )
+        run = TritonJoin(system).run(workload)
+        assert run.match == reference_join(workload.build, workload.probe)
+        assert np.isfinite(run.seconds)
+
+
+class TestHostileSpecs:
+    def test_zero_capacity_memory_rejected(self):
+        from repro.hw.specs import MemorySpec
+
+        with pytest.raises(ConfigurationError):
+            MemorySpec(
+                capacity_bytes=0,
+                bandwidth_bytes_per_s=1.0,
+                electrical_bytes_per_s=1.0,
+            )
+
+    def test_interleaving_with_giant_pages(self):
+        from repro.hw.memory import InterleavedMapping
+
+        # Page larger than the mapping: one page, correctly placed.
+        mapping = InterleavedMapping(
+            total_bytes=MIB, gpu_bytes=MIB, page_bytes=1 * GIB
+        )
+        assert mapping.page_count == 1
+        spaces = [space for _, space in mapping.iter_pages()]
+        assert len(spaces) == 1

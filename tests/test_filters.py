@@ -1,0 +1,107 @@
+"""Unit tests for the Bloom-filter pushdown extension (repro.join.filters)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.errors import ConfigurationError
+from repro.join import TritonJoin, reference_join
+from repro.join.filters import BloomFilter, BloomFilteredTritonJoin
+
+
+class TestBloomFilter:
+    KEYS = np.arange(1, 20_001, dtype=np.int64)
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(self.KEYS)
+        assert bloom.contains(self.KEYS).all()
+
+    def test_false_positive_rate_is_low(self):
+        bloom = BloomFilter(self.KEYS, bits_per_key=10)
+        absent = np.arange(100_000, 200_000, dtype=np.int64)
+        fp_rate = bloom.contains(absent).mean()
+        assert fp_rate < 0.1
+        # And roughly matches the analytic estimate.
+        expected = bloom.expected_false_positive_rate(len(self.KEYS))
+        assert fp_rate == pytest.approx(expected, abs=0.05)
+
+    def test_more_bits_fewer_false_positives(self):
+        absent = np.arange(100_000, 150_000, dtype=np.int64)
+        small = BloomFilter(self.KEYS, bits_per_key=4).contains(absent).mean()
+        large = BloomFilter(self.KEYS, bits_per_key=16).contains(absent).mean()
+        assert large < small
+
+    def test_filter_is_much_smaller_than_a_hash_table(self):
+        bloom = BloomFilter(self.KEYS, bits_per_key=10)
+        assert bloom.filter_bytes < len(self.KEYS) * 16 / 5
+
+    def test_negative_keys_supported(self):
+        keys = np.array([-5, -1, 3], dtype=np.int64)
+        bloom = BloomFilter(keys)
+        assert bloom.contains(keys).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(np.array([], dtype=np.int64))
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(self.KEYS, bits_per_key=0)
+
+
+class TestBloomFilteredJoin:
+    def test_matches_reference_with_misses(self, system):
+        workload = generate_workload(
+            0.05, 0.2, probe_hit_rate=0.3, scale_divisor=1, seed=9
+        )
+        expected = reference_join(workload.build, workload.probe)
+        run = BloomFilteredTritonJoin(system).run(workload)
+        assert run.match == expected
+
+    def test_matches_reference_full_hit_rate(self, system):
+        workload = generate_workload(0.05, 0.1, scale_divisor=1, seed=9)
+        expected = reference_join(workload.build, workload.probe)
+        run = BloomFilteredTritonJoin(system).run(workload)
+        assert run.match == expected
+
+    def test_pass_rate_reported(self, system):
+        workload = generate_workload(
+            64, 512, probe_hit_rate=0.25, scale_divisor=8192, seed=9
+        )
+        run = BloomFilteredTritonJoin(system).run(workload)
+        # hit rate plus a few false positives.
+        assert 0.2 < run.notes["pass_rate"] < 0.4
+
+    def test_filter_pays_off_for_selective_joins(self, system):
+        workload = generate_workload(
+            256, 2048, probe_hit_rate=0.1, scale_divisor=16384, seed=9
+        )
+        plain = TritonJoin(system).run(workload)
+        filtered = BloomFilteredTritonJoin(system).run(workload)
+        assert filtered.seconds < plain.seconds
+        assert filtered.match == plain.match
+
+    def test_filter_is_overhead_at_full_hit_rate(self, system):
+        workload = generate_workload(512, 512, scale_divisor=16384, seed=9)
+        plain = TritonJoin(system).run(workload)
+        filtered = BloomFilteredTritonJoin(system).run(workload)
+        assert filtered.seconds > plain.seconds
+        # ...but the overhead is one cheap key-column scan, not a pass.
+        assert filtered.seconds < 1.3 * plain.seconds
+
+
+class TestSelectiveWorkloadGenerator:
+    def test_hit_rate_respected(self):
+        workload = generate_workload(
+            0.05, 0.5, probe_hit_rate=0.4, scale_divisor=1, seed=1
+        )
+        hits = np.isin(workload.probe.keys, workload.build.keys).mean()
+        assert hits == pytest.approx(0.4, abs=0.03)
+
+    def test_full_hit_rate_default(self):
+        workload = generate_workload(0.05, 0.1, scale_divisor=1)
+        assert np.isin(workload.probe.keys, workload.build.keys).all()
+
+    def test_rejects_zero_hit_rate(self):
+        with pytest.raises(ConfigurationError):
+            generate_workload(1, 1, probe_hit_rate=0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the workload generator (repro.data.generator)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    WorkloadConfig,
+    generate_pk_fk,
+    generate_workload,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperWorkload:
+    """Section 6.1's workload properties."""
+
+    def test_build_keys_are_a_dense_permutation(self):
+        build, _ = generate_pk_fk(WorkloadConfig(0.1, 0.1))
+        assert sorted(build.keys) == list(range(1, len(build) + 1))
+
+    def test_build_keys_are_shuffled(self):
+        build, _ = generate_pk_fk(WorkloadConfig(0.1, 0.1))
+        assert list(build.keys) != sorted(build.keys)
+
+    def test_probe_keys_reference_build(self):
+        build, probe = generate_pk_fk(WorkloadConfig(0.05, 0.1))
+        assert probe.keys.min() >= 1
+        assert probe.keys.max() <= len(build)
+
+    def test_probe_keys_roughly_uniform(self):
+        build, probe = generate_pk_fk(WorkloadConfig(0.01, 0.5))
+        counts = np.bincount(probe.keys, minlength=len(build) + 1)[1:]
+        # Every build key should be referenced ~50 times on average.
+        assert counts.mean() == pytest.approx(50.0, rel=0.05)
+        assert counts.max() < 120
+
+    def test_16_byte_tuples_by_default(self):
+        build, probe = generate_pk_fk(WorkloadConfig(0.01, 0.01))
+        assert build.tuple_bytes == 16
+        assert probe.tuple_bytes == 16
+
+    def test_deterministic_for_seed(self):
+        a, _ = generate_pk_fk(WorkloadConfig(0.01, 0.01, seed=5))
+        b, _ = generate_pk_fk(WorkloadConfig(0.01, 0.01, seed=5))
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_different_seeds_differ(self):
+        a, _ = generate_pk_fk(WorkloadConfig(0.01, 0.01, seed=1))
+        b, _ = generate_pk_fk(WorkloadConfig(0.01, 0.01, seed=2))
+        assert not np.array_equal(a.keys, b.keys)
+
+
+class TestScaling:
+    def test_nominal_vs_materialized(self):
+        workload = generate_workload(128, 128, scale_divisor=1024)
+        assert workload.build.nominal_rows == 128_000_000
+        assert len(workload.build) == 125_000
+
+    def test_divisor_one_is_full_scale(self):
+        workload = generate_workload(0.05, 0.05, scale_divisor=1)
+        assert len(workload.build) == workload.build.nominal_rows
+
+    def test_materialized_floor(self):
+        # Even extreme divisors keep enough rows to exercise partitioning.
+        workload = generate_workload(128, 128, scale_divisor=1e9)
+        assert len(workload.build) >= 4096
+
+    def test_total_tuple_accounting(self):
+        workload = generate_workload(128, 256, scale_divisor=1024)
+        assert workload.total_nominal_tuples == 384_000_000
+        assert workload.total_nominal_bytes == 384_000_000 * 16
+
+
+class TestWideTuples:
+    def test_payload_columns(self):
+        workload = generate_workload(0.01, 0.01, payload_columns=4)
+        assert workload.build.tuple_bytes == 8 + 4 * 8
+        assert workload.build.payload_columns == 4
+
+    def test_zero_payloads_join_index_mode(self):
+        workload = generate_workload(0.01, 0.01, payload_columns=0)
+        assert workload.build.tuple_bytes == 8
+
+
+class TestZipf:
+    def test_zipf_skews_references(self):
+        uniform = generate_workload(0.01, 0.2, zipf_theta=0.0, seed=3)
+        skewed = generate_workload(0.01, 0.2, zipf_theta=1.0, seed=3)
+        u_max = np.bincount(uniform.probe.keys).max()
+        s_max = np.bincount(skewed.probe.keys).max()
+        assert s_max > 3 * u_max
+
+    def test_zipf_keys_stay_in_range(self):
+        workload = generate_workload(0.01, 0.05, zipf_theta=0.8)
+        assert workload.probe.keys.min() >= 1
+        assert workload.probe.keys.max() <= len(workload.build)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_cardinality(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(0, 1)
+
+    def test_rejects_divisor_below_one(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(1, 1, scale_divisor=0.5)
+
+    def test_rejects_negative_payloads(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(1, 1, payload_columns=-1)
+
+    def test_probe_defaults_to_build_size(self):
+        workload = generate_workload(0.02)
+        assert workload.probe.nominal_rows == workload.build.nominal_rows

@@ -1,0 +1,177 @@
+"""Unit tests for the GPU cost model (repro.hw.gpu)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.gpu import GpuModel, MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.units import GIB, gib
+
+
+def req(**kwargs):
+    defaults = dict(
+        total_bytes=gib(1),
+        access_bytes=128,
+        op=Op.READ,
+        space=MemSpace.CPU,
+        pattern=AccessPattern.SEQUENTIAL,
+    )
+    defaults.update(kwargs)
+    return MemoryRequest(**defaults)
+
+
+class TestMemoryRequest:
+    def test_footprint_defaults_to_total(self):
+        assert req().footprint == gib(1)
+
+    def test_explicit_footprint(self):
+        assert req(footprint_bytes=gib(4)).footprint == gib(4)
+
+    def test_access_count(self):
+        assert req(total_bytes=1280, access_bytes=128).accesses == 10
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ConfigurationError):
+            req(total_bytes=-1)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            req(efficiency=0.0)
+
+
+class TestCpuMemoryPath:
+    def test_sequential_runs_at_link_speed(self, gpu_model):
+        cost = gpu_model.access_cost(req())
+        assert cost.bandwidth_bytes_per_s == pytest.approx(gib(63.5))
+
+    def test_sequential_counts_coalesced_walks(self, gpu_model):
+        cost = gpu_model.access_cost(req())
+        # One coalesced walk per 32 MiB.
+        assert cost.counters.iommu_requests == pytest.approx(32.0)
+
+    def test_random_within_tlb_uses_granularity_curve(self, gpu_model):
+        cost = gpu_model.access_cost(
+            req(pattern=AccessPattern.RANDOM, access_bytes=16)
+        )
+        assert cost.bandwidth_bytes_per_s < gib(12)
+        assert cost.counters.iommu_requests == 0.0
+
+    def test_random_out_of_tlb_hits_walker_ceiling(self, gpu_model):
+        cost = gpu_model.access_cost(
+            req(
+                pattern=AccessPattern.RANDOM,
+                access_bytes=16,
+                total_bytes=gib(64),
+                footprint_bytes=gib(64),
+            )
+        )
+        # Half the accesses walk: the 12-walker pool limits throughput
+        # to a few million accesses per second.
+        assert cost.bandwidth_bytes_per_s < gib(0.5)
+        assert cost.walks > 0
+
+    def test_stream_pattern_counts_flush_misses(self, gpu_model):
+        cost = gpu_model.access_cost(
+            req(
+                pattern=AccessPattern.RANDOM,
+                access_bytes=1024,
+                stream_count=128,
+            )
+        )
+        # 1 - 64/128 = half the flushes miss the GPU TLB.
+        assert cost.counters.iommu_requests == pytest.approx(
+            cost.counters.gpu_tlb_misses
+        )
+        accesses = gib(1) / 1024
+        assert cost.counters.iommu_requests == pytest.approx(0.5 * accesses)
+
+    def test_stream_pattern_within_entries_is_free(self, gpu_model):
+        cost = gpu_model.access_cost(
+            req(
+                pattern=AccessPattern.RANDOM,
+                access_bytes=1024,
+                stream_count=32,
+            )
+        )
+        assert cost.counters.iommu_requests == 0.0
+
+    def test_duplex_caps_bandwidth(self, gpu_model):
+        cost = gpu_model.access_cost(req(duplex=True))
+        assert cost.bandwidth_bytes_per_s == pytest.approx(gib(55.9))
+
+    def test_efficiency_scales_bandwidth(self, gpu_model):
+        full = gpu_model.access_cost(req())
+        derated = gpu_model.access_cost(req(efficiency=0.5))
+        assert derated.bandwidth_bytes_per_s == pytest.approx(
+            full.bandwidth_bytes_per_s * 0.5
+        )
+
+    def test_counters_track_direction(self, gpu_model):
+        read = gpu_model.access_cost(req()).counters
+        write = gpu_model.access_cost(req(op=Op.WRITE)).counters
+        assert read.cpu_mem_read_bytes == gib(1)
+        assert read.cpu_mem_write_bytes == 0
+        assert write.cpu_mem_write_bytes == gib(1)
+        assert write.nvlink_wire_to_cpu_bytes > write.nvlink_wire_to_gpu_bytes
+        assert read.nvlink_wire_to_gpu_bytes > read.nvlink_wire_to_cpu_bytes
+
+
+class TestGpuMemoryPath:
+    def test_sequential_at_peak(self, gpu_model):
+        cost = gpu_model.access_cost(req(space=MemSpace.GPU))
+        assert cost.bandwidth_bytes_per_s == pytest.approx(900e9)
+
+    def test_random_reads_beat_random_writes(self, gpu_model):
+        # Paper section 6.2.9: random reads 3.2-6x faster than writes.
+        read = gpu_model.access_cost(
+            req(space=MemSpace.GPU, pattern=AccessPattern.RANDOM, access_bytes=32)
+        )
+        write = gpu_model.access_cost(
+            req(
+                space=MemSpace.GPU,
+                pattern=AccessPattern.RANDOM,
+                access_bytes=32,
+                op=Op.WRITE,
+            )
+        )
+        ratio = read.bandwidth_bytes_per_s / write.bandwidth_bytes_per_s
+        assert 3.0 < ratio < 6.5
+
+    def test_large_bursts_regain_locality(self, gpu_model):
+        small = gpu_model.access_cost(
+            req(space=MemSpace.GPU, pattern=AccessPattern.RANDOM,
+                access_bytes=32, op=Op.WRITE)
+        )
+        burst = gpu_model.access_cost(
+            req(space=MemSpace.GPU, pattern=AccessPattern.RANDOM,
+                access_bytes=16384, op=Op.WRITE)
+        )
+        assert burst.bandwidth_bytes_per_s > 5 * small.bandwidth_bytes_per_s
+
+    def test_no_iommu_involvement(self, gpu_model):
+        cost = gpu_model.access_cost(
+            req(space=MemSpace.GPU, pattern=AccessPattern.RANDOM,
+                access_bytes=16, footprint_bytes=gib(12))
+        )
+        assert cost.counters.iommu_requests == 0.0
+        assert cost.walks == 0.0
+
+
+class TestCompute:
+    def test_compute_time(self, gpu_model):
+        ops = gpu_model.spec.total_ops_per_s
+        assert gpu_model.compute_time(ops) == pytest.approx(1.0)
+
+    def test_sm_fraction(self, gpu_model):
+        full = gpu_model.compute_time(1e9)
+        half = gpu_model.compute_time(1e9, sm_fraction=0.5)
+        assert half == pytest.approx(2 * full)
+
+    def test_rejects_bad_fraction(self, gpu_model):
+        with pytest.raises(ConfigurationError):
+            gpu_model.compute_time(1.0, sm_fraction=0.0)
+
+    def test_zero_bytes_is_free(self, gpu_model):
+        cost = gpu_model.access_cost(req(total_bytes=0))
+        assert cost.seconds == 0.0

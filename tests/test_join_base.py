@@ -1,0 +1,119 @@
+"""Unit tests for join plumbing (repro.join.base, repro.join.caching)."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError
+from repro.hw.tlb import MemSpace
+from repro.join import CachePolicy, plan_cache, reference_join
+from repro.join.base import (
+    JoinMatch,
+    build_payload_column,
+    nominal_matches,
+    result_bytes,
+    split_gpu_cpu,
+)
+from repro.join.caching import PIPELINE_RESERVED_BYTES, CachePlan
+from repro.units import GIB, gib
+
+
+class TestJoinMatch:
+    def test_from_arrays(self):
+        keys = np.array([1, 2, 3], dtype=np.int64)
+        payloads = np.array([10, 20, 30], dtype=np.int64)
+        match = JoinMatch.from_arrays(keys, payloads)
+        assert match.matches == 3
+        assert match.key_checksum == 6
+        assert match.payload_checksum == 60
+
+    def test_equality(self):
+        a = JoinMatch(1, 2, 3)
+        b = JoinMatch(1, 2, 3)
+        assert a == b
+        assert a != JoinMatch(1, 2, 4)
+
+    def test_empty(self):
+        empty = np.empty(0, dtype=np.int64)
+        match = JoinMatch.from_arrays(empty, empty)
+        assert match.matches == 0
+
+
+class TestReferenceJoin:
+    def test_pk_fk_matches_all_probes(self, small_workload):
+        match = reference_join(small_workload.build, small_workload.probe)
+        assert match.matches == len(small_workload.probe)
+
+    def test_partial_matches(self):
+        build = Relation(
+            np.array([1, 2, 3], dtype=np.int64),
+            {"attr0": np.array([10, 20, 30], dtype=np.int64)},
+        )
+        probe = Relation(np.array([2, 9, 3, 9], dtype=np.int64))
+        match = reference_join(build, probe)
+        assert match.matches == 2
+        assert match.payload_checksum == 50
+
+    def test_no_matches(self):
+        build = Relation(np.array([1], dtype=np.int64))
+        probe = Relation(np.array([5, 6], dtype=np.int64))
+        assert reference_join(build, probe).matches == 0
+
+
+class TestHelpers:
+    def test_result_bytes(self):
+        assert result_bytes(100) == 1600
+
+    def test_nominal_matches_is_probe_side(self):
+        workload = generate_workload(1, 2, scale_divisor=1)
+        assert nominal_matches(workload) == 2_000_000
+
+    def test_split_gpu_cpu(self):
+        assert split_gpu_cpu(100, 0.25) == (25, 75)
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            split_gpu_cpu(1, 1.5)
+
+    def test_payload_column_falls_back_to_keys(self):
+        relation = Relation(np.array([5, 6], dtype=np.int64))
+        assert np.array_equal(build_payload_column(relation), relation.keys)
+
+
+class TestCachePlan:
+    def test_default_takes_all_available(self):
+        plan = plan_cache(gib(61), 16 * GIB)
+        assert plan.cache_bytes == pytest.approx(
+            16 * GIB - PIPELINE_RESERVED_BYTES
+        )
+        assert 0 < plan.gpu_fraction < 0.3
+
+    def test_small_state_fully_cached(self):
+        plan = plan_cache(gib(4), 16 * GIB)
+        assert plan.gpu_fraction == 1.0
+        assert plan.spilled_fraction == 0.0
+
+    def test_explicit_cache_clamped(self):
+        plan = plan_cache(gib(61), 16 * GIB, cache_bytes=gib(100))
+        assert plan.cache_bytes <= 16 * GIB - PIPELINE_RESERVED_BYTES
+
+    def test_none_policy_disables_cache(self):
+        plan = plan_cache(gib(4), 16 * GIB, policy=CachePolicy.NONE)
+        assert plan.cache_bytes == 0.0
+        assert plan.gpu_fraction == 0.0
+
+    def test_mapping_matches_fractions(self):
+        plan = plan_cache(gib(6), 16 * GIB, cache_bytes=gib(2))
+        mapping = plan.mapping()
+        assert mapping.gpu_fraction == pytest.approx(plan.gpu_fraction, abs=0.01)
+
+    def test_overlap_fraction_by_policy(self):
+        even = CachePlan(100.0, 50.0, CachePolicy.EVEN_INTERLEAVED)
+        r0 = CachePlan(100.0, 50.0, CachePolicy.HYBRID_HASH_R0)
+        assert even.overlap_fraction() == 1.0
+        assert r0.overlap_fraction() == 0.0
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ConfigurationError):
+            plan_cache(gib(1), 16 * GIB, cache_bytes=-1.0)

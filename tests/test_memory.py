@@ -1,0 +1,152 @@
+"""Unit tests for memory spaces and the interleaved cache (repro.hw.memory)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hw.memory import InterleavedMapping, MemorySpace, PageAllocator
+from repro.hw.tlb import MemSpace
+from repro.units import GIB, MIB
+
+
+class TestMemorySpace:
+    def make(self, capacity=1 * GIB):
+        return MemorySpace(MemSpace.GPU, capacity, 2 * MIB)
+
+    def test_alloc_rounds_to_pages(self):
+        space = self.make()
+        allocation = space.alloc("a", 1)
+        assert allocation.bytes == 2 * MIB
+
+    def test_alloc_tracks_usage(self):
+        space = self.make()
+        space.alloc("a", 10 * MIB)
+        assert space.allocated_bytes == 10 * MIB
+        assert space.free_bytes == 1 * GIB - 10 * MIB
+
+    def test_capacity_enforced(self):
+        space = self.make(capacity=10 * MIB)
+        space.alloc("a", 8 * MIB)
+        with pytest.raises(CapacityError):
+            space.alloc("b", 4 * MIB)
+
+    def test_duplicate_name_rejected(self):
+        space = self.make()
+        space.alloc("a", MIB)
+        with pytest.raises(ConfigurationError):
+            space.alloc("a", MIB)
+
+    def test_free_releases(self):
+        space = self.make()
+        space.alloc("a", 100 * MIB)
+        space.free("a")
+        assert space.allocated_bytes == 0
+        assert "a" not in space
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().free("ghost")
+
+    def test_reset(self):
+        space = self.make()
+        space.alloc("a", MIB)
+        space.alloc("b", MIB)
+        space.reset()
+        assert space.allocated_bytes == 0
+
+
+class TestPageAllocator:
+    def test_spaces_are_independent(self):
+        allocator = PageAllocator(16 * GIB, 128 * GIB)
+        allocator.alloc("state", 10 * GIB, MemSpace.GPU)
+        allocator.alloc("state", 100 * GIB, MemSpace.CPU)
+        assert allocator.gpu.allocated_bytes == 10 * GIB
+        assert allocator.cpu.allocated_bytes == 100 * GIB
+
+    def test_gpu_capacity_is_the_papers(self):
+        allocator = PageAllocator(16 * GIB, 128 * GIB)
+        with pytest.raises(CapacityError):
+            allocator.alloc("too_big", 17 * GIB, MemSpace.GPU)
+
+    def test_reset_clears_both(self):
+        allocator = PageAllocator(16 * GIB, 128 * GIB)
+        allocator.alloc("a", GIB, MemSpace.GPU)
+        allocator.reset()
+        assert allocator.gpu.allocated_bytes == 0
+
+
+class TestInterleavedMapping:
+    """The Fig. 12 layout: GPU/CPU pages interleaved proportionally."""
+
+    def test_byte_split(self):
+        mapping = InterleavedMapping(
+            total_bytes=90 * MIB, gpu_bytes=30 * MIB, page_bytes=2 * MIB
+        )
+        assert mapping.cpu_bytes == 60 * MIB
+        assert mapping.gpu_fraction == pytest.approx(1 / 3)
+
+    def test_one_gpu_page_after_every_two_cpu_pages(self):
+        # The paper's example interval pattern at a 1:2 ratio.
+        mapping = InterleavedMapping(
+            total_bytes=90 * MIB, gpu_bytes=30 * MIB, page_bytes=2 * MIB
+        )
+        runs = mapping.run_lengths()
+        cpu_runs = [n for space, n in runs if space is MemSpace.CPU]
+        gpu_runs = [n for space, n in runs if space is MemSpace.GPU]
+        assert all(n == 1 for n in gpu_runs)
+        assert all(n == 2 for n in cpu_runs)
+
+    def test_page_count_matches_fraction(self):
+        mapping = InterleavedMapping(
+            total_bytes=100 * 2 * MIB, gpu_bytes=25 * 2 * MIB,
+            page_bytes=2 * MIB,
+        )
+        gpu_pages = sum(
+            1 for _, space in mapping.iter_pages() if space is MemSpace.GPU
+        )
+        assert gpu_pages == 25
+
+    def test_all_gpu(self):
+        mapping = InterleavedMapping(
+            total_bytes=10 * MIB, gpu_bytes=10 * MIB, page_bytes=2 * MIB
+        )
+        assert all(space is MemSpace.GPU for _, space in mapping.iter_pages())
+
+    def test_all_cpu(self):
+        mapping = InterleavedMapping(
+            total_bytes=10 * MIB, gpu_bytes=0, page_bytes=2 * MIB
+        )
+        assert all(space is MemSpace.CPU for _, space in mapping.iter_pages())
+
+    def test_interleaving_is_spread_not_clustered(self):
+        # Error diffusion: no run of same-space pages exceeds the ratio.
+        mapping = InterleavedMapping(
+            total_bytes=1000 * 2 * MIB, gpu_bytes=300 * 2 * MIB,
+            page_bytes=2 * MIB,
+        )
+        runs = mapping.run_lengths()
+        assert max(n for space, n in runs if space is MemSpace.CPU) <= 3
+
+    def test_split_bytes(self):
+        mapping = InterleavedMapping(
+            total_bytes=100, gpu_bytes=40, page_bytes=2 * MIB
+        )
+        gpu_part, cpu_part = mapping.split_bytes(50)
+        assert gpu_part == pytest.approx(20)
+        assert cpu_part == pytest.approx(30)
+
+    def test_gpu_cannot_exceed_total(self):
+        with pytest.raises(ConfigurationError):
+            InterleavedMapping(total_bytes=10, gpu_bytes=20, page_bytes=2 * MIB)
+
+    def test_page_index_bounds(self):
+        mapping = InterleavedMapping(
+            total_bytes=4 * MIB, gpu_bytes=2 * MIB, page_bytes=2 * MIB
+        )
+        with pytest.raises(ConfigurationError):
+            mapping.page_space(2)
+
+    def test_empty_mapping(self):
+        mapping = InterleavedMapping(0, 0, 2 * MIB)
+        assert mapping.page_count == 0
+        assert mapping.gpu_fraction == 0.0
+        assert mapping.run_lengths() == []

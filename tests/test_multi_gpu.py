@@ -1,0 +1,75 @@
+"""Unit tests for the multi-GPU Triton join extension."""
+
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.errors import ConfigurationError
+from repro.join import TritonJoin, reference_join
+from repro.join.multi_gpu import XBUS, MultiGpuTritonJoin, _retarget, _suffixed
+from repro.sim import resources as res
+from repro.sim.tasks import Task
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(2048, 2048, scale_divisor=32768, seed=21)
+
+
+class TestRetargeting:
+    def test_per_gpu_resources_renamed(self):
+        task = Task(
+            name="k",
+            demands={res.NVLINK_TO_GPU: 10.0, res.CPU_CORES: 5.0},
+            rate_caps={res.NVLINK_TO_GPU: 2.0},
+        )
+        _retarget(task, 1)
+        assert _suffixed(res.NVLINK_TO_GPU, 1) in task.demands
+        assert res.NVLINK_TO_GPU not in task.demands
+        # Shared (non-GPU) resources keep their names.
+        assert res.CPU_CORES in task.demands
+        assert task.rate_caps[_suffixed(res.NVLINK_TO_GPU, 1)] == 2.0
+
+
+class TestCorrectness:
+    def test_matches_reference(self, system, workload):
+        expected = reference_join(workload.build, workload.probe)
+        run = MultiGpuTritonJoin(system, gpu_count=2).run(workload)
+        assert run.match == expected
+
+    def test_one_gpu_equals_single_gpu_result(self, system, workload):
+        single = TritonJoin(system).run(workload)
+        multi = MultiGpuTritonJoin(system, gpu_count=1).run(workload)
+        assert multi.match == single.match
+
+    def test_rejects_zero_gpus(self, system):
+        with pytest.raises(ConfigurationError):
+            MultiGpuTritonJoin(system, gpu_count=0)
+
+
+class TestScaling:
+    def test_two_gpus_speed_up(self, system, workload):
+        single = TritonJoin(system).run(workload).seconds
+        dual = MultiGpuTritonJoin(system, gpu_count=2).run(workload).seconds
+        assert dual < single
+
+    def test_scaling_efficiency_band(self, system, workload):
+        # Near-linear: degraded by the X-bus exchange but boosted by the
+        # doubled aggregate GPU-memory cache (a larger fraction of the
+        # state stays resident), so slight superlinearity is possible.
+        efficiency = MultiGpuTritonJoin(system, gpu_count=2).scaling_efficiency(
+            workload
+        )
+        assert 0.55 < efficiency <= 1.15
+
+    def test_slow_xbus_hurts(self, system, workload):
+        fast = MultiGpuTritonJoin(system, 2, xbus_bytes_per_s=64e9)
+        slow = MultiGpuTritonJoin(system, 2, xbus_bytes_per_s=8e9)
+        assert slow.run(workload).seconds > fast.run(workload).seconds
+
+    def test_xbus_resource_in_graph(self, system, workload):
+        op = MultiGpuTritonJoin(system, gpu_count=2)
+        run = op.run(workload)
+        assert run.notes["gpu_count"] == 2
+        # Part-1 tasks carry X-bus demand.
+        part1 = [e for e in run.sim.trace if e.phase == "Part 1"]
+        assert len(part1) == 2

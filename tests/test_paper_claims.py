@@ -1,0 +1,156 @@
+"""The consolidated paper-claims regression suite.
+
+One test per quantitative claim in EXPERIMENTS.md, so a model change
+that drifts a reproduced shape fails here (fast, reduced sweeps) even
+before the full benchmarks run. Each test cites the claim it guards.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    fig13_scaling,
+    fig18_partition_profile,
+    fig22_tuple_width,
+)
+from repro.bench.workloads import default_workload
+from repro.hashing import HashScheme
+from repro.hw.specs import ac922
+from repro.join import CpuRadixJoin, NoPartitioningJoin, TritonJoin
+from repro.units import GIB
+
+DIVISOR = 65536
+
+
+def tput(op, size):
+    return op.run(
+        default_workload(size, size, scale_divisor=DIVISOR)
+    ).throughput_g_tuples_per_s
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ac922()
+
+
+class TestAbstractClaims:
+    def test_100x_over_no_partitioning(self, system):
+        """Abstract: 'outperforms a no-partitioning hash join by more
+        than 100x on the same GPU'."""
+        triton = tput(TritonJoin(system), 2048)
+        np_linear = tput(
+            NoPartitioningJoin(system, HashScheme.LINEAR_PROBING), 2048
+        )
+        assert triton > 100 * np_linear
+
+    def test_beats_cpu_radix(self, system):
+        """Abstract: 'a radix-partitioned join on the CPU by up to 2.5x'
+        (our model: >=1.4x at the largest size)."""
+        assert tput(TritonJoin(system), 2048) > 1.4 * tput(
+            CpuRadixJoin(system), 2048
+        )
+
+
+class TestFig13Claims:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return fig13_scaling.run(sizes=(128, 1024, 2048), scale_divisor=DIVISOR)
+
+    def test_np_cliff_above_1024m(self, table):
+        """§6.2.1: NP perfect degrades to ~0.5 G tuples/s above 1024M."""
+        perfect = table.row("GPU NP Join (Perfect)")
+        assert perfect.get("128M") > 2.0
+        assert perfect.get("2048M") < 0.6
+
+    def test_triton_retains_74_percent(self, table):
+        """§6.2.1: Triton retains 74% of its peak at 2048M (ours >=70%)."""
+        triton = table.row("GPU Triton Join (Bucket Chaining)")
+        assert triton.get("2048M") / triton.get("128M") > 0.70
+
+    def test_power9_band(self, table):
+        """§6.2.1: POWER9 at 1.1 -> 0.9 G tuples/s (ours 1.37 -> 1.11)."""
+        p9 = table.row("CPU Radix Join (POWER9)")
+        assert 0.9 < p9.get("2048M") < 1.3
+        assert 1.1 < p9.get("128M") < 1.6
+
+    def test_xeon_two_pass_penalty(self, table):
+        """§6.2.1: Xeon 1.0 -> 0.6 (two-pass switch above 1408M)."""
+        xeon = table.row("CPU Radix Join (Xeon)")
+        assert xeon.get("2048M") == pytest.approx(0.61, abs=0.1)
+
+    def test_schemes_irrelevant_for_triton(self, table):
+        """§6.2.1: bucket chaining within 0-2% of perfect hashing."""
+        chain = table.row("GPU Triton Join (Bucket Chaining)")
+        perfect = table.row("GPU Triton Join (Perfect)")
+        for column in table.columns:
+            assert chain.get(column) == pytest.approx(
+                perfect.get(column), rel=0.05
+            )
+
+
+class TestFig18Claims:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return fig18_partition_profile.run(fanouts=(64, 128, 2048))
+
+    def test_hierarchical_38_gib_at_2048(self, profiles):
+        """§6.2.6: Hierarchical achieves 38.3 GiB/s at fanout 2048."""
+        value = profiles.row("Hierarchical @ 2048").get("throughput GiB/s")
+        assert value == pytest.approx(38.3, rel=0.1)
+
+    def test_standard_ten_minutes(self, profiles):
+        """§6.2.6: Standard's 60 GiB run takes ~10 minutes at high
+        fanout."""
+        rate = profiles.row("Standard @ 2048").get("throughput GiB/s")
+        minutes = 60.0 / rate / 60.0
+        assert 5 < minutes < 15
+
+    def test_shared_tlb_jump_33x(self, profiles):
+        """§6.2.6: Shared's miss rate jumps 33x between fanout 64 and
+        128 — a miss on every second flush."""
+        low = profiles.row("Shared @ 64").get("IOMMU req/tuple")
+        high = profiles.row("Shared @ 128").get("IOMMU req/tuple")
+        assert high / max(low, 1e-12) > 25
+
+    def test_hierarchical_vs_shared_miss_ratio(self, profiles):
+        """§6.2.6: at fanout 2048, Hierarchical's miss rate is 771x
+        below Shared's (ours ~511x; must exceed 100x)."""
+        shared = profiles.row("Shared @ 2048").get("IOMMU req/tuple")
+        hier = profiles.row("Hierarchical @ 2048").get("IOMMU req/tuple")
+        assert shared / hier > 100
+
+
+class TestFig22Claim:
+    def test_late_materialization_86_m_tuples(self):
+        """§6.2.10: 86-88 M tuples/s at 16 late-materialized payloads."""
+        table = fig22_tuple_width.run(
+            payload_counts=(0, 16), sizes=(512,), scale_divisor=DIVISOR
+        )
+        value = table.row("512M").get("16 attrs")
+        assert value == pytest.approx(0.087, abs=0.015)
+
+
+class TestSection3Claims:
+    def test_cpu_cannot_saturate_the_link(self, system):
+        """§3.1/§3.2: even at alpha = 1 the CPU partitions well below
+        the 63.5 GiB/s the link offers."""
+        from repro.bench.experiments.fig04_partition_locations import (
+            cpu_partition_throughput,
+        )
+
+        assert cpu_partition_throughput(system, 16.0, 512) < 45.0
+
+    def test_interconnect_bound_conclusion(self, system):
+        """§6.2.12: a faster GPU would not help; 2x SMs gains <5%."""
+        workload = default_workload(2048, 2048, scale_divisor=DIVISOR)
+        base = TritonJoin(system).run(workload).seconds
+        doubled = TritonJoin(
+            system.with_gpu(system.gpu.with_sm_count(160))
+        ).run(workload).seconds
+        assert base / doubled < 1.05
+
+    def test_triton_handles_4x_gpu_memory(self, system):
+        """§6.3: 61 GiB of state on a 16 GiB GPU at >1.5 G tuples/s."""
+        workload = default_workload(2048, 2048, scale_divisor=DIVISOR)
+        assert workload.total_nominal_bytes > 3.5 * system.gpu_memory_capacity
+        run = TritonJoin(system).run(workload)
+        assert run.throughput_g_tuples_per_s > 1.5

@@ -1,0 +1,77 @@
+"""Property-based tests: end-to-end join correctness on random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.data.generator import Workload, WorkloadConfig
+from repro.hashing import HashScheme
+from repro.hw.specs import ac922
+from repro.join import (
+    CpuPartitionedJoin,
+    CpuRadixJoin,
+    NoPartitioningJoin,
+    TritonJoin,
+    reference_join,
+)
+
+SYSTEM = ac922()
+
+
+@st.composite
+def workloads(draw):
+    """Random PK/FK workloads: dense shuffled keys, arbitrary probes."""
+    build_rows = draw(st.integers(min_value=1, max_value=2000))
+    probe_rows = draw(st.integers(min_value=1, max_value=4000))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    build_keys = rng.permutation(build_rows).astype(np.int64) + 1
+    # Probes may miss: range extends past the build keys.
+    probe_keys = rng.integers(
+        1, int(build_rows * 1.5) + 2, size=probe_rows
+    ).astype(np.int64)
+    build = Relation(
+        build_keys,
+        {"attr0": rng.integers(0, 2**40, build_rows).astype(np.int64)},
+        name="R",
+    )
+    probe = Relation(
+        probe_keys,
+        {"attr0": rng.integers(0, 2**40, probe_rows).astype(np.int64)},
+        name="S",
+    )
+    config = WorkloadConfig(
+        build_m_tuples=build_rows / 1e6, probe_m_tuples=probe_rows / 1e6
+    )
+    return Workload(config=config, build=build, probe=probe)
+
+
+@given(workloads())
+@settings(max_examples=25, deadline=None)
+def test_triton_matches_reference(workload):
+    expected = reference_join(workload.build, workload.probe)
+    assert TritonJoin(SYSTEM).run(workload).match == expected
+
+
+@given(workloads())
+@settings(max_examples=25, deadline=None)
+def test_all_operators_agree(workload):
+    expected = reference_join(workload.build, workload.probe)
+    operators = (
+        NoPartitioningJoin(SYSTEM, HashScheme.LINEAR_PROBING),
+        NoPartitioningJoin(SYSTEM, HashScheme.BUCKET_CHAINING),
+        CpuRadixJoin(SYSTEM),
+        CpuPartitionedJoin(SYSTEM),
+        TritonJoin(SYSTEM),
+    )
+    for op in operators:
+        assert op.run(workload).match == expected, op.name
+
+
+@given(workloads())
+@settings(max_examples=15, deadline=None)
+def test_simulated_time_is_positive_and_finite(workload):
+    run = TritonJoin(SYSTEM).run(workload)
+    assert 0 < run.seconds < float("inf")
+    assert run.throughput_g_tuples_per_s > 0

@@ -1,0 +1,112 @@
+"""Property-based tests: radix partitioning invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.hashing.functions import radix_bits_of
+from repro.hw.tlb import MemSpace
+from repro.partition import (
+    HierarchicalPartitioner,
+    LinearPartitioner,
+    SharedPartitioner,
+    StandardPartitioner,
+    count_flushes,
+    partition_relation,
+    radix_histogram,
+)
+from repro.hw.interconnect import Op
+
+keys_arrays = st.lists(
+    st.integers(min_value=-(2**62), max_value=2**62), min_size=1, max_size=500
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+bits_strategy = st.integers(min_value=1, max_value=8)
+
+
+@given(keys_arrays, bits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_partitioning_is_a_permutation(keys, bits):
+    parts = partition_relation(Relation(keys), bits)
+    assert np.array_equal(np.sort(parts.relation.keys), np.sort(keys))
+    assert parts.offsets[-1] == len(keys)
+    assert (np.diff(parts.offsets) >= 0).all()
+
+
+@given(keys_arrays, bits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_partitions_contain_only_their_selector(keys, bits):
+    parts = partition_relation(Relation(keys), bits)
+    selector = radix_bits_of(parts.relation.keys, bits)
+    for index in range(parts.fanout):
+        rows = parts.partition_rows(index)
+        assert (selector[rows] == index).all()
+
+
+@given(keys_arrays, bits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_histogram_matches_partition_sizes(keys, bits):
+    counts = radix_histogram(keys, bits)
+    parts = partition_relation(Relation(keys), bits)
+    assert np.array_equal(counts, parts.sizes())
+
+
+@given(keys_arrays, bits_strategy, bits_strategy)
+@settings(max_examples=40, deadline=None)
+def test_two_pass_refinement_is_consistent(keys, bits1, bits2):
+    """Pass-2 partitions nest exactly inside pass-1 partitions."""
+    first = partition_relation(Relation(keys), bits1)
+    for index in range(first.fanout):
+        part = first.partition(index)
+        if len(part) == 0:
+            continue
+        second = partition_relation(part, bits2, offset=bits1)
+        assert (radix_bits_of(second.relation.keys, bits1) == index).all()
+        assert np.array_equal(
+            np.sort(second.relation.keys), np.sort(part.keys)
+        )
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=64),
+    st.integers(min_value=1, max_value=512),
+)
+def test_flush_count_bounds(counts, buffer_tuples):
+    counts = np.array(counts)
+    flushes = count_flushes(counts, buffer_tuples)
+    nonempty = int((counts > 0).sum())
+    assert flushes >= nonempty if counts.sum() else flushes == 0
+    assert flushes <= counts.sum() // buffer_tuples + nonempty
+
+
+@given(st.sampled_from([1, 2, 4, 6, 8, 10, 11]))
+@settings(max_examples=20, deadline=None)
+def test_work_profiles_conserve_volume(fanout_bits):
+    """Every algorithm reads and writes exactly the input volume
+    (plus auxiliary traffic, never less)."""
+    fanout = 1 << fanout_bits
+    tuples = 1e6
+    for algorithm in (
+        StandardPartitioner(),
+        LinearPartitioner(),
+        SharedPartitioner(),
+        HierarchicalPartitioner(),
+    ):
+        if fanout > algorithm.max_fanout(16, 65536):
+            continue
+        work = algorithm.gpu_work(
+            tuples, 16, fanout, MemSpace.CPU, MemSpace.CPU, 65536
+        )
+        reads = sum(
+            r.total_bytes for r in work.requests if r.op is Op.READ
+            and r.space is MemSpace.CPU
+        )
+        writes = sum(
+            r.total_bytes for r in work.requests if r.op is Op.WRITE
+            and r.space is MemSpace.CPU
+        )
+        assert reads >= tuples * 16
+        assert writes == pytest.approx(tuples * 16)
+        assert work.issue_slots > 0

@@ -1,0 +1,233 @@
+"""Unit tests for the fluid-flow simulator (repro.sim)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.counters import PerfCounters
+from repro.sim.engine import SimEngine
+from repro.sim.resources import Resource, ResourcePool
+from repro.sim.tasks import Task, TaskGraph, chain
+
+
+@pytest.fixture
+def pool():
+    return ResourcePool(
+        {
+            "link": Resource("link", 100.0),
+            "mem": Resource("mem", 1000.0),
+            "sm": Resource("sm", 10.0),
+        }
+    )
+
+
+def task(name, demands, caps=None, after=(), min_seconds=0.0, phase=""):
+    t = Task(
+        name=name,
+        phase=phase or name,
+        demands=demands,
+        rate_caps=caps or {},
+        min_seconds=min_seconds,
+    )
+    t.after.extend(after)
+    return t
+
+
+class TestResourcePool:
+    def test_lookup(self, pool):
+        assert pool.capacity("link") == 100.0
+        assert "mem" in pool
+
+    def test_unknown_resource(self, pool):
+        with pytest.raises(ConfigurationError):
+            pool["bogus"]
+
+    def test_for_system_has_standard_resources(self, system):
+        pool = ResourcePool.for_system(system)
+        for name in (
+            "nvlink_to_gpu",
+            "nvlink_to_cpu",
+            "cpu_mem_bw",
+            "gpu_mem_bw",
+            "gpu_sm",
+            "cpu_cores",
+            "iommu_walks",
+        ):
+            assert name in pool
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Resource("zero", 0.0)
+
+
+class TestSingleTask:
+    def test_duration_is_demand_over_capacity(self, pool):
+        t = task("t", {"link": 200.0})
+        result = SimEngine(pool).run(TaskGraph([t]))
+        assert result.makespan_seconds == pytest.approx(2.0)
+
+    def test_rate_cap_binds_before_capacity(self, pool):
+        t = task("t", {"link": 200.0}, caps={"link": 50.0})
+        result = SimEngine(pool).run(TaskGraph([t]))
+        assert result.makespan_seconds == pytest.approx(4.0)
+
+    def test_max_semantics_across_resources(self, pool):
+        # Memory and compute overlap within one kernel.
+        t = task("t", {"link": 100.0, "sm": 5.0})
+        result = SimEngine(pool).run(TaskGraph([t]))
+        assert result.makespan_seconds == pytest.approx(1.0)
+
+    def test_min_seconds(self, pool):
+        t = task("t", {"link": 1.0}, min_seconds=3.0)
+        result = SimEngine(pool).run(TaskGraph([t]))
+        assert result.makespan_seconds == pytest.approx(3.0)
+
+    def test_zero_work_barrier(self, pool):
+        t = task("barrier", {})
+        result = SimEngine(pool).run(TaskGraph([t]))
+        assert result.makespan_seconds == 0.0
+
+    def test_standalone_seconds(self):
+        t = task("t", {"link": 200.0}, caps={"link": 50.0})
+        assert t.standalone_seconds() == pytest.approx(4.0)
+
+    def test_standalone_needs_caps(self):
+        t = task("t", {"link": 200.0})
+        with pytest.raises(SimulationError):
+            t.standalone_seconds()
+
+
+class TestSharing:
+    def test_two_tasks_split_a_resource(self, pool):
+        a = task("a", {"link": 100.0})
+        b = task("b", {"link": 100.0})
+        result = SimEngine(pool).run(TaskGraph([a, b]))
+        assert result.makespan_seconds == pytest.approx(2.0)
+
+    def test_disjoint_resources_fully_overlap(self, pool):
+        a = task("a", {"link": 100.0})
+        b = task("b", {"mem": 1000.0})
+        result = SimEngine(pool).run(TaskGraph([a, b]))
+        assert result.makespan_seconds == pytest.approx(1.0)
+
+    def test_unequal_demands_finish_in_order(self, pool):
+        small = task("small", {"link": 50.0})
+        large = task("large", {"link": 150.0})
+        result = SimEngine(pool).run(TaskGraph([small, large]))
+        assert small.end_time < large.end_time
+        assert result.makespan_seconds == pytest.approx(2.0)
+
+    def test_freed_capacity_speeds_survivors(self, pool):
+        # After the small task finishes, the large one gets the full rate:
+        # phase 1: both at 50/s until small (50 units) done at t=1;
+        # phase 2: large has 100 left at 100/s -> total 2.0.
+        small = task("small", {"link": 50.0})
+        large = task("large", {"link": 150.0})
+        result = SimEngine(pool).run(TaskGraph([small, large]))
+        assert result.makespan_seconds == pytest.approx(2.0)
+
+
+class TestDependencies:
+    def test_chain_serializes(self, pool):
+        a = task("a", {"link": 100.0})
+        b = task("b", {"link": 100.0})
+        result = SimEngine(pool).run(TaskGraph(chain([a, b])))
+        assert result.makespan_seconds == pytest.approx(2.0)
+        assert b.start_time == pytest.approx(a.end_time)
+
+    def test_diamond(self, pool):
+        a = task("a", {"link": 100.0})
+        b = task("b", {"link": 100.0}, after=[a])
+        c = task("c", {"mem": 1000.0}, after=[a])
+        d = task("d", {"sm": 10.0}, after=[b, c])
+        result = SimEngine(pool).run(TaskGraph([a, b, c, d]))
+        assert result.makespan_seconds == pytest.approx(3.0)
+        assert d.start_time == pytest.approx(2.0)
+
+    def test_pipeline_overlap(self, pool):
+        # Two-stage pipeline over 4 chunks: stage1 uses link, stage2 mem.
+        stage1 = [task(f"s1[{i}]", {"link": 100.0}) for i in range(4)]
+        stage2 = [task(f"s2[{i}]", {"mem": 1000.0}) for i in range(4)]
+        for prev, cur in zip(stage1, stage1[1:]):
+            cur.after.append(prev)
+        for i in range(4):
+            stage2[i].after.append(stage1[i])
+            if i:
+                stage2[i].after.append(stage2[i - 1])
+        result = SimEngine(pool).run(TaskGraph(stage1 + stage2))
+        # 4 chunks through 2 unit-time stages = 5 time units, not 8.
+        assert result.makespan_seconds == pytest.approx(5.0)
+
+    def test_cycle_detected(self, pool):
+        a = task("a", {"link": 1.0})
+        b = task("b", {"link": 1.0}, after=[a])
+        a.after.append(b)
+        with pytest.raises(SimulationError):
+            SimEngine(pool).run(TaskGraph([a, b]))
+
+    def test_missing_dependency_detected(self, pool):
+        a = task("a", {"link": 1.0})
+        b = task("b", {"link": 1.0}, after=[a])
+        with pytest.raises(SimulationError):
+            SimEngine(pool).run(TaskGraph([b]))
+
+
+class TestResults:
+    def test_counters_merged(self, pool):
+        a = task("a", {"link": 100.0})
+        a.counters.merge(PerfCounters(tuples_processed=10))
+        b = task("b", {"link": 100.0})
+        b.counters.merge(PerfCounters(tuples_processed=5))
+        result = SimEngine(pool).run(TaskGraph([a, b]))
+        assert result.counters.tuples_processed == 15
+
+    def test_resource_utilization(self, pool):
+        t = task("t", {"link": 100.0})
+        result = SimEngine(pool).run(TaskGraph([t]))
+        util = result.resource_utilization(pool)
+        assert util["link"] == pytest.approx(1.0)
+        assert util["mem"] == 0.0
+
+    def test_trace_entries(self, pool):
+        a = task("a", {"link": 100.0}, phase="Phase A")
+        result = SimEngine(pool).run(TaskGraph([a]))
+        assert len(result.trace) == 1
+        entry = result.trace[0]
+        assert entry.phase == "Phase A"
+        assert entry.duration == pytest.approx(1.0)
+
+    def test_graph_rerun_is_deterministic(self, pool):
+        a = task("a", {"link": 100.0})
+        b = task("b", {"link": 50.0}, after=[a])
+        graph = TaskGraph([a, b])
+        engine = SimEngine(pool)
+        first = engine.run(graph).makespan_seconds
+        second = engine.run(graph).makespan_seconds
+        assert first == pytest.approx(second)
+
+
+class TestPhaseBreakdown:
+    def test_sums_to_makespan(self, pool):
+        a = task("a", {"link": 100.0}, phase="X")
+        b = task("b", {"mem": 1000.0}, phase="Y")
+        c = task("c", {"link": 100.0}, phase="X", after=[a, b])
+        result = SimEngine(pool).run(TaskGraph([a, b, c]))
+        breakdown = result.phase_breakdown()
+        assert sum(breakdown.seconds_by_phase.values()) == pytest.approx(
+            result.makespan_seconds
+        )
+
+    def test_overlap_shared_between_phases(self, pool):
+        a = task("a", {"link": 100.0}, phase="X")
+        b = task("b", {"mem": 1000.0}, phase="Y")
+        result = SimEngine(pool).run(TaskGraph([a, b]))
+        breakdown = result.phase_breakdown()
+        assert breakdown.fraction("X") == pytest.approx(0.5)
+        assert breakdown.fraction("Y") == pytest.approx(0.5)
+
+    def test_percentages_sum_to_100(self, pool):
+        a = task("a", {"link": 100.0}, phase="X")
+        b = task("b", {"link": 50.0}, phase="Y", after=[a])
+        result = SimEngine(pool).run(TaskGraph([a, b]))
+        assert sum(result.phase_breakdown().percentages().values()) == (
+            pytest.approx(100.0)
+        )

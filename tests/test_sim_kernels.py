@@ -1,0 +1,142 @@
+"""Unit tests for the kernel/task builders (repro.sim.kernels)."""
+
+import pytest
+
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import MemoryRequest
+from repro.hw.interconnect import AccessPattern, Op
+from repro.hw.tlb import MemSpace
+from repro.sim import resources as res
+from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
+from repro.units import GIB, gib
+
+
+@pytest.fixture
+def builder(gpu_model):
+    return GpuKernelBuilder(gpu_model)
+
+
+@pytest.fixture
+def cpu_builder(system):
+    return CpuTaskBuilder(CpuModel(system.cpu))
+
+
+def seq_read(nbytes, space=MemSpace.CPU):
+    return MemoryRequest(
+        total_bytes=nbytes,
+        access_bytes=128,
+        op=Op.READ,
+        space=space,
+        pattern=AccessPattern.SEQUENTIAL,
+    )
+
+
+class TestGpuKernelBuilder:
+    def test_link_read_demand(self, builder):
+        task = builder.build("k", [seq_read(gib(1))])
+        assert task.demands[res.NVLINK_TO_GPU] == gib(1)
+        assert task.demands[res.CPU_MEM_BW] == gib(1)
+
+    def test_write_goes_to_cpu_direction(self, builder):
+        task = builder.build(
+            "k",
+            [
+                MemoryRequest(
+                    total_bytes=gib(1),
+                    access_bytes=128,
+                    op=Op.WRITE,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.SEQUENTIAL,
+                )
+            ],
+        )
+        assert res.NVLINK_TO_CPU in task.demands
+        assert res.NVLINK_TO_GPU not in task.demands
+
+    def test_gpu_space_uses_gpu_mem(self, builder):
+        task = builder.build("k", [seq_read(gib(1), MemSpace.GPU)])
+        assert task.demands == pytest.approx(
+            {res.GPU_MEM_BW: gib(1)}
+        ) or res.GPU_SM in task.demands
+
+    def test_standalone_is_max_of_memory_and_compute(self, builder, gpu_model):
+        link_seconds = gib(63.5) / gib(63.5)  # 1 second of link time
+        heavy_compute = gpu_model.spec.total_ops_per_s * 2.0
+        task = builder.build(
+            "k", [seq_read(gib(63.5))], instructions=heavy_compute
+        )
+        assert task.standalone_seconds() == pytest.approx(2.0, rel=0.02)
+        light = builder.build("k2", [seq_read(gib(63.5))], instructions=1e6)
+        assert light.standalone_seconds() == pytest.approx(
+            link_seconds, rel=0.02
+        )
+
+    def test_sm_fraction_halves_issue_rate(self, builder, gpu_model):
+        instructions = gpu_model.spec.total_ops_per_s
+        full = builder.build("f", [], instructions=instructions)
+        half = builder.build(
+            "h", [], instructions=instructions, sm_fraction=0.5
+        )
+        assert half.standalone_seconds() == pytest.approx(
+            2 * full.standalone_seconds(), rel=0.01
+        )
+
+    def test_walks_create_iommu_demand(self, builder):
+        task = builder.build(
+            "k",
+            [
+                MemoryRequest(
+                    total_bytes=gib(8),
+                    access_bytes=16,
+                    op=Op.READ,
+                    space=MemSpace.CPU,
+                    pattern=AccessPattern.RANDOM,
+                    footprint_bytes=gib(64),
+                )
+            ],
+        )
+        assert task.demands[res.IOMMU_WALKS] > 0
+
+    def test_counters_attached(self, builder):
+        task = builder.build("k", [seq_read(gib(1))], tuples=1000.0)
+        assert task.counters.cpu_mem_read_bytes == gib(1)
+        assert task.counters.tuples_processed == 1000.0
+
+    def test_meta_records_split(self, builder):
+        task = builder.build("k", [seq_read(gib(1))], instructions=1e9)
+        assert task.meta["memory_seconds"] > 0
+        assert task.meta["compute_seconds"] > 0
+
+    def test_empty_requests_skipped(self, builder):
+        task = builder.build("k", [seq_read(0)], instructions=1.0)
+        assert res.NVLINK_TO_GPU not in task.demands
+
+    def test_launch_overhead_default(self, builder):
+        task = builder.build("k", [])
+        assert task.min_seconds > 0
+
+
+class TestCpuTaskBuilder:
+    def test_memory_demand(self, cpu_builder):
+        task = cpu_builder.build("p", read_bytes=GIB, write_bytes=GIB)
+        assert task.demands[res.CPU_MEM_BW] == 2 * GIB
+
+    def test_compute_demand(self, cpu_builder, system):
+        task = cpu_builder.build("p", operations=1e9)
+        assert task.demands[res.CPU_CORES] == 1e9
+        assert task.standalone_seconds() == pytest.approx(
+            1e9 / system.cpu.total_ops_per_s
+        )
+
+    def test_random_writes_slower(self, cpu_builder):
+        seq = cpu_builder.build("s", write_bytes=GIB)
+        rand = cpu_builder.build("r", write_bytes=GIB, random_writes=True)
+        assert rand.standalone_seconds() > seq.standalone_seconds()
+
+    def test_counters(self, cpu_builder):
+        task = cpu_builder.build(
+            "p", read_bytes=GIB, operations=10.0, tuples=5.0
+        )
+        assert task.counters.cpu_mem_read_bytes == GIB
+        assert task.counters.instructions == 10.0
+        assert task.counters.tuples_processed == 5.0

@@ -1,0 +1,97 @@
+"""Tests for skew-aware chunking, large-value aggregation, and the
+extension experiments."""
+
+import numpy as np
+import pytest
+
+from repro.aggregate import AggregateFunction, reference_aggregate
+from repro.aggregate.group_by import _accumulate
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.data.generator import generate_workload
+from repro.data.relation import Relation
+from repro.join import TritonJoin, reference_join
+
+
+class TestChunkWeights:
+    def test_uniform_workload_has_even_chunks(self, system):
+        workload = generate_workload(512, 512, scale_divisor=8192)
+        op = TritonJoin(system)
+        weights = op.chunk_weights(workload, op.plan(workload))
+        assert len(weights) == op.pipeline_chunks
+        assert sum(weights) == pytest.approx(1.0, abs=1e-6)
+        assert max(weights) < 1.6 / op.pipeline_chunks
+
+    def test_skewed_workload_has_heavy_chunks(self, system):
+        uniform = generate_workload(512, 512, scale_divisor=8192, seed=3)
+        skewed = generate_workload(
+            512, 512, zipf_theta=1.5, scale_divisor=8192, seed=3
+        )
+        op = TritonJoin(system)
+        u = max(op.chunk_weights(uniform, op.plan(uniform)))
+        s = max(op.chunk_weights(skewed, op.plan(skewed)))
+        assert s > 1.5 * u
+
+    def test_skew_slows_the_join_without_a_cliff(self, system):
+        op = TritonJoin(system)
+        uniform = op.run(
+            generate_workload(1024, 1024, scale_divisor=16384, seed=5)
+        ).seconds
+        skewed = op.run(
+            generate_workload(
+                1024, 1024, zipf_theta=1.5, scale_divisor=16384, seed=5
+            )
+        ).seconds
+        assert skewed > uniform
+        assert skewed < 2.0 * uniform
+
+    def test_skewed_join_still_correct(self, system):
+        workload = generate_workload(
+            0.05, 0.2, zipf_theta=1.5, scale_divisor=1, seed=5
+        )
+        expected = reference_join(workload.build, workload.probe)
+        assert TritonJoin(system).run(workload).match == expected
+
+
+class TestLargeValueAggregation:
+    def test_sum_of_huge_payloads_is_exact(self):
+        # Regression: float64 bincount weights silently lose precision
+        # above 2^53; int64 accumulation must not.
+        keys = np.array([1, 1, 2], dtype=np.int64)
+        values = np.array([2**60, 3, 2**61], dtype=np.int64)
+        group_keys, states = _accumulate(AggregateFunction.SUM, keys, values)
+        assert states[0] == 2**60 + 3
+        assert states[1] == 2**61
+
+    def test_reference_aggregate_handles_random_62_bit_values(self):
+        rng = np.random.default_rng(0)
+        relation = Relation(
+            rng.integers(1, 50, size=10_000).astype(np.int64),
+            {"attr0": rng.integers(0, 2**62, size=10_000).astype(np.int64)},
+        )
+        first = reference_aggregate(relation, AggregateFunction.SUM)
+        second = reference_aggregate(relation, AggregateFunction.SUM)
+        assert first == second
+        assert first.groups == 49
+
+
+class TestExtensionExperimentsSmoke:
+    def test_ext_interconnect(self):
+        table = ALL_EXPERIMENTS["ext_interconnect"].run(
+            sizes=(2048,), scale_divisor=65536
+        )
+        assert table.rows
+
+    def test_ext_scaling(self):
+        multi, agg = ALL_EXPERIMENTS["ext_scaling"].run(
+            sizes=(512,), scale_divisor=65536
+        )
+        assert multi.rows and agg.rows
+
+    def test_ext_robustness(self):
+        skew, selectivity = ALL_EXPERIMENTS["ext_robustness"].run(
+            scale_divisor=65536
+        )
+        assert skew.rows and selectivity.rows
+
+    def test_registry_is_complete(self):
+        assert len(ALL_EXPERIMENTS) == 22

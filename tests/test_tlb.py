@@ -1,0 +1,139 @@
+"""Unit tests for the translation model (repro.hw.tlb)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.specs import ac922
+from repro.hw.tlb import (
+    EFFECTIVE_GPU_TLB_STREAMS,
+    EFFECTIVE_IOTLB_STREAMS,
+    MemSpace,
+    TranslationModel,
+)
+from repro.units import gib
+
+
+@pytest.fixture(scope="module")
+def model():
+    system = ac922()
+    return TranslationModel(system.gpu.tlb, system.cpu.iommu)
+
+
+class TestChaseLatency:
+    """The Fig. 7 plateaus are exact calibration targets."""
+
+    @pytest.mark.parametrize("range_gib,expected_ns", [
+        (1, 151.9), (6, 151.9), (8, 151.9), (9.8, 226.7), (10.7, 226.7),
+    ])
+    def test_gpu_memory(self, model, range_gib, expected_ns):
+        latency = model.chase_latency(gib(range_gib), MemSpace.GPU)
+        assert latency == pytest.approx(expected_ns * 1e-9)
+
+    @pytest.mark.parametrize("range_gib,expected_ns", [
+        (1, 449.7), (8, 449.7), (9.5, 532.9), (32, 532.9),
+        (37, 3186.4), (64, 3186.4), (87.5, 3186.4),
+    ])
+    def test_cpu_memory(self, model, range_gib, expected_ns):
+        latency = model.chase_latency(gib(range_gib), MemSpace.CPU)
+        assert latency == pytest.approx(expected_ns * 1e-9)
+
+    def test_transition_window_interpolates(self, model):
+        low = model.chase_latency(gib(32), MemSpace.CPU)
+        mid = model.chase_latency(gib(34.5), MemSpace.CPU)
+        high = model.chase_latency(gib(37), MemSpace.CPU)
+        assert low < mid < high
+
+    def test_rejects_nonpositive_range(self, model):
+        with pytest.raises(ConfigurationError):
+            model.chase_latency(0, MemSpace.CPU)
+
+
+class TestRandomProfile:
+    def test_small_footprint_all_hits(self, model):
+        profile = model.random_profile(gib(1), MemSpace.CPU)
+        assert profile.l2_miss_fraction == 0.0
+        assert profile.iommu_requests_per_access == 0.0
+        assert profile.access_rate_ceiling_per_s == float("inf")
+
+    def test_gpu_memory_never_reaches_iommu(self, model):
+        profile = model.random_profile(gib(15), MemSpace.GPU)
+        assert profile.iommu_requests_per_access == 0.0
+        assert profile.l2_miss_fraction > 0.0
+
+    def test_l3_star_covers_up_to_32_gib(self, model):
+        profile = model.random_profile(gib(30), MemSpace.CPU)
+        assert profile.walk_fraction == 0.0
+        assert profile.l2_miss_fraction > 0.5
+
+    def test_walks_beyond_l3_star(self, model):
+        profile = model.random_profile(gib(64), MemSpace.CPU)
+        assert profile.walk_fraction == pytest.approx(0.5)
+        assert profile.access_rate_ceiling_per_s < 1e8
+
+    def test_walker_ceiling_scales_with_walk_fraction(self, model):
+        half = model.random_profile(gib(64), MemSpace.CPU)
+        most = model.random_profile(gib(128), MemSpace.CPU)
+        assert most.walk_fraction > half.walk_fraction
+        assert most.access_rate_ceiling_per_s < half.access_rate_ceiling_per_s
+
+    def test_latency_increases_with_footprint(self, model):
+        latencies = [
+            model.random_profile(gib(r), MemSpace.CPU).avg_latency_s
+            for r in (4, 16, 40, 80)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_rejects_nonpositive_footprint(self, model):
+        with pytest.raises(ConfigurationError):
+            model.random_profile(0.0, MemSpace.CPU)
+
+
+class TestStreamProfile:
+    """The stream-cursor model behind Fig. 18(d)."""
+
+    def test_no_misses_within_effective_entries(self, model):
+        profile = model.stream_profile(EFFECTIVE_GPU_TLB_STREAMS)
+        assert profile.gpu_miss_fraction == 0.0
+        assert profile.access_rate_ceiling_per_s == float("inf")
+
+    def test_half_misses_at_double_the_entries(self, model):
+        # "a miss on every second flush" between fanout 64 and 128.
+        profile = model.stream_profile(2 * EFFECTIVE_GPU_TLB_STREAMS)
+        assert profile.gpu_miss_fraction == pytest.approx(0.5)
+
+    def test_iotlb_absorbs_mid_fanouts(self, model):
+        profile = model.stream_profile(512)
+        assert profile.gpu_miss_fraction > 0.8
+        assert profile.walk_fraction == 0.0
+
+    def test_walks_at_high_fanout(self, model):
+        profile = model.stream_profile(2 * EFFECTIVE_IOTLB_STREAMS)
+        assert profile.walk_fraction > 0.4
+        assert profile.access_rate_ceiling_per_s < 1e7
+
+    def test_miss_fraction_monotone_in_streams(self, model):
+        fractions = [
+            model.stream_profile(f).gpu_miss_fraction
+            for f in (32, 64, 128, 512, 4096)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_rejects_nonpositive_streams(self, model):
+        with pytest.raises(ConfigurationError):
+            model.stream_profile(0)
+
+
+class TestSequentialRequests:
+    def test_one_request_per_entry_reach(self, model):
+        # 32 MiB coalesced reach with 2 MiB pages.
+        requests = model.sequential_iommu_requests(gib(1), 2 * 1024 * 1024)
+        assert requests == pytest.approx(32.0)
+
+    def test_small_pages_raise_request_rate(self, model):
+        huge = model.sequential_iommu_requests(gib(1), 2 * 1024 * 1024)
+        small = model.sequential_iommu_requests(gib(1), 64 * 1024)
+        assert small > huge
+
+    def test_rejects_bad_page_size(self, model):
+        with pytest.raises(ConfigurationError):
+            model.sequential_iommu_requests(gib(1), 0)
