@@ -6,10 +6,16 @@ Run any paper experiment (or all of them) from the shell::
     python -m repro.bench fig13
     python -m repro.bench fig13 --sizes 128,2048 --divisor 16384
     python -m repro.bench all --divisor 65536
+    python -m repro.bench all --jobs 4
 
 Each experiment prints the same table its benchmark produces; the
 ``--divisor`` flag trades functional-array size for speed (cost models
-always use nominal sizes).
+always use nominal sizes). ``--jobs N`` fans the ``all`` run out over N
+worker processes; output stays in deterministic experiment order
+regardless of completion order, and a per-experiment timing table is
+appended. Identical (operator, workload) runs shared between figures
+are memoized (see :mod:`repro.join.run_cache`); ``--no-cache`` turns
+that off.
 """
 
 from __future__ import annotations
@@ -20,9 +26,12 @@ import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import ExperimentTable
+from repro.join import run_cache
 
 
-def _run_one(name: str, sizes, divisor) -> None:
+def _render_one(name: str, sizes, divisor) -> str:
+    """Run one experiment and render its tables (no printing)."""
     module = ALL_EXPERIMENTS[name]
     kwargs = {}
     signature = inspect.signature(module.run)
@@ -33,10 +42,74 @@ def _run_one(name: str, sizes, divisor) -> None:
     started = time.time()
     result = module.run(**kwargs)
     tables = result if isinstance(result, tuple) else (result,)
+    chunks = []
     for table in tables:
-        print(table.format())
-        print()
-    print(f"[{name}: {time.time() - started:.1f}s]\n")
+        chunks.append(table.format())
+        chunks.append("")
+    chunks.append(f"[{name}: {time.time() - started:.1f}s]\n")
+    return "\n".join(chunks)
+
+
+def _run_one(name: str, sizes, divisor) -> float:
+    started = time.time()
+    print(_render_one(name, sizes, divisor))
+    return time.time() - started
+
+
+def _worker(name: str, sizes, divisor, use_cache: bool):
+    """Process-pool entry point: returns (name, output, seconds)."""
+    if use_cache:
+        run_cache.enable()
+    started = time.time()
+    output = _render_one(name, sizes, divisor)
+    return name, output, time.time() - started
+
+
+def _timing_table(seconds_by_name) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment="timing",
+        title="Wall-clock per experiment",
+        columns=["seconds"],
+        unit="s",
+    )
+    for name, seconds in seconds_by_name:
+        table.add_row(name, {"seconds": round(seconds, 2)})
+    table.add_row(
+        "total", {"seconds": round(sum(s for _, s in seconds_by_name), 2)}
+    )
+    if run_cache.enabled() and (
+        run_cache.stats["hits"] or run_cache.stats["misses"]
+    ):
+        table.add_note(
+            f"run cache: {run_cache.stats['hits']} hits, "
+            f"{run_cache.stats['misses']} misses"
+        )
+    return table
+
+
+def _run_all(sizes, divisor, jobs: int) -> None:
+    if jobs <= 1:
+        timings = [
+            (name, _run_one(name, sizes, divisor)) for name in ALL_EXPERIMENTS
+        ]
+        print(_timing_table(timings).format())
+        return
+    from concurrent.futures import ProcessPoolExecutor
+
+    use_cache = run_cache.enabled()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_worker, name, sizes, divisor, use_cache)
+            for name in ALL_EXPERIMENTS
+        ]
+        timings = []
+        # Print in submission (= creation) order, not completion order,
+        # so the output is byte-stable across --jobs settings.
+        for future in futures:
+            name, output, seconds = future.result()
+            print(output)
+            timings.append((name, seconds))
+    print(_timing_table(timings).format())
 
 
 def main(argv=None) -> int:
@@ -58,7 +131,20 @@ def main(argv=None) -> int:
         default=None,
         help="nominal-to-materialized scale divisor (default per experiment)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for 'all' (default 1: in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable memoization of identical join runs across figures",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "list":
         for name, module in sorted(ALL_EXPERIMENTS.items()):
@@ -68,22 +154,30 @@ def main(argv=None) -> int:
 
     sizes = None
     if args.sizes:
-        sizes = tuple(int(s) for s in args.sizes.split(","))
+        try:
+            sizes = tuple(int(s) for s in args.sizes.split(","))
+        except ValueError:
+            parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
 
-    if args.experiment == "all":
-        for name in ALL_EXPERIMENTS:
-            _run_one(name, sizes, args.divisor)
+    if not args.no_cache:
+        run_cache.enable()
+    try:
+        if args.experiment == "all":
+            _run_all(sizes, args.divisor, args.jobs)
+            return 0
+
+        if args.experiment not in ALL_EXPERIMENTS:
+            print(
+                f"unknown experiment {args.experiment!r}; try "
+                f"'python -m repro.bench list'",
+                file=sys.stderr,
+            )
+            return 2
+        _run_one(args.experiment, sizes, args.divisor)
         return 0
-
-    if args.experiment not in ALL_EXPERIMENTS:
-        print(
-            f"unknown experiment {args.experiment!r}; try "
-            f"'python -m repro.bench list'",
-            file=sys.stderr,
-        )
-        return 2
-    _run_one(args.experiment, sizes, args.divisor)
-    return 0
+    finally:
+        run_cache.disable()
+        run_cache.clear()
 
 
 if __name__ == "__main__":

@@ -9,7 +9,17 @@ functionally on numpy arrays and also exposes an access-cost profile
 the join cost models consume.
 """
 
-from repro.hashing.functions import fibonacci_hash, multiply_shift, murmur_mix
+from repro.hashing.batch import (
+    grouped_bucket_chaining_join,
+    grouped_perfect_join,
+)
+from repro.hashing.functions import (
+    fibonacci_hash,
+    hash_u64,
+    multiply_shift,
+    murmur_mix,
+    radix_window,
+)
 from repro.hashing.hash_table import HashScheme, HashTable, TableProfile
 from repro.hashing.linear_probing import LinearProbingTable
 from repro.hashing.bucket_chaining import BucketChainingTable
@@ -23,6 +33,10 @@ __all__ = [
     "PerfectTable",
     "TableProfile",
     "fibonacci_hash",
+    "grouped_bucket_chaining_join",
+    "grouped_perfect_join",
+    "hash_u64",
     "multiply_shift",
     "murmur_mix",
+    "radix_window",
 ]

@@ -9,16 +9,21 @@ lookup over the candidate range of its bucket.
 Unlike linear probing, bucket chaining naturally supports duplicate
 build keys, so it is also the scheme used when the build side is not a
 key column.
+
+Build-then-probe flows that already hashed the keys (e.g. to pick radix
+partitions) can pass the precomputed :func:`~repro.hashing.functions.
+hash_u64` values to both the constructor and :meth:`probe`.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.hashing.functions import multiply_shift
+from repro.hashing.batch import expand_ranges
+from repro.hashing.functions import bucket_of, hash_u64, multiply_shift
 from repro.hashing.hash_table import (
     HashScheme,
     HashTable,
@@ -40,6 +45,7 @@ class BucketChainingTable(HashTable):
         keys: np.ndarray,
         values: np.ndarray,
         buckets: int = DEFAULT_BUCKETS,
+        hashes: Optional[np.ndarray] = None,
     ) -> None:
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
@@ -48,47 +54,43 @@ class BucketChainingTable(HashTable):
         if buckets <= 0 or buckets & (buckets - 1):
             raise ConfigurationError("buckets must be a positive power of two")
         self._buckets = buckets
-        self._bits = int(np.log2(buckets))
-        bucket_of = self._bucket_of(keys)
-        order = np.argsort(bucket_of, kind="stable")
+        self._bits = buckets.bit_length() - 1
+        bucket_idx = self._bucket_of(keys, hashes)
+        order = np.argsort(bucket_idx, kind="stable")
         self._keys = keys[order]
         self._values = values[order]
-        counts = np.bincount(bucket_of, minlength=buckets)
+        counts = np.bincount(bucket_idx, minlength=buckets)
         self._offsets = np.zeros(buckets + 1, dtype=np.int64)
         np.cumsum(counts, out=self._offsets[1:])
         self.profile: TableProfile = bucket_chaining_profile(
             max(len(keys), 1), buckets
         )
 
-    def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
+    def _bucket_of(
+        self, keys: np.ndarray, hashes: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         if self._bits == 0:
             # A single bucket: everything chains together.
             return np.zeros(len(keys), dtype=np.int64)
+        if hashes is not None:
+            return bucket_of(np.asarray(hashes, dtype=np.uint64), self._bits)
         return multiply_shift(keys, bits=self._bits)
 
-    def probe(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def probe(
+        self, keys: np.ndarray, hashes: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
         keys = np.asarray(keys, dtype=np.int64)
         if len(self._keys) == 0 or len(keys) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        bucket_of = self._bucket_of(keys)
-        starts = self._offsets[bucket_of]
-        ends = self._offsets[bucket_of + 1]
-        counts = (ends - starts).astype(np.int64)
-        nonzero = counts > 0
-        total = int(counts.sum())
-        if total == 0:
+        bucket_idx = self._bucket_of(keys, hashes)
+        starts = self._offsets[bucket_idx]
+        ends = self._offsets[bucket_idx + 1]
+        # Expand each probe over its bucket's candidate range.
+        probe_idx, candidates = expand_ranges(starts, ends)
+        if len(candidates) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        # Expand each probe over its bucket's candidate range: for probe
-        # i, candidates are starts[i], starts[i]+1, ..., ends[i]-1.
-        seg_counts = counts[nonzero]
-        probe_idx = np.repeat(np.nonzero(nonzero)[0], seg_counts)
-        seg_start = np.repeat(starts[nonzero], seg_counts)
-        seg_offset = np.repeat(
-            np.cumsum(seg_counts) - seg_counts, seg_counts
-        )
-        candidates = seg_start + (np.arange(total) - seg_offset)
         hit = self._keys[candidates] == keys[probe_idx]
         return probe_idx[hit], self._values[candidates[hit]]
 
@@ -103,3 +105,8 @@ class BucketChainingTable(HashTable):
     def chain_lengths(self) -> np.ndarray:
         """Per-bucket chain lengths (for balance diagnostics)."""
         return np.diff(self._offsets)
+
+    @staticmethod
+    def hash_keys(keys: np.ndarray) -> np.ndarray:
+        """Precompute hashes once for build-then-probe flows."""
+        return hash_u64(np.asarray(keys, dtype=np.int64))

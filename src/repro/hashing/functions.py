@@ -5,6 +5,12 @@ the paper (section 6.1); a Murmur-style finalizer and the Fibonacci
 constant variant are provided for tests and extensions. All functions
 take int64 numpy arrays and return non-negative int64 hashes (or bucket
 indices when ``bits`` is given).
+
+Hot-path note: int64 and uint64 share an itemsize, so all conversions
+here are zero-copy ``view``s rather than ``astype`` copies, and callers
+that need several selectors from the same keys (a radix window per pass
+plus a bucket index) should hash once with :func:`hash_u64` and slice
+windows out of it with :func:`radix_window` / :func:`bucket_of`.
 """
 
 from __future__ import annotations
@@ -18,19 +24,63 @@ MULTIPLY_SHIFT_A = np.uint64(0x9E2F_96BF_4DDC_B80D | 1)
 # Knuth's golden-ratio constant for Fibonacci hashing.
 FIBONACCI_A = np.uint64(0x9E37_79B9_7F4A_7C15)
 
+_SIGN_CLEAR = np.uint64(0x7FFF_FFFF_FFFF_FFFF)
+
 
 def _as_uint64(keys: np.ndarray) -> np.ndarray:
     keys = np.asarray(keys)
-    return keys.astype(np.uint64, copy=False)
+    if keys.dtype == np.uint64:
+        return keys
+    if keys.dtype != np.int64:
+        keys = keys.astype(np.int64)
+    return keys.view(np.uint64)
 
 
 def _finish(hashed: np.ndarray, bits: int | None) -> np.ndarray:
     if bits is not None:
         if not 0 < bits <= 63:
             raise ConfigurationError(f"bits must be in [1, 63], got {bits}")
-        hashed = hashed >> np.uint64(64 - bits)
+        # Shifting by >= 1 leaves the sign bit clear, so the int64 view
+        # is already non-negative — no masking pass needed.
+        return (hashed >> np.uint64(64 - bits)).view(np.int64)
     # Clear the sign bit so the int64 view is non-negative.
-    return (hashed & np.uint64(0x7FFF_FFFF_FFFF_FFFF)).astype(np.int64)
+    return (hashed & _SIGN_CLEAR).view(np.int64)
+
+
+def hash_u64(keys: np.ndarray) -> np.ndarray:
+    """The raw 64-bit multiply-shift product as ``uint64``.
+
+    The single hash every selector derives from: the top ``bits`` are a
+    bucket index (:func:`bucket_of`), the low bits (below the sign bit)
+    are the radix windows (:func:`radix_window`). Hash once, slice many.
+    """
+    with np.errstate(over="ignore"):
+        return _as_uint64(keys) * MULTIPLY_SHIFT_A
+
+
+def bucket_of(hashed: np.ndarray, bits: int) -> np.ndarray:
+    """Bucket index from a precomputed :func:`hash_u64` array.
+
+    Identical to ``multiply_shift(keys, bits=bits)`` without re-hashing.
+    """
+    return _finish(hashed, bits)
+
+
+def radix_window(hashed: np.ndarray, bits: int, offset: int = 0) -> np.ndarray:
+    """Radix selector window from a precomputed :func:`hash_u64` array.
+
+    Identical to ``radix_bits_of(keys, bits, offset)`` without
+    re-hashing. Windows live below the sign bit (``offset + bits <= 63``),
+    so the raw and sign-cleared hashes agree on every window.
+    """
+    if bits <= 0:
+        raise ConfigurationError("bits must be positive")
+    if offset < 0 or offset + bits > 63:
+        raise ConfigurationError(
+            f"radix window [{offset}, {offset + bits}) out of range"
+        )
+    window = (hashed >> np.uint64(offset)) & np.uint64((1 << bits) - 1)
+    return window.view(np.int64)
 
 
 def multiply_shift(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
@@ -39,9 +89,7 @@ def multiply_shift(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
     With ``bits`` set, returns values in ``[0, 2**bits)`` — the paper's
     radix/bucket selector. Without ``bits``, returns full-width hashes.
     """
-    with np.errstate(over="ignore"):
-        hashed = _as_uint64(keys) * MULTIPLY_SHIFT_A
-    return _finish(hashed, bits)
+    return _finish(hash_u64(keys), bits)
 
 
 def fibonacci_hash(keys: np.ndarray, bits: int | None = None) -> np.ndarray:
@@ -72,12 +120,4 @@ def radix_bits_of(keys: np.ndarray, bits: int, offset: int = 0) -> np.ndarray:
     raw key bits keeps partitions balanced for arbitrary key
     distributions.
     """
-    if bits <= 0:
-        raise ConfigurationError("bits must be positive")
-    if offset < 0 or offset + bits > 63:
-        raise ConfigurationError(
-            f"radix window [{offset}, {offset + bits}) out of range"
-        )
-    hashed = multiply_shift(keys).astype(np.uint64)
-    window = (hashed >> np.uint64(offset)) & np.uint64((1 << bits) - 1)
-    return window.astype(np.int64)
+    return radix_window(hash_u64(keys), bits, offset)

@@ -16,7 +16,9 @@ against a reference join) and all costed against the hardware simulator:
   (Sioulas et al.): the CPU partitions, the GPU joins.
 """
 
+from repro.join import run_cache
 from repro.join.base import JoinOperator, JoinRun, reference_join
+from repro.join.batched import batched_radix_join, batched_radix_join_arrays
 from repro.join.caching import CachePolicy, CachePlan, plan_cache
 from repro.join.no_partitioning import NoPartitioningJoin
 from repro.join.cpu_radix import CpuRadixJoin
@@ -37,6 +39,9 @@ __all__ = [
     "MultiGpuTritonJoin",
     "NoPartitioningJoin",
     "TritonJoin",
+    "batched_radix_join",
+    "batched_radix_join_arrays",
     "plan_cache",
     "reference_join",
+    "run_cache",
 ]

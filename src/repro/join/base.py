@@ -96,6 +96,22 @@ class JoinOperator(abc.ABC):
     def __init__(self, system: SystemSpec) -> None:
         self.system = system
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Memoize each concrete operator's ``run`` across experiments.
+
+        The wrapper (see :mod:`repro.join.run_cache`) is inert until the
+        cache is explicitly enabled — the benchmark CLI does, tests that
+        monkeypatch operator internals never see it.
+        """
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(
+            run, "__wrapped_by_run_cache__", False
+        ):
+            from repro.join import run_cache
+
+            cls.run = run_cache.cached_run(run)
+
     @abc.abstractmethod
     def run(self, workload: Workload) -> JoinRun:
         """Execute and simulate the join for one workload."""

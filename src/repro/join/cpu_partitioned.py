@@ -33,6 +33,7 @@ from repro.hw.interconnect import AccessPattern, Op
 from repro.hw.tlb import MemSpace
 from repro.join import base
 from repro.join.base import JoinOperator, JoinRun
+from repro.join.batched import batched_radix_join
 from repro.partition.planner import RadixPlan, plan_radix_join
 from repro.partition.shared import SharedPartitioner
 from repro.partition.swwc import CpuSwwcPartitioner
@@ -56,6 +57,7 @@ class CpuPartitionedJoin(JoinOperator):
         scheme: HashScheme = HashScheme.BUCKET_CHAINING,
         pipeline_chunks: int = DEFAULT_PIPELINE_CHUNKS,
         aggregate: bool = False,
+        reference: bool = False,
     ) -> None:
         super().__init__(system)
         if scheme not in BUILD_SLOTS_PER_TUPLE:
@@ -63,6 +65,7 @@ class CpuPartitionedJoin(JoinOperator):
         self.scheme = scheme
         self.pipeline_chunks = pipeline_chunks
         self.aggregate = aggregate
+        self.reference = reference
         self.name = "CPU-Partitioned Radix Join"
         self.cpu = CpuModel(system.cpu)
         self.partitioner = CpuSwwcPartitioner(self.cpu)
@@ -82,6 +85,16 @@ class CpuPartitionedJoin(JoinOperator):
 
     def _functional_join(self, workload: Workload, plan: RadixPlan) -> base.JoinMatch:
         bits1 = min(plan.bits1, 10)
+        if self.reference:
+            return self._functional_join_reference(workload, bits1, plan.bits2)
+        return batched_radix_join(
+            workload.build, workload.probe, bits1, plan.bits2
+        )
+
+    def _functional_join_reference(
+        self, workload: Workload, bits1: int, bits2: int
+    ) -> base.JoinMatch:
+        """Per-partition loop the batched path must match byte-for-byte."""
         build_parts = self.partitioner.partition(workload.build, bits1)
         probe_parts = self.partitioner.partition(workload.probe, bits1)
         probe_keys: List[np.ndarray] = []
@@ -97,17 +110,23 @@ class CpuPartitionedJoin(JoinOperator):
             probe_i = probe_parts.relation.take(
                 np.arange(p_rows.start, p_rows.stop)
             )
-            if plan.bits2 > 0:
-                build_i = self.second_pass.partition(
-                    build_i, plan.bits2, offset=bits1
-                ).relation
-                probe_i = self.second_pass.partition(
-                    probe_i, plan.bits2, offset=bits1
-                ).relation
+            build_hashes = build_parts.partition_hashes(index)
+            probe_hashes = probe_parts.partition_hashes(index)
+            if bits2 > 0:
+                build_2 = self.second_pass.partition(
+                    build_i, bits2, offset=bits1, hashed=build_hashes
+                )
+                probe_2 = self.second_pass.partition(
+                    probe_i, bits2, offset=bits1, hashed=probe_hashes
+                )
+                build_i, build_hashes = build_2.relation, build_2.hashed
+                probe_i, probe_hashes = probe_2.relation, probe_2.hashed
             table = BucketChainingTable(
-                build_i.keys, base.build_payload_column(build_i)
+                build_i.keys,
+                base.build_payload_column(build_i),
+                hashes=build_hashes,
             )
-            idx, values = table.probe(probe_i.keys)
+            idx, values = table.probe(probe_i.keys, hashes=probe_hashes)
             probe_keys.append(probe_i.keys[idx])
             payloads.append(values)
         if not probe_keys:

@@ -20,6 +20,7 @@ from repro.hashing.hash_table import HashScheme
 from repro.hw.cpu import CpuModel
 from repro.join import base
 from repro.join.base import JoinOperator, JoinRun
+from repro.join.batched import batched_radix_join
 from repro.partition.swwc import CpuSwwcPartitioner
 from repro.sim.engine import SimEngine
 from repro.sim.kernels import CpuTaskBuilder
@@ -47,15 +48,27 @@ def radix_bits_for(build_rows: int) -> int:
 
 
 class CpuRadixJoin(JoinOperator):
-    """Radix-partitioned hash join on one CPU socket."""
+    """Radix-partitioned hash join on one CPU socket.
+
+    ``reference=True`` switches the functional layer back to the
+    per-partition Python loop (one scratchpad table per partition);
+    the default batched path computes identical results in single
+    vectorized passes. Tests cross-check both.
+    """
 
     uses_gpu = False
 
-    def __init__(self, system, scheme: HashScheme = HashScheme.PERFECT) -> None:
+    def __init__(
+        self,
+        system,
+        scheme: HashScheme = HashScheme.PERFECT,
+        reference: bool = False,
+    ) -> None:
         super().__init__(system)
         if scheme not in JOIN_OPS:
             raise ValueError(f"unsupported CPU join scheme: {scheme}")
         self.scheme = scheme
+        self.reference = reference
         self.cpu = CpuModel(system.cpu)
         self.partitioner = CpuSwwcPartitioner(self.cpu)
         self.builder = CpuTaskBuilder(self.cpu)
@@ -64,6 +77,14 @@ class CpuRadixJoin(JoinOperator):
     # -- functional -----------------------------------------------------------
 
     def _functional_join(self, workload: Workload, bits: int) -> base.JoinMatch:
+        if self.reference:
+            return self._functional_join_reference(workload, bits)
+        return batched_radix_join(workload.build, workload.probe, bits)
+
+    def _functional_join_reference(
+        self, workload: Workload, bits: int
+    ) -> base.JoinMatch:
+        """The per-partition loop the batched path must match exactly."""
         build_parts = self.partitioner.partition(workload.build, bits)
         probe_parts = self.partitioner.partition(workload.probe, bits)
         probe_keys = []
@@ -75,10 +96,14 @@ class CpuRadixJoin(JoinOperator):
             if b_rows.stop == b_rows.start or p_rows.stop == p_rows.start:
                 continue
             table = BucketChainingTable(
-                build_parts.relation.keys[b_rows], build_values[b_rows]
+                build_parts.relation.keys[b_rows],
+                build_values[b_rows],
+                hashes=build_parts.partition_hashes(index),
             )
             part_probe_keys = probe_parts.relation.keys[p_rows]
-            idx, values = table.probe(part_probe_keys)
+            idx, values = table.probe(
+                part_probe_keys, hashes=probe_parts.partition_hashes(index)
+            )
             probe_keys.append(part_probe_keys[idx])
             payloads.append(values)
         if not probe_keys:

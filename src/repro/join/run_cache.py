@@ -1,0 +1,175 @@
+"""Memoization of join runs across experiments.
+
+The figure experiments overlap heavily: fig13, fig14, fig15, fig16,
+fig19, and fig21 all re-simulate the same (workload, system, operator)
+triples from slightly different angles. Workload generation is
+seed-deterministic — a :class:`~repro.data.generator.WorkloadConfig`
+fully determines its arrays — and every operator's :meth:`run` is a
+pure function of the operator's configuration and the workload. So a
+structural key over those three inputs lets later figures reuse the
+earlier figures' :class:`~repro.join.base.JoinRun` (functional match,
+simulated seconds, counters, and phase profile) instead of recomputing.
+
+The cache is **off by default**. Tests monkeypatch operator internals
+and inject failures; a silently-on cache would launder stale results
+through those seams. The benchmark CLI and the perf smoke harness turn
+it on explicitly (``python -m repro.bench`` does unless ``--no-cache``).
+
+Keys are built by :func:`freeze`, a conservative structural hash of the
+operator's ``__dict__`` and the workload's config: anything it cannot
+decompose (an open file, a lambda) raises, and the wrapper then skips
+caching for that operator rather than guessing.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import functools
+import types
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, Tuple
+
+import numpy as np
+
+_ATOMS = (type(None), bool, int, float, str, bytes, complex)
+
+#: Operators whose run() results may be cached (keyed structurally).
+_cache: Dict[Tuple, Any] = {}
+_enabled = False
+
+#: Hit/miss tallies since the last :func:`clear` (for the CLI summary).
+stats = {"hits": 0, "misses": 0}
+
+
+class UnfreezableError(TypeError):
+    """Raised when a value cannot be converted to a structural key."""
+
+
+def freeze(value: Any, _depth: int = 0) -> Any:
+    """Recursively convert ``value`` into a hashable structural key.
+
+    Handles atoms, enums, dataclasses, mappings, sequences, numpy
+    scalars/arrays, and plain objects (via their ``__dict__``). Raises
+    :class:`UnfreezableError` for anything else — callers treat that as
+    "do not cache" rather than risking a collision.
+    """
+    if _depth > 32:
+        raise UnfreezableError("structure too deep to freeze")
+    if isinstance(value, _ATOMS):
+        return value
+    if isinstance(value, enum.Enum):
+        return (type(value).__qualname__, value.name)
+    if isinstance(value, np.generic):
+        return (value.dtype.str, value.item())
+    if isinstance(value, np.ndarray):
+        return (value.dtype.str, value.shape, value.tobytes())
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__qualname__,
+            tuple(
+                (f.name, freeze(getattr(value, f.name), _depth + 1))
+                for f in fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (freeze(k, _depth + 1), freeze(v, _depth + 1))
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return (type(value).__name__,) + tuple(
+            freeze(v, _depth + 1) for v in value
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(
+            sorted(freeze(v, _depth + 1) for v in value)
+        )
+    if callable(value) or isinstance(value, types.ModuleType):
+        # Functions/lambdas all carry an (empty) __dict__; freezing
+        # them structurally would make distinct behaviours collide.
+        raise UnfreezableError(f"cannot freeze {type(value).__qualname__}")
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        return (type(value).__qualname__, freeze(attrs, _depth + 1))
+    raise UnfreezableError(f"cannot freeze {type(value).__qualname__}")
+
+
+def run_key(operator, workload) -> Tuple:
+    """The cache key for one ``operator.run(workload)`` invocation.
+
+    The workload key covers the generator config (which determines the
+    arrays) plus the nominal/materialized cardinalities, so workloads
+    rescaled through ``with_nominal_rows`` never alias their originals.
+    """
+    return (
+        type(operator).__qualname__,
+        freeze(vars(operator)),
+        freeze(workload.config),
+        workload.build.nominal_rows,
+        workload.probe.nominal_rows,
+        len(workload.build),
+        len(workload.probe),
+    )
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    _cache.clear()
+    stats["hits"] = 0
+    stats["misses"] = 0
+
+
+def size() -> int:
+    return len(_cache)
+
+
+def cached_run(run_method: Callable) -> Callable:
+    """Wrap a ``JoinOperator`` subclass's ``run`` with memoization.
+
+    Installed by ``JoinOperator.__init_subclass__`` on every concrete
+    operator. A cache hit returns a shallow copy with a fresh ``notes``
+    dict so callers can annotate their run without poisoning the cache;
+    the workload is rebound to the caller's (configs are equal, but
+    identity can matter to downstream comparisons).
+    """
+
+    @functools.wraps(run_method)
+    def wrapper(self, workload):
+        if not _enabled:
+            return run_method(self, workload)
+        try:
+            key = run_key(self, workload)
+        except UnfreezableError:
+            return run_method(self, workload)
+        hit = _cache.get(key)
+        if hit is not None:
+            stats["hits"] += 1
+            run = copy.copy(hit)
+            run.notes = dict(hit.notes)
+            run.workload = workload
+            return run
+        stats["misses"] += 1
+        run = run_method(self, workload)
+        # Cache a snapshot, not the returned object: callers annotate
+        # run.notes freely and must not retro-edit the cached result.
+        snapshot = copy.copy(run)
+        snapshot.notes = dict(run.notes)
+        _cache[key] = snapshot
+        return run
+
+    wrapper.__wrapped_by_run_cache__ = True
+    return wrapper

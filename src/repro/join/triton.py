@@ -34,6 +34,7 @@ from repro.hw.interconnect import AccessPattern, Op
 from repro.hw.tlb import MemSpace
 from repro.join import base
 from repro.join.base import JoinOperator, JoinRun
+from repro.join.batched import batched_radix_join
 from repro.join.caching import CachePlan, CachePolicy, plan_cache
 from repro.partition.base import GpuPartitioner
 from repro.partition.hierarchical import HierarchicalPartitioner
@@ -85,6 +86,7 @@ class TritonJoin(JoinOperator):
         overlap: bool = True,
         pipeline_chunks: int = DEFAULT_PIPELINE_CHUNKS,
         aggregate: bool = False,
+        reference: bool = False,
     ) -> None:
         super().__init__(system)
         if scheme not in BUILD_SLOTS_PER_TUPLE:
@@ -92,6 +94,7 @@ class TritonJoin(JoinOperator):
         if pipeline_chunks < 1:
             raise ConfigurationError("pipeline_chunks must be >= 1")
         self.scheme = scheme
+        self.reference = reference
         self.first_pass = first_pass or HierarchicalPartitioner()
         self.second_pass = second_pass or SharedPartitioner()
         self.cache_policy = cache_policy
@@ -129,15 +132,30 @@ class TritonJoin(JoinOperator):
     def _functional_join(self, workload: Workload, plan: RadixPlan) -> base.JoinMatch:
         """Execute the multi-pass partitioned join on the scaled arrays.
 
-        Both passes run for real; the per-final-partition scratchpad joins
-        are equivalent to joining each first-level partition at once
-        (hash partitions are disjoint), which keeps the functional layer
-        vectorized.
+        The default path batches both passes and every per-partition
+        scratchpad join into single vectorized passes; ``reference=True``
+        runs the original per-partition loop, which tests cross-check
+        for byte-identical results.
         """
         bits1 = min(plan.bits1, 10)
+        if self.reference:
+            return self._functional_join_reference(workload, bits1, plan.bits2)
+        return batched_radix_join(
+            workload.build, workload.probe, bits1, plan.bits2
+        )
+
+    def _functional_join_reference(
+        self, workload: Workload, bits1: int, bits2: int
+    ) -> base.JoinMatch:
+        """Per-partition loop: one second pass + table per partition.
+
+        The per-final-partition scratchpad joins are equivalent to
+        joining each first-level partition at once (hash partitions are
+        disjoint), which keeps even the reference layer vectorized
+        within a partition.
+        """
         build_parts = self.first_pass.partition(workload.build, bits1)
         probe_parts = self.first_pass.partition(workload.probe, bits1)
-        bits2 = plan.bits2
         probe_keys: List[np.ndarray] = []
         payloads: List[np.ndarray] = []
         for index in range(build_parts.fanout):
@@ -151,19 +169,25 @@ class TritonJoin(JoinOperator):
             probe_i = probe_parts.relation.take(
                 np.arange(p_rows.start, p_rows.stop)
             )
+            build_hashes = build_parts.partition_hashes(index)
+            probe_hashes = probe_parts.partition_hashes(index)
             if bits2 > 0:
                 # Second pass: reorder by the next-higher radix bits.
                 # Payload columns travel with their tuples, so the hash
                 # table values are re-read from the reordered relation.
-                build_i = self.second_pass.partition(
-                    build_i, bits2, offset=bits1
-                ).relation
-                probe_i = self.second_pass.partition(
-                    probe_i, bits2, offset=bits1
-                ).relation
+                build_2 = self.second_pass.partition(
+                    build_i, bits2, offset=bits1, hashed=build_hashes
+                )
+                probe_2 = self.second_pass.partition(
+                    probe_i, bits2, offset=bits1, hashed=probe_hashes
+                )
+                build_i, build_hashes = build_2.relation, build_2.hashed
+                probe_i, probe_hashes = probe_2.relation, probe_2.hashed
             values_i = base.build_payload_column(build_i)
-            table = BucketChainingTable(build_i.keys, values_i)
-            idx, values = table.probe(probe_i.keys)
+            table = BucketChainingTable(
+                build_i.keys, values_i, hashes=build_hashes
+            )
+            idx, values = table.probe(probe_i.keys, hashes=probe_hashes)
             probe_keys.append(probe_i.keys[idx])
             payloads.append(values)
         if not probe_keys:

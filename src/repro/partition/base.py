@@ -90,10 +90,18 @@ class GpuPartitioner(abc.ABC):
     # -- functional -----------------------------------------------------------
 
     def partition(
-        self, relation: Relation, bits: int, offset: int = 0
+        self,
+        relation: Relation,
+        bits: int,
+        offset: int = 0,
+        hashed=None,
     ) -> PartitionedRelation:
-        """Partition a relation (identical results for all algorithms)."""
-        return partition_relation(relation, bits, offset)
+        """Partition a relation (identical results for all algorithms).
+
+        ``hashed`` reuses precomputed multiply-shift hashes from an
+        earlier pass instead of re-hashing the keys.
+        """
+        return partition_relation(relation, bits, offset, hashed=hashed)
 
     # -- cost model -------------------------------------------------------------
 

@@ -10,19 +10,25 @@ the per-algorithm modules add the hardware work profiles.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
-from repro.hashing.functions import radix_bits_of
+from repro.hashing.functions import hash_u64, radix_window
 
 
 def radix_histogram(
-    keys: np.ndarray, bits: int, offset: int = 0
+    keys: np.ndarray,
+    bits: int,
+    offset: int = 0,
+    hashed: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Tuple counts per radix partition (the prefix-sum input)."""
-    selector = radix_bits_of(keys, bits, offset)
+    if hashed is None:
+        hashed = hash_u64(keys)
+    selector = radix_window(hashed, bits, offset)
     return np.bincount(selector, minlength=1 << bits).astype(np.int64)
 
 
@@ -31,13 +37,24 @@ class PartitionedRelation:
     """A relation reordered into radix partitions.
 
     ``offsets`` has ``fanout + 1`` entries; partition ``i`` occupies rows
-    ``offsets[i]:offsets[i + 1]`` of ``relation``.
+    ``offsets[i]:offsets[i + 1]`` of ``relation``. ``hashed`` carries the
+    rows' multiply-shift hashes in partitioned order, so a later pass
+    (or the join's bucket selection) can reuse them instead of
+    re-hashing the same keys.
     """
 
     relation: Relation
     offsets: np.ndarray
     bits: int
     offset_bits: int
+    hashed: Optional[np.ndarray] = None
+
+    def partition_hashes(self, index: int) -> Optional[np.ndarray]:
+        """Partition ``index``'s rows' hashes (``None`` if not carried)."""
+        if self.hashed is None:
+            return None
+        rows = self.partition_rows(index)
+        return self.hashed[rows.start:rows.stop]
 
     @property
     def fanout(self) -> int:
@@ -71,17 +88,25 @@ class PartitionedRelation:
 
 
 def partition_relation(
-    relation: Relation, bits: int, offset: int = 0
+    relation: Relation,
+    bits: int,
+    offset: int = 0,
+    hashed: Optional[np.ndarray] = None,
 ) -> PartitionedRelation:
     """Stable radix partition of a relation by hashed key bits.
 
     Equivalent to what every hardware algorithm computes: a histogram
     pass, an exclusive prefix sum for partition offsets, and a stable
-    scatter of tuples to their partition's region.
+    scatter of tuples to their partition's region. ``hashed`` takes the
+    rows' precomputed multiply-shift hashes (from an earlier pass or
+    :func:`~repro.hashing.functions.hash_u64`); the result carries the
+    permuted hashes for the next pass either way.
     """
     if bits <= 0:
         raise ConfigurationError("bits must be positive")
-    selector = radix_bits_of(relation.keys, bits, offset)
+    if hashed is None:
+        hashed = hash_u64(relation.keys)
+    selector = radix_window(hashed, bits, offset)
     counts = np.bincount(selector, minlength=1 << bits).astype(np.int64)
     offsets = np.zeros((1 << bits) + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
@@ -91,6 +116,7 @@ def partition_relation(
         offsets=offsets,
         bits=bits,
         offset_bits=offset,
+        hashed=hashed[order],
     )
 
 

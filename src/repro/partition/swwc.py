@@ -65,9 +65,9 @@ class CpuSwwcPartitioner:
     # -- functional -----------------------------------------------------------
 
     def partition(
-        self, relation: Relation, bits: int, offset: int = 0
+        self, relation: Relation, bits: int, offset: int = 0, hashed=None
     ) -> PartitionedRelation:
-        return partition_relation(relation, bits, offset)
+        return partition_relation(relation, bits, offset, hashed=hashed)
 
     # -- cost model -------------------------------------------------------------
 

@@ -1,0 +1,349 @@
+"""Property tests: batched partition-wise kernels vs. reference loops.
+
+The batched functional path (``repro.hashing.batch`` and
+``repro.join.batched``) must be *byte-identical* to the per-partition
+reference loops it replaces — same matched pairs, in the same order,
+and identical simulated cost (counters and phase profiles), across
+random fanouts, skew, duplicate keys, and empty partitions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generator import Workload, WorkloadConfig, generate_workload
+from repro.data.relation import Relation
+from repro.errors import ConfigurationError
+from repro.hashing.batch import (
+    expand_ranges,
+    grouped_bucket_chaining_join,
+    grouped_perfect_join,
+)
+from repro.hashing.bucket_chaining import BucketChainingTable
+from repro.hashing.perfect import PerfectTable
+from repro.hw.specs import ac922
+from repro.join import run_cache
+from repro.join.batched import batched_radix_join_arrays
+from repro.join.cpu_partitioned import CpuPartitionedJoin
+from repro.join.cpu_radix import CpuRadixJoin
+from repro.join.multi_gpu import MultiGpuTritonJoin
+from repro.join.triton import TritonJoin
+from repro.partition.radix import partition_relation
+
+SYSTEM = ac922()
+
+
+@st.composite
+def grouped_inputs(draw):
+    """Random grouped build/probe arrays with empty groups and dup keys."""
+    groups = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    skewed = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    key_space = draw(st.integers(min_value=1, max_value=64))
+
+    def side(max_rows):
+        # Some groups get zero rows: weight group choice unevenly.
+        weights = rng.random(groups) ** (3.0 if skewed else 1.0)
+        weights[rng.random(groups) < 0.3] = 0.0
+        if weights.sum() == 0:
+            weights[0] = 1.0
+        rows = int(rng.integers(0, max_rows))
+        g = rng.choice(groups, size=rows, p=weights / weights.sum())
+        g.sort()  # partition-major layout: non-decreasing group ids
+        keys = rng.integers(1, key_space + 1, size=rows)
+        return g.astype(np.int64), keys.astype(np.int64)
+
+    build_groups, build_keys = side(300)
+    probe_groups, probe_keys = side(600)
+    build_values = rng.integers(0, 2**40, size=len(build_keys)).astype(
+        np.int64
+    )
+    return build_keys, build_values, build_groups, probe_keys, probe_groups
+
+
+def _loop_reference(table_cls, build_keys, build_values, build_groups,
+                    probe_keys, probe_groups, **table_kwargs):
+    """Per-group table build/probe — the semantics batching must match."""
+    out_idx, out_values = [], []
+    groups = int(
+        max(
+            build_groups.max() if len(build_groups) else -1,
+            probe_groups.max() if len(probe_groups) else -1,
+        )
+        + 1
+    )
+    for g in range(groups):
+        b = build_groups == g
+        p = np.nonzero(probe_groups == g)[0]
+        if not b.any() or len(p) == 0:
+            continue
+        table = table_cls(build_keys[b], build_values[b], **table_kwargs)
+        idx, values = table.probe(probe_keys[p])
+        out_idx.append(p[idx])
+        out_values.append(values)
+    if not out_idx:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(out_idx), np.concatenate(out_values)
+
+
+class TestGroupedBucketChaining:
+    @given(grouped_inputs(), st.sampled_from([1, 2, 64, 2048]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_group_table_loop(self, inputs, buckets):
+        bk, bv, bg, pk, pg = inputs
+        got_idx, got_values = grouped_bucket_chaining_join(
+            bk, bv, bg, pk, pg, buckets=buckets
+        )
+        want_idx, want_values = _loop_reference(
+            BucketChainingTable, bk, bv, bg, pk, pg, buckets=buckets
+        )
+        np.testing.assert_array_equal(got_idx, want_idx)
+        np.testing.assert_array_equal(got_values, want_values)
+
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.int64)
+        ones = np.ones(3, dtype=np.int64)
+        for args in (
+            (empty, empty, empty, ones, np.zeros(3, dtype=np.int64)),
+            (ones, ones, np.zeros(3, dtype=np.int64), empty, empty),
+        ):
+            idx, values = grouped_bucket_chaining_join(*args)
+            assert len(idx) == 0 and len(values) == 0
+
+    def test_rejects_non_power_of_two_buckets(self):
+        ones = np.ones(1, dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            grouped_bucket_chaining_join(ones, ones, ones, ones, ones,
+                                         buckets=3)
+
+
+class TestGroupedPerfect:
+    @given(grouped_inputs())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_per_group_table_loop(self, inputs):
+        bk, bv, bg, pk, pg = inputs
+        # Perfect hashing needs unique keys per group: dedupe within
+        # groups, keeping first occurrences (stable, like the loop).
+        seen = set()
+        keep = np.zeros(len(bk), dtype=bool)
+        for i, (g, k) in enumerate(zip(bg, bk)):
+            if (g, k) not in seen:
+                seen.add((g, k))
+                keep[i] = True
+        bk, bv, bg = bk[keep], bv[keep], bg[keep]
+        got_idx, got_values = grouped_perfect_join(bk, bv, bg, pk, pg)
+        want_idx, want_values = _loop_reference(
+            PerfectTable, bk, bv, bg, pk, pg
+        )
+        np.testing.assert_array_equal(got_idx, want_idx)
+        np.testing.assert_array_equal(got_values, want_values)
+
+    def test_rejects_duplicate_keys_within_group(self):
+        keys = np.array([5, 5], dtype=np.int64)
+        groups = np.zeros(2, dtype=np.int64)
+        with pytest.raises(ConfigurationError):
+            grouped_perfect_join(keys, keys, groups, keys, groups)
+
+    def test_duplicate_keys_in_distinct_groups_are_fine(self):
+        keys = np.array([5, 5], dtype=np.int64)
+        values = np.array([10, 20], dtype=np.int64)
+        groups = np.array([0, 1], dtype=np.int64)
+        idx, got = grouped_perfect_join(
+            keys, values, groups, keys, groups
+        )
+        np.testing.assert_array_equal(idx, [0, 1])
+        np.testing.assert_array_equal(got, [10, 20])
+
+
+class TestExpandRanges:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 12)),
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_ranges(self, spans):
+        starts = np.array([s for s, _ in spans], dtype=np.int64)
+        ends = starts + np.array([n for _, n in spans], dtype=np.int64)
+        owners, flat = expand_ranges(starts, ends)
+        want_owners, want_flat = [], []
+        for i, (s, e) in enumerate(zip(starts, ends)):
+            for j in range(s, e):
+                want_owners.append(i)
+                want_flat.append(j)
+        np.testing.assert_array_equal(owners, want_owners)
+        np.testing.assert_array_equal(flat, want_flat)
+
+
+@st.composite
+def pk_fk_relations(draw, min_probe_rows=0):
+    """Random PK/FK relation pairs (dense build keys, skewable probes)."""
+    build_rows = draw(st.integers(min_value=1, max_value=1500))
+    probe_rows = draw(st.integers(min_value=min_probe_rows, max_value=3000))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    skew = draw(st.sampled_from([0.0, 0.5, 1.1]))
+    rng = np.random.default_rng(seed)
+    build_keys = rng.permutation(build_rows).astype(np.int64) + 1
+    if probe_rows and skew:
+        ranks = rng.zipf(1.0 + skew, size=probe_rows)
+        probe_keys = ((ranks - 1) % int(build_rows * 1.5 + 1) + 1).astype(
+            np.int64
+        )
+    else:
+        probe_keys = rng.integers(
+            1, int(build_rows * 1.5) + 2, size=probe_rows
+        ).astype(np.int64)
+    build = Relation(
+        build_keys,
+        {"attr0": rng.integers(0, 2**40, build_rows).astype(np.int64)},
+        name="R",
+    )
+    probe = Relation(
+        probe_keys,
+        {"attr0": rng.integers(0, 2**40, probe_rows).astype(np.int64)},
+        name="S",
+    )
+    return build, probe
+
+
+class TestBatchedRadixJoin:
+    @given(pk_fk_relations(), st.integers(1, 8), st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_partitioned_loop(self, relations, bits1, bits2):
+        """Byte-identical pairs vs. the two-pass per-partition loop."""
+        build, probe = relations
+        got_keys, got_values = batched_radix_join_arrays(
+            build, probe, bits1, bits2
+        )
+        build_parts = partition_relation(build, bits1)
+        probe_parts = partition_relation(probe, bits1)
+        want_keys, want_values = [], []
+        for index in range(build_parts.fanout):
+            b_rows = build_parts.partition_rows(index)
+            p_rows = probe_parts.partition_rows(index)
+            if b_rows.stop == b_rows.start or p_rows.stop == p_rows.start:
+                continue
+            build_i = build_parts.relation.take(
+                np.arange(b_rows.start, b_rows.stop)
+            )
+            probe_i = probe_parts.relation.take(
+                np.arange(p_rows.start, p_rows.stop)
+            )
+            if bits2 > 0:
+                build_i = partition_relation(
+                    build_i, bits2, offset=bits1
+                ).relation
+                probe_i = partition_relation(
+                    probe_i, bits2, offset=bits1
+                ).relation
+            table = BucketChainingTable(
+                build_i.keys, build_i.payloads["attr0"]
+            )
+            idx, values = table.probe(probe_i.keys)
+            want_keys.append(probe_i.keys[idx])
+            want_values.append(values)
+        if want_keys:
+            want_keys = np.concatenate(want_keys)
+            want_values = np.concatenate(want_values)
+        else:
+            want_keys = np.empty(0, dtype=np.int64)
+            want_values = np.empty(0, dtype=np.int64)
+        np.testing.assert_array_equal(got_keys, want_keys)
+        np.testing.assert_array_equal(got_values, want_values)
+
+
+def _workload(build, probe):
+    config = WorkloadConfig(
+        build_m_tuples=max(len(build), 1) / 1e6,
+        probe_m_tuples=max(len(probe), 1) / 1e6,
+    )
+    return Workload(config=config, build=build, probe=probe)
+
+
+@pytest.mark.parametrize(
+    "make_operator",
+    [
+        lambda: CpuRadixJoin(SYSTEM),
+        lambda: TritonJoin(SYSTEM),
+        lambda: CpuPartitionedJoin(SYSTEM),
+    ],
+    ids=["cpu_radix", "triton", "cpu_partitioned"],
+)
+class TestOperatorsBatchedVsReference:
+    @given(relations=pk_fk_relations(min_probe_rows=1))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_match_and_cost(self, make_operator, relations):
+        """Batched and reference modes agree on results AND simulation."""
+        build, probe = relations
+        workload = _workload(build, probe)
+        batched_op = make_operator()
+        reference_op = make_operator()
+        reference_op.reference = True
+        a = batched_op.run(workload)
+        b = reference_op.run(workload)
+        assert a.match == b.match
+        assert a.seconds == b.seconds
+        assert a.counters == b.counters
+        assert a.sim.phase_seconds() == b.sim.phase_seconds()
+        assert a.sim.resource_busy_units == b.sim.resource_busy_units
+
+
+def test_multi_gpu_batched_vs_reference():
+    workload = generate_workload(64, 128, scale_divisor=1024, seed=11)
+    a = MultiGpuTritonJoin(SYSTEM).run(workload)
+    b = MultiGpuTritonJoin(SYSTEM, reference=True).run(workload)
+    assert a.match == b.match
+    assert a.seconds == b.seconds
+    assert a.counters == b.counters
+
+
+class TestRunCache:
+    def setup_method(self):
+        run_cache.clear()
+
+    def teardown_method(self):
+        run_cache.disable()
+        run_cache.clear()
+
+    def test_disabled_by_default(self):
+        workload = generate_workload(1, 1, seed=3)
+        CpuRadixJoin(SYSTEM).run(workload)
+        assert run_cache.stats == {"hits": 0, "misses": 0}
+
+    def test_hit_returns_equal_run(self):
+        run_cache.enable()
+        workload = generate_workload(1, 1, seed=3)
+        operator = CpuRadixJoin(SYSTEM)
+        first = operator.run(workload)
+        second = operator.run(workload)
+        assert run_cache.stats == {"hits": 1, "misses": 1}
+        assert second.match == first.match
+        assert second.seconds == first.seconds
+        assert second.counters == first.counters
+
+    def test_distinct_config_misses(self):
+        run_cache.enable()
+        workload = generate_workload(1, 1, seed=3)
+        CpuRadixJoin(SYSTEM).run(workload)
+        CpuRadixJoin(SYSTEM, reference=True).run(workload)
+        assert run_cache.stats == {"hits": 0, "misses": 2}
+
+    def test_distinct_workload_misses(self):
+        run_cache.enable()
+        operator = CpuRadixJoin(SYSTEM)
+        operator.run(generate_workload(1, 1, seed=3))
+        operator.run(generate_workload(1, 1, seed=4))
+        assert run_cache.stats == {"hits": 0, "misses": 2}
+
+    def test_notes_do_not_poison_cache(self):
+        run_cache.enable()
+        workload = generate_workload(1, 1, seed=3)
+        operator = CpuRadixJoin(SYSTEM)
+        first = operator.run(workload)
+        first.notes["scratch"] = "local annotation"
+        second = operator.run(workload)
+        assert "scratch" not in second.notes
+
+    def test_freeze_rejects_unfreezable(self):
+        with pytest.raises(run_cache.UnfreezableError):
+            run_cache.freeze(lambda: None)

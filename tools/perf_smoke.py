@@ -1,0 +1,103 @@
+"""Performance smoke check for the functional join layer.
+
+Times the two experiments that stress the batched kernels hardest —
+fig13 (the headline scaling sweep: every operator at five sizes) and
+fig17 (partitioning algorithms in the full join) — at a fixed scale
+divisor and writes the timings to ``BENCH_kernels.json`` in the repo
+root. CI runs this to catch functional-layer performance regressions::
+
+    PYTHONPATH=src python tools/perf_smoke.py
+    PYTHONPATH=src python tools/perf_smoke.py --divisor 16384 --fail-over 60
+
+``--fail-over SECONDS`` exits non-zero when the total exceeds the
+budget, turning the smoke into a hard gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import ALL_EXPERIMENTS  # noqa: E402
+from repro.join import run_cache  # noqa: E402
+
+#: The experiments whose functional layer dominates wall-clock.
+SMOKE_EXPERIMENTS = ("fig13", "fig17")
+DEFAULT_DIVISOR = 16384.0
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+
+def run_smoke(divisor: float, use_cache: bool = True) -> dict:
+    """Time the smoke experiments; returns the report dict."""
+    if use_cache:
+        run_cache.enable()
+    run_cache.clear()
+    timings = {}
+    try:
+        for name in SMOKE_EXPERIMENTS:
+            started = time.time()
+            ALL_EXPERIMENTS[name].run(scale_divisor=divisor)
+            timings[name] = round(time.time() - started, 3)
+    finally:
+        cache_stats = dict(run_cache.stats)
+        run_cache.disable()
+        run_cache.clear()
+    return {
+        "divisor": divisor,
+        "python": platform.python_version(),
+        "experiments": timings,
+        "total_seconds": round(sum(timings.values()), 3),
+        "run_cache": cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--divisor",
+        type=float,
+        default=DEFAULT_DIVISOR,
+        help=f"scale divisor for the runs (default {DEFAULT_DIVISOR:g})",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit 1 when the total exceeds this budget",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable run memoization during the smoke",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_smoke(args.divisor, use_cache=not args.no_cache)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if args.fail_over is not None and report["total_seconds"] > args.fail_over:
+        print(
+            f"perf smoke FAILED: {report['total_seconds']:.1f}s "
+            f"> budget {args.fail_over:.1f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
