@@ -15,6 +15,7 @@ from repro.data.relation import Relation
 from repro.hashing.batch import grouped_bucket_chaining_join
 from repro.hashing.bucket_chaining import BucketChainingTable
 from repro.join.batched import batched_radix_join_arrays
+from repro.kernels.scatter import counting_order
 
 BUILD_ROWS = 1 << 19
 PROBE_ROWS = 1 << 20
@@ -92,3 +93,31 @@ def test_batched_radix_join_two_pass(benchmark, relations):
         batched_radix_join_arrays, build, probe, 10, 4
     )
     assert len(keys) == PROBE_ROWS
+
+
+#: Slot space of a bits1=10 grouped join (1024 partitions x 2048
+#: buckets) — within the counting kernel's profitable regime for the
+#: 2^19-row build (domain <= 16n).
+SLOT_DOMAIN = 1 << 21
+
+
+def _join_shaped_slots(bk: np.ndarray, bg: np.ndarray) -> np.ndarray:
+    """Slots as the grouped build sees them: monotonic group ids
+    (partition-major layout), hash-random bucket within each group."""
+    return (bg >> np.int64(3)) * np.int64(2048) + (bk & np.int64(2047))
+
+
+def test_counting_order_scatter(benchmark, grouped_arrays):
+    """The linear-time ordering kernel at the join's slot-space shape."""
+    bk, _, bg, _, _ = grouped_arrays
+    slots = _join_shaped_slots(bk, bg)
+    order = benchmark(counting_order, slots, SLOT_DOMAIN)
+    assert len(order) == BUILD_ROWS
+
+
+def test_counting_order_argsort_reference(benchmark, grouped_arrays):
+    """The replaced comparison sort, for the speedup headline."""
+    bk, _, bg, _, _ = grouped_arrays
+    slots = _join_shaped_slots(bk, bg)
+    order = benchmark(counting_order, slots, SLOT_DOMAIN, reference=True)
+    assert len(order) == BUILD_ROWS

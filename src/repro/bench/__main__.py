@@ -7,6 +7,7 @@ Run any paper experiment (or all of them) from the shell::
     python -m repro.bench fig13 --sizes 128,2048 --divisor 16384
     python -m repro.bench all --divisor 65536
     python -m repro.bench all --jobs 4
+    python -m repro.bench fig13 --profile
 
 Each experiment prints the same table its benchmark produces; the
 ``--divisor`` flag trades functional-array size for speed (cost models
@@ -15,7 +16,10 @@ worker processes; output stays in deterministic experiment order
 regardless of completion order, and a per-experiment timing table is
 appended. Identical (operator, workload) runs shared between figures
 are memoized (see :mod:`repro.join.run_cache`); ``--no-cache`` turns
-that off.
+that off. With ``--jobs`` the cache is per worker process (hits only
+within each worker's share of the experiments); the timing table sums
+the workers' tallies. ``--profile`` wraps a single experiment in
+cProfile and prints the top 20 cumulative entries.
 """
 
 from __future__ import annotations
@@ -56,16 +60,37 @@ def _run_one(name: str, sizes, divisor) -> float:
     return time.time() - started
 
 
+def _profile_one(name: str, sizes, divisor) -> None:
+    """Run one experiment under cProfile, print top cumulative entries."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        output = _render_one(name, sizes, divisor)
+    finally:
+        profiler.disable()
+    print(output)
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def _worker(name: str, sizes, divisor, use_cache: bool):
-    """Process-pool entry point: returns (name, output, seconds)."""
+    """Process-pool entry point: (name, output, seconds, cache stats)."""
     if use_cache:
         run_cache.enable()
     started = time.time()
     output = _render_one(name, sizes, divisor)
-    return name, output, time.time() - started
+    return name, output, time.time() - started, dict(run_cache.stats)
 
 
-def _timing_table(seconds_by_name) -> ExperimentTable:
+def _timing_table(seconds_by_name, cache_stats=None, workers=1) -> ExperimentTable:
+    """The per-experiment wall-clock summary.
+
+    ``cache_stats`` takes aggregated ``{"hits": ..., "misses": ...}``
+    tallies (from worker processes); by default the in-process
+    :mod:`repro.join.run_cache` counters are reported.
+    """
     table = ExperimentTable(
         experiment="timing",
         title="Wall-clock per experiment",
@@ -77,13 +102,19 @@ def _timing_table(seconds_by_name) -> ExperimentTable:
     table.add_row(
         "total", {"seconds": round(sum(s for _, s in seconds_by_name), 2)}
     )
-    if run_cache.enabled() and (
-        run_cache.stats["hits"] or run_cache.stats["misses"]
-    ):
-        table.add_note(
-            f"run cache: {run_cache.stats['hits']} hits, "
-            f"{run_cache.stats['misses']} misses"
+    if cache_stats is None:
+        cache_stats = run_cache.stats if run_cache.enabled() else {}
+    if cache_stats.get("hits") or cache_stats.get("misses"):
+        note = (
+            f"run cache: {cache_stats['hits']} hits, "
+            f"{cache_stats['misses']} misses"
         )
+        if workers > 1:
+            note += (
+                f" (summed over {workers} worker processes; "
+                "each worker has its own cache)"
+            )
+        table.add_note(note)
     return table
 
 
@@ -103,13 +134,16 @@ def _run_all(sizes, divisor, jobs: int) -> None:
             for name in ALL_EXPERIMENTS
         ]
         timings = []
+        cache_stats = {"hits": 0, "misses": 0}
         # Print in submission (= creation) order, not completion order,
         # so the output is byte-stable across --jobs settings.
         for future in futures:
-            name, output, seconds = future.result()
+            name, output, seconds, worker_stats = future.result()
             print(output)
             timings.append((name, seconds))
-    print(_timing_table(timings).format())
+            cache_stats["hits"] += worker_stats.get("hits", 0)
+            cache_stats["misses"] += worker_stats.get("misses", 0)
+    print(_timing_table(timings, cache_stats=cache_stats, workers=jobs).format())
 
 
 def main(argv=None) -> int:
@@ -142,9 +176,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable memoization of identical join runs across figures",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the experiment under cProfile and print the top 20 "
+        "cumulative entries (single experiments only)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.profile and args.experiment in ("all", "list"):
+        parser.error("--profile works with a single experiment, not "
+                     f"{args.experiment!r}")
 
     if args.experiment == "list":
         for name, module in sorted(ALL_EXPERIMENTS.items()):
@@ -173,7 +216,10 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        _run_one(args.experiment, sizes, args.divisor)
+        if args.profile:
+            _profile_one(args.experiment, sizes, args.divisor)
+        else:
+            _run_one(args.experiment, sizes, args.divisor)
         return 0
     finally:
         run_cache.disable()

@@ -9,13 +9,24 @@ as one bulk kernel launch:
 
 - :func:`grouped_bucket_chaining_join` concatenates every partition's
   2048-bucket chaining table into a single bucket space keyed by
-  ``(group, bucket)``, builds it with one stable sort, and probes every
-  partition with one range expansion — identical pairs, in identical
-  order, to a per-partition :class:`~repro.hashing.bucket_chaining.
+  ``(group, bucket)``, builds it with one linear counting scatter
+  (:mod:`repro.kernels.scatter`), and probes every partition with one
+  range expansion — identical pairs, in identical order, to a
+  per-partition :class:`~repro.hashing.bucket_chaining.
   BucketChainingTable` loop.
 - :func:`grouped_perfect_join` is the same trick for the per-partition
-  perfect-hash ("array join") path: one composite ``(group, key)``
-  ordering probed with one binary search.
+  perfect-hash ("array join") path, on the composite ``(group, key)``
+  space.
+
+Probes index a dense per-``(group, bucket)`` offsets table directly
+(O(1) per probe) while that table is no larger than the build side
+(:func:`~repro.kernels.scatter.dense_table_fits`) or falls out of the
+counting scatter for free (:func:`~repro.kernels.scatter.
+counting_offsets_free`); past that they fall back to a binary search
+against the sorted build, and at extreme fanouts the build ordering
+itself falls back to a stable argsort — all three paths produce
+byte-identical output, and ``reference=True`` forces the original
+argsort + ``searchsorted`` path for cross-checks.
 
 Group ids must be *non-decreasing* (partition-major order, which is how
 partitioned relations are laid out) for the outputs to be ordered
@@ -31,6 +42,17 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hashing.functions import bucket_of, hash_u64
+from repro.kernels.scatter import (
+    counting_offsets_free,
+    counting_order,
+    counting_order_and_offsets,
+    dense_table_fits,
+    reference_mode_active,
+)
+
+#: Composite slot spaces must stay clear of int64; beyond this the
+#: kernels use comparison sorts on the raw slot values.
+_MAX_SLOT_DOMAIN = 2**62
 
 #: The paper's bucket count per partition table (section 6.1); kept in
 #: sync with ``repro.hashing.bucket_chaining.DEFAULT_BUCKETS``.
@@ -55,8 +77,13 @@ def expand_ranges(
     total = int(counts.sum())
     if total == 0:
         return _EMPTY, _EMPTY
+    owners = np.nonzero(nonzero)[0]
+    if total == len(owners):
+        # Every non-empty range is a single index (the common case for
+        # key-column builds: chains of length <= 1) — no repeats needed.
+        return owners, starts[nonzero]
     seg_counts = counts[nonzero]
-    owners = np.repeat(np.nonzero(nonzero)[0], seg_counts)
+    owners = np.repeat(owners, seg_counts)
     seg_start = np.repeat(starts[nonzero], seg_counts)
     seg_offset = np.repeat(np.cumsum(seg_counts) - seg_counts, seg_counts)
     flat = seg_start + (np.arange(total) - seg_offset)
@@ -74,6 +101,21 @@ def _aligned(keys: np.ndarray, values: np.ndarray, what: str) -> None:
         raise ConfigurationError(f"{what} keys and groups/values must align")
 
 
+def _slot_domain(
+    build_groups: np.ndarray, probe_groups: np.ndarray, width: int
+) -> Optional[int]:
+    """Size of the concatenated slot space, ``None`` if unusable.
+
+    ``None`` (negative group ids, or a space near int64) sends both the
+    build ordering and the probe to the comparison-sort paths.
+    """
+    if int(build_groups.min()) < 0 or int(probe_groups.min()) < 0:
+        return None
+    groups = max(int(build_groups.max()), int(probe_groups.max())) + 1
+    domain = groups * width
+    return domain if domain < _MAX_SLOT_DOMAIN else None
+
+
 def grouped_bucket_chaining_join(
     build_keys: np.ndarray,
     build_values: np.ndarray,
@@ -83,16 +125,20 @@ def grouped_bucket_chaining_join(
     buckets: int = DEFAULT_BUCKETS,
     build_hashes: Optional[np.ndarray] = None,
     probe_hashes: Optional[np.ndarray] = None,
+    reference: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Build and probe every partition's chaining table in one pass.
 
     Equivalent to building a ``BucketChainingTable(build_keys[g == i],
     build_values[g == i], buckets)`` for every group ``i`` and probing it
     with ``probe_keys[probe_groups == i]`` — executed as one build (a
-    stable sort by the concatenated ``(group, bucket)`` space) and one
-    probe (binary search for each probe's bucket range, then candidate
-    expansion). Precomputed :func:`~repro.hashing.functions.hash_u64`
-    arrays can be passed to skip re-hashing.
+    stable counting scatter over the concatenated ``(group, bucket)``
+    space) and one probe (each probe's candidate range read from the
+    scatter's dense offsets table, or found by binary search when that
+    table would outgrow the build side), then candidate expansion.
+    Precomputed :func:`~repro.hashing.functions.hash_u64` arrays can be
+    passed to skip re-hashing; ``reference=True`` forces the original
+    argsort + ``searchsorted`` path.
 
     Returns ``(probe_idx, values)``: positions into ``probe_keys`` that
     matched (repeated per match) and the matched build-side values,
@@ -123,19 +169,36 @@ def grouped_bucket_chaining_join(
         build_slots = build_groups * n_buckets + bucket_of(build_hashes, bits)
         probe_slots = probe_groups * n_buckets + bucket_of(probe_hashes, bits)
 
-    # Build: one stable sort materializes every group's chains
-    # contiguously, exactly like each per-partition table does.
-    order = np.argsort(build_slots, kind="stable")
-    sorted_slots = build_slots[order]
-    sorted_keys = build_keys[order]
-    sorted_values = build_values[order]
-
-    # Probe: each probe's candidate range is its slot's span in the
-    # sorted build — found by binary search instead of a dense
-    # per-(group, bucket) offset array, which would be fanout * buckets
-    # entries of mostly-empty state.
-    starts = np.searchsorted(sorted_slots, probe_slots, side="left")
-    ends = np.searchsorted(sorted_slots, probe_slots, side="right")
+    reference = reference or reference_mode_active()
+    domain = None if reference else _slot_domain(
+        build_groups, probe_groups, buckets
+    )
+    if domain is not None and (
+        dense_table_fits(len(build_keys), domain)
+        or counting_offsets_free(len(build_keys), domain)
+    ):
+        # Build: one counting scatter materializes every group's chains
+        # contiguously, exactly like each per-partition table does, and
+        # its offsets double as the dense per-(group, bucket) table.
+        # Probe: two O(1) lookups per probe replace the binary search.
+        order, offsets = counting_order_and_offsets(build_slots, domain)
+        sorted_keys = build_keys[order]
+        sorted_values = build_values[order]
+        starts = offsets[probe_slots]
+        ends = offsets[probe_slots + 1]
+    else:
+        # Oversized slot space: order the build without a domain-sized
+        # table (counting_order falls back to argsort on its own at
+        # extreme fanouts) and binary-search each probe's bucket range.
+        if domain is None:
+            order = np.argsort(build_slots, kind="stable")
+        else:
+            order = counting_order(build_slots, domain)
+        sorted_slots = build_slots[order]
+        sorted_keys = build_keys[order]
+        sorted_values = build_values[order]
+        starts = np.searchsorted(sorted_slots, probe_slots, side="left")
+        ends = np.searchsorted(sorted_slots, probe_slots, side="right")
     probe_idx, candidates = expand_ranges(starts, ends)
     if len(candidates) == 0:
         return _EMPTY, _EMPTY
@@ -149,14 +212,19 @@ def grouped_perfect_join(
     build_groups: np.ndarray,
     probe_keys: np.ndarray,
     probe_groups: np.ndarray,
+    reference: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-partition perfect-hash (array join) lookups in one pass.
 
     Equivalent to building a ``PerfectTable`` per group and probing it:
     build keys must be positive and unique within their group; every
-    probe finds at most one match, emitted in probe-row order. Executed
-    as one sort of the composite ``(group, key)`` space plus one binary
-    search — no per-group dense arrays.
+    probe finds at most one match, emitted in probe-row order. While
+    the composite ``(group, key)`` space is no larger than the build
+    side, probes index its histogram and offsets tables directly (one
+    O(1) lookup, like the array join itself); otherwise one ordering of
+    the composite space plus one binary search keep the footprint
+    O(build). ``reference=True`` forces the argsort + ``searchsorted``
+    path; all paths are byte-identical.
     """
     build_keys = np.asarray(build_keys, dtype=np.int64)
     build_values = np.asarray(build_values, dtype=np.int64)
@@ -182,13 +250,35 @@ def grouped_perfect_join(
         )
 
     composite = build_groups * span + build_keys
-    order = np.argsort(composite, kind="stable")
+    in_range = (probe_keys >= 1) & (probe_keys <= key_range)
+    probe_composite = probe_groups * span + np.where(in_range, probe_keys, 0)
+
+    reference = reference or reference_mode_active()
+    domain = None if reference else _slot_domain(
+        build_groups, probe_groups, key_range + 1
+    )
+    if domain is not None and (
+        dense_table_fits(len(build_keys), domain)
+        or counting_offsets_free(len(build_keys), domain)
+    ):
+        order, offsets = counting_order_and_offsets(composite, domain)
+        counts = np.diff(offsets)
+        if int(counts.max()) > 1:
+            raise ConfigurationError("perfect hashing requires unique keys")
+        # Unique keys make every span 0 or 1 wide: the offsets entry is
+        # the match's position, the histogram entry is the hit test.
+        hit = (counts[probe_composite] > 0) & in_range
+        idx = np.nonzero(hit)[0]
+        return idx, build_values[order][offsets[probe_composite][hit]]
+
+    if domain is None:
+        order = np.argsort(composite, kind="stable")
+    else:
+        order = counting_order(composite, domain)
     sorted_composite = composite[order]
     if np.any(sorted_composite[1:] == sorted_composite[:-1]):
         raise ConfigurationError("perfect hashing requires unique keys")
 
-    in_range = (probe_keys >= 1) & (probe_keys <= key_range)
-    probe_composite = probe_groups * span + np.where(in_range, probe_keys, 0)
     pos = np.searchsorted(sorted_composite, probe_composite)
     pos_clamped = np.minimum(pos, len(sorted_composite) - 1)
     hit = (sorted_composite[pos_clamped] == probe_composite) & in_range

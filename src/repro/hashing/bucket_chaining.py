@@ -30,6 +30,7 @@ from repro.hashing.hash_table import (
     TableProfile,
     bucket_chaining_profile,
 )
+from repro.kernels.scatter import counting_order_and_offsets
 
 #: The paper's bucket count per table (section 6.1, citing Sioulas et al.).
 DEFAULT_BUCKETS = 2048
@@ -56,12 +57,11 @@ class BucketChainingTable(HashTable):
         self._buckets = buckets
         self._bits = buckets.bit_length() - 1
         bucket_idx = self._bucket_of(keys, hashes)
-        order = np.argsort(bucket_idx, kind="stable")
+        # One counting scatter lays the chains out contiguously and
+        # yields the per-bucket offsets table in the same pass.
+        order, self._offsets = counting_order_and_offsets(bucket_idx, buckets)
         self._keys = keys[order]
         self._values = values[order]
-        counts = np.bincount(bucket_idx, minlength=buckets)
-        self._offsets = np.zeros(buckets + 1, dtype=np.int64)
-        np.cumsum(counts, out=self._offsets[1:])
         self.profile: TableProfile = bucket_chaining_profile(
             max(len(keys), 1), buckets
         )

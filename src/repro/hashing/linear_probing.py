@@ -23,6 +23,7 @@ from repro.hashing.hash_table import (
     TableProfile,
     linear_probing_profile,
 )
+from repro.kernels.scatter import claim_first
 from repro.units import next_power_of_two
 
 _EMPTY = np.int64(-1)
@@ -73,14 +74,8 @@ class LinearProbingTable(HashTable):
             current = slots[pending]
             empty = ~self._occupied[current]
             # Among pending tuples aiming at the same empty slot, the
-            # first (stable sort order) wins this round.
-            order = np.argsort(current, kind="stable")
-            sorted_slots = current[order]
-            first_of_slot = np.ones(len(order), dtype=bool)
-            first_of_slot[1:] = sorted_slots[1:] != sorted_slots[:-1]
-            winner_mask = np.zeros(len(pending), dtype=bool)
-            winner_mask[order[first_of_slot]] = True
-            winner_mask &= empty
+            # first in input order wins this round.
+            winner_mask = claim_first(current, self._slots) & empty
             winners = pending[winner_mask]
             self._keys[current[winner_mask]] = keys[winners]
             self._values[current[winner_mask]] = values[winners]

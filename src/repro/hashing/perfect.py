@@ -52,9 +52,11 @@ class PerfectTable(HashTable):
         self._key_range = key_range
         self._present = np.zeros(key_range + 1, dtype=bool)
         self._values = np.zeros(key_range + 1, dtype=np.int64)
-        if len(np.unique(keys)) != len(keys):
-            raise ConfigurationError("perfect hashing requires unique keys")
+        # The presence scatter doubles as the uniqueness check: n unique
+        # keys set exactly n cells, duplicates fewer — no sort needed.
         self._present[keys] = True
+        if np.count_nonzero(self._present) != len(keys):
+            raise ConfigurationError("perfect hashing requires unique keys")
         self._values[keys] = values
         self.profile: TableProfile = perfect_profile(key_range)
 

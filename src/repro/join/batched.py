@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.hashing.batch import DEFAULT_BUCKETS, grouped_bucket_chaining_join
 from repro.hashing.functions import hash_u64, radix_window
 from repro.join import base
+from repro.kernels.scatter import counting_order
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -53,7 +54,10 @@ def _composite_order(
         composite = (selector1 << np.int64(bits2)) | selector2
     else:
         composite = selector1
-    order = np.argsort(composite, kind="stable")
+    # Composite selectors are dense in [0, 2**(bits1 + bits2)): the
+    # counting kernel orders them in linear time (argsort at oversized
+    # radix windows — identical output either way).
+    order = counting_order(composite, 1 << (bits1 + bits2))
     return order, selector1[order]
 
 

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 import enum
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.hw.gpu import MemoryRequest
+from repro.kernels.scatter import exclusive_scan  # noqa: F401 - shared impl
 from repro.hw.interconnect import AccessPattern, Op
 from repro.hw.tlb import MemSpace
 from repro.sim.kernels import CpuTaskBuilder, GpuKernelBuilder
@@ -39,14 +38,9 @@ class PrefixSumLocation(enum.Enum):
     GPU = "gpu"
 
 
-def exclusive_scan(counts: np.ndarray) -> np.ndarray:
-    """Exclusive prefix sum of partition counts -> partition offsets."""
-    counts = np.asarray(counts)
-    if counts.ndim != 1:
-        raise ConfigurationError("counts must be 1-D")
-    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    return offsets
+# exclusive_scan lives in repro.kernels.scatter so the functional
+# scatter kernels and this modeled layer share one implementation; it is
+# re-exported here for the partitioners and their callers.
 
 
 def prefix_sum_task(

@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.hashing.functions import hash_u64, radix_window
+from repro.kernels.scatter import counting_order_and_offsets
 
 
 def radix_histogram(
@@ -107,10 +108,9 @@ def partition_relation(
     if hashed is None:
         hashed = hash_u64(relation.keys)
     selector = radix_window(hashed, bits, offset)
-    counts = np.bincount(selector, minlength=1 << bits).astype(np.int64)
-    offsets = np.zeros((1 << bits) + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    order = np.argsort(selector, kind="stable")
+    # Histogram + exclusive scan + stable scatter — the counting kernel
+    # computes the partition order and the offsets in one linear pass.
+    order, offsets = counting_order_and_offsets(selector, 1 << bits)
     return PartitionedRelation(
         relation=relation.take(order),
         offsets=offsets,

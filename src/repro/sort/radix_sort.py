@@ -35,6 +35,7 @@ from repro.hw.gpu import GpuModel, MemoryRequest
 from repro.hw.interconnect import AccessPattern, Op
 from repro.hw.specs import SystemSpec
 from repro.hw.tlb import MemSpace
+from repro.kernels.scatter import counting_order_and_offsets
 from repro.partition.hierarchical import HierarchicalPartitioner
 from repro.partition.shared import SharedPartitioner
 from repro.sim.engine import SimEngine, SimResult
@@ -95,13 +96,15 @@ class GpuRadixSort:
         selector = self._msd_selector(
             relation.keys, self.first_pass_bits, KEY_BITS
         )
-        order = np.argsort(selector, kind="stable")
+        # The MSD selector is a dense bit window: one counting scatter
+        # stages the buckets and yields their offsets. The per-bucket
+        # refinement argsorts below stay — they order raw 63-bit keys.
+        order, offsets = counting_order_and_offsets(
+            selector, 1 << self.first_pass_bits
+        )
         staged = relation.take(order)
-        bucket_sizes = np.bincount(selector, minlength=1 << self.first_pass_bits)
-        offsets = np.zeros(len(bucket_sizes) + 1, dtype=np.int64)
-        np.cumsum(bucket_sizes, out=offsets[1:])
         pieces = []
-        for index in range(len(bucket_sizes)):
+        for index in range(1 << self.first_pass_bits):
             lo, hi = int(offsets[index]), int(offsets[index + 1])
             if hi == lo:
                 continue

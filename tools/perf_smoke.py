@@ -1,16 +1,24 @@
 """Performance smoke check for the functional join layer.
 
-Times the two experiments that stress the batched kernels hardest —
-fig13 (the headline scaling sweep: every operator at five sizes) and
-fig17 (partitioning algorithms in the full join) — at a fixed scale
-divisor and writes the timings to ``BENCH_kernels.json`` in the repo
-root. CI runs this to catch functional-layer performance regressions::
+Times the experiments that stress the batched kernels hardest — fig13
+(the headline scaling sweep: every operator at five sizes) and fig17
+(partitioning algorithms in the full join) at the fixed smoke divisor,
+plus fig17 again at :data:`DENSE_PROBE_DIVISOR` (larger arrays, so the
+grouped probes take the dense per-``(group, bucket)`` offsets path
+instead of binary search — the radix-window fanout is planned from the
+*nominal* size, so only lowering the divisor grows the build side
+relative to the slot space). Writes the timings to
+``BENCH_kernels.json`` in the repo root, with per-experiment speedups
+against the previously committed report. CI runs this to catch
+functional-layer performance regressions::
 
     PYTHONPATH=src python tools/perf_smoke.py
-    PYTHONPATH=src python tools/perf_smoke.py --divisor 16384 --fail-over 60
+    PYTHONPATH=src python tools/perf_smoke.py --fail-over 60 --fail-regression 2
 
 ``--fail-over SECONDS`` exits non-zero when the total exceeds the
-budget, turning the smoke into a hard gate.
+budget; ``--fail-regression FACTOR`` exits non-zero when the total over
+experiments shared with the previous report regresses by more than
+FACTOR — together they turn the smoke into a hard gate.
 """
 
 from __future__ import annotations
@@ -28,8 +36,17 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.bench.experiments import ALL_EXPERIMENTS  # noqa: E402
 from repro.join import run_cache  # noqa: E402
 
-#: The experiments whose functional layer dominates wall-clock.
-SMOKE_EXPERIMENTS = ("fig13", "fig17")
+#: Scale divisor at which fig17's grouped probes use the dense offsets
+#: table (the build side outgrows the planned slot space).
+DENSE_PROBE_DIVISOR = 4096.0
+
+#: The timed runs: experiment name + divisor override (None = the
+#: --divisor flag). The override's entry is keyed "name@divisor".
+SMOKE_RUNS = (
+    ("fig13", None),
+    ("fig17", None),
+    ("fig17", DENSE_PROBE_DIVISOR),
+)
 DEFAULT_DIVISOR = 16384.0
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
@@ -41,10 +58,12 @@ def run_smoke(divisor: float, use_cache: bool = True) -> dict:
     run_cache.clear()
     timings = {}
     try:
-        for name in SMOKE_EXPERIMENTS:
+        for name, override in SMOKE_RUNS:
+            run_divisor = divisor if override is None else override
+            label = name if override is None else f"{name}@{override:g}"
             started = time.time()
-            ALL_EXPERIMENTS[name].run(scale_divisor=divisor)
-            timings[name] = round(time.time() - started, 3)
+            ALL_EXPERIMENTS[name].run(scale_divisor=run_divisor)
+            timings[label] = round(time.time() - started, 3)
     finally:
         cache_stats = dict(run_cache.stats)
         run_cache.disable()
@@ -56,6 +75,38 @@ def run_smoke(divisor: float, use_cache: bool = True) -> dict:
         "total_seconds": round(sum(timings.values()), 3),
         "run_cache": cache_stats,
     }
+
+
+def load_previous(path: pathlib.Path) -> dict:
+    """The previously committed report's experiment timings ({} if none)."""
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    experiments = previous.get("experiments")
+    return experiments if isinstance(experiments, dict) else {}
+
+
+def add_speedups(report: dict, previous: dict) -> None:
+    """Annotate the report with per-experiment speedup vs the previous run."""
+    speedups = {
+        name: round(previous[name] / seconds, 2)
+        for name, seconds in report["experiments"].items()
+        if name in previous and seconds > 0 and previous[name] > 0
+    }
+    if speedups:
+        report["speedup_vs_previous"] = speedups
+
+
+def regression_factor(report: dict, previous: dict) -> float:
+    """New/old total over the experiments both reports timed (0 if none)."""
+    shared = [name for name in report["experiments"] if name in previous]
+    if not shared:
+        return 0.0
+    old_total = sum(previous[name] for name in shared)
+    if old_total <= 0:
+        return 0.0
+    return sum(report["experiments"][name] for name in shared) / old_total
 
 
 def main(argv=None) -> int:
@@ -80,23 +131,49 @@ def main(argv=None) -> int:
         help="exit 1 when the total exceeds this budget",
     )
     parser.add_argument(
+        "--fail-regression",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit 1 when the total over experiments shared with the "
+        "previous report grows by more than FACTOR",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="disable run memoization during the smoke",
     )
     args = parser.parse_args(argv)
 
+    previous = load_previous(args.output)
     report = run_smoke(args.divisor, use_cache=not args.no_cache)
+    add_speedups(report, previous)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    failed = False
     if args.fail_over is not None and report["total_seconds"] > args.fail_over:
         print(
             f"perf smoke FAILED: {report['total_seconds']:.1f}s "
             f"> budget {args.fail_over:.1f}s",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.fail_regression is not None:
+        factor = regression_factor(report, previous)
+        if factor > args.fail_regression:
+            print(
+                f"perf smoke FAILED: {factor:.2f}x the previous report's "
+                f"total (> {args.fail_regression:g}x allowed)",
+                file=sys.stderr,
+            )
+            failed = True
+        elif factor == 0.0:
+            print(
+                "perf smoke: no comparable previous report; "
+                "regression check skipped",
+                file=sys.stderr,
+            )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
