@@ -17,9 +17,18 @@ regardless of completion order, and a per-experiment timing table is
 appended. Identical (operator, workload) runs shared between figures
 are memoized (see :mod:`repro.join.run_cache`); ``--no-cache`` turns
 that off. With ``--jobs`` the cache is per worker process (hits only
-within each worker's share of the experiments); the timing table sums
-the workers' tallies. ``--profile`` wraps a single experiment in
-cProfile and prints the top 20 cumulative entries.
+within each worker's share of the experiments); workers report their
+hit/miss tallies as metrics deltas that merge into one registry — the
+identical code path the serial runner reads. ``--profile`` wraps a
+single experiment in cProfile and prints the top 20 cumulative entries.
+
+``--trace out.json`` records wall-clock spans (experiment > operator
+run > functional/simulate > kernels) plus each simulated execution's
+virtual timeline into one Chrome-trace file for
+https://ui.perfetto.dev; ``--metrics out.json`` dumps the metrics
+registry (cache tallies, kernel path counts). Both work with ``--jobs``:
+per-worker spans and metrics are drained after every experiment and
+merged here.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import inspect
 import sys
 import time
 
+from repro import telemetry
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentTable
 from repro.join import run_cache
@@ -44,13 +54,16 @@ def _render_one(name: str, sizes, divisor) -> str:
     if divisor is not None and "scale_divisor" in signature.parameters:
         kwargs["scale_divisor"] = divisor
     started = time.time()
-    result = module.run(**kwargs)
+    with telemetry.span(f"experiment:{name}", divisor=divisor):
+        result = module.run(**kwargs)
+    elapsed = time.time() - started
+    telemetry.registry.observe("bench.experiment_seconds", elapsed)
     tables = result if isinstance(result, tuple) else (result,)
     chunks = []
     for table in tables:
         chunks.append(table.format())
         chunks.append("")
-    chunks.append(f"[{name}: {time.time() - started:.1f}s]\n")
+    chunks.append(f"[{name}: {elapsed:.1f}s]\n")
     return "\n".join(chunks)
 
 
@@ -75,21 +88,35 @@ def _profile_one(name: str, sizes, divisor) -> None:
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
 
-def _worker(name: str, sizes, divisor, use_cache: bool):
-    """Process-pool entry point: (name, output, seconds, cache stats)."""
+def _worker(name: str, sizes, divisor, use_cache: bool, trace: bool):
+    """Process-pool entry point.
+
+    Returns ``(name, output, seconds, metrics delta, trace snapshot)``.
+    Metrics are reported as a delta against the snapshot taken before
+    the experiment, and the span trace is drained after it — a pool
+    process reused for several experiments never reports the same work
+    twice (summing cumulative per-worker stats would).
+    """
     if use_cache:
         run_cache.enable()
+    if trace:
+        telemetry.enable()
+    before = telemetry.registry.snapshot()
     started = time.time()
     output = _render_one(name, sizes, divisor)
-    return name, output, time.time() - started, dict(run_cache.stats)
+    seconds = time.time() - started
+    delta = telemetry.registry.delta_since(before)
+    snapshot = telemetry.trace_snapshot(drain=True) if trace else None
+    return name, output, seconds, delta, snapshot
 
 
-def _timing_table(seconds_by_name, cache_stats=None, workers=1) -> ExperimentTable:
+def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
     """The per-experiment wall-clock summary.
 
-    ``cache_stats`` takes aggregated ``{"hits": ..., "misses": ...}``
-    tallies (from worker processes); by default the in-process
-    :mod:`repro.join.run_cache` counters are reported.
+    Cache tallies come from the telemetry metrics registry
+    (``run_cache.hits`` / ``run_cache.misses``) — with ``--jobs`` the
+    workers' deltas were already merged into it, so serial and parallel
+    runs read the same counters.
     """
     table = ExperimentTable(
         experiment="timing",
@@ -102,13 +129,10 @@ def _timing_table(seconds_by_name, cache_stats=None, workers=1) -> ExperimentTab
     table.add_row(
         "total", {"seconds": round(sum(s for _, s in seconds_by_name), 2)}
     )
-    if cache_stats is None:
-        cache_stats = run_cache.stats if run_cache.enabled() else {}
-    if cache_stats.get("hits") or cache_stats.get("misses"):
-        note = (
-            f"run cache: {cache_stats['hits']} hits, "
-            f"{cache_stats['misses']} misses"
-        )
+    hits = telemetry.registry.counter("run_cache.hits")
+    misses = telemetry.registry.counter("run_cache.misses")
+    if hits or misses:
+        note = f"run cache: {hits} hits, {misses} misses"
         if workers > 1:
             note += (
                 f" (summed over {workers} worker processes; "
@@ -128,22 +152,22 @@ def _run_all(sizes, divisor, jobs: int) -> None:
     from concurrent.futures import ProcessPoolExecutor
 
     use_cache = run_cache.enabled()
+    trace = telemetry.enabled()
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
-            pool.submit(_worker, name, sizes, divisor, use_cache)
+            pool.submit(_worker, name, sizes, divisor, use_cache, trace)
             for name in ALL_EXPERIMENTS
         ]
         timings = []
-        cache_stats = {"hits": 0, "misses": 0}
         # Print in submission (= creation) order, not completion order,
         # so the output is byte-stable across --jobs settings.
         for future in futures:
-            name, output, seconds, worker_stats = future.result()
+            name, output, seconds, delta, snapshot = future.result()
             print(output)
             timings.append((name, seconds))
-            cache_stats["hits"] += worker_stats.get("hits", 0)
-            cache_stats["misses"] += worker_stats.get("misses", 0)
-    print(_timing_table(timings, cache_stats=cache_stats, workers=jobs).format())
+            telemetry.registry.merge(delta)
+            telemetry.absorb_trace(snapshot, label=f"worker: {name}")
+    print(_timing_table(timings, workers=jobs).format())
 
 
 def main(argv=None) -> int:
@@ -182,6 +206,20 @@ def main(argv=None) -> int:
         help="run the experiment under cProfile and print the top 20 "
         "cumulative entries (single experiments only)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record wall-clock spans + simulated timelines into a "
+        "Chrome-trace JSON file (open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="dump the metrics registry (cache tallies, kernel path "
+        "counts, timing histograms) as JSON",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -204,6 +242,8 @@ def main(argv=None) -> int:
 
     if not args.no_cache:
         run_cache.enable()
+    if args.trace:
+        telemetry.enable()
     try:
         if args.experiment == "all":
             _run_all(sizes, args.divisor, args.jobs)
@@ -222,8 +262,16 @@ def main(argv=None) -> int:
             _run_one(args.experiment, sizes, args.divisor)
         return 0
     finally:
+        # Write artifacts before run_cache.clear(): clearing the cache
+        # also resets its registry counters.
+        if args.trace:
+            telemetry.write_chrome_trace(args.trace)
+        if args.metrics:
+            telemetry.write_metrics(args.metrics)
         run_cache.disable()
         run_cache.clear()
+        telemetry.disable()
+        telemetry.spans.reset()
 
 
 if __name__ == "__main__":

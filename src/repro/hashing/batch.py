@@ -40,6 +40,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConfigurationError
 from repro.hashing.functions import bucket_of, hash_u64
 from repro.kernels.scatter import (
@@ -155,55 +156,66 @@ def grouped_bucket_chaining_join(
     if len(build_keys) == 0 or len(probe_keys) == 0:
         return _EMPTY, _EMPTY
 
-    build_groups = np.asarray(build_groups, dtype=np.int64)
-    probe_groups = np.asarray(probe_groups, dtype=np.int64)
-    n_buckets = np.int64(buckets)
-    if bits == 0:
-        build_slots = build_groups
-        probe_slots = probe_groups
-    else:
-        if build_hashes is None:
-            build_hashes = hash_u64(build_keys)
-        if probe_hashes is None:
-            probe_hashes = hash_u64(probe_keys)
-        build_slots = build_groups * n_buckets + bucket_of(build_hashes, bits)
-        probe_slots = probe_groups * n_buckets + bucket_of(probe_hashes, bits)
-
-    reference = reference or reference_mode_active()
-    domain = None if reference else _slot_domain(
-        build_groups, probe_groups, buckets
+    sp = telemetry.span(
+        "grouped_bucket_chaining_join",
+        build=len(build_keys),
+        probe=len(probe_keys),
+        buckets=buckets,
     )
-    if domain is not None and (
-        dense_table_fits(len(build_keys), domain)
-        or counting_offsets_free(len(build_keys), domain)
-    ):
-        # Build: one counting scatter materializes every group's chains
-        # contiguously, exactly like each per-partition table does, and
-        # its offsets double as the dense per-(group, bucket) table.
-        # Probe: two O(1) lookups per probe replace the binary search.
-        order, offsets = counting_order_and_offsets(build_slots, domain)
-        sorted_keys = build_keys[order]
-        sorted_values = build_values[order]
-        starts = offsets[probe_slots]
-        ends = offsets[probe_slots + 1]
-    else:
-        # Oversized slot space: order the build without a domain-sized
-        # table (counting_order falls back to argsort on its own at
-        # extreme fanouts) and binary-search each probe's bucket range.
-        if domain is None:
-            order = np.argsort(build_slots, kind="stable")
+    with sp:
+        build_groups = np.asarray(build_groups, dtype=np.int64)
+        probe_groups = np.asarray(probe_groups, dtype=np.int64)
+        n_buckets = np.int64(buckets)
+        if bits == 0:
+            build_slots = build_groups
+            probe_slots = probe_groups
         else:
-            order = counting_order(build_slots, domain)
-        sorted_slots = build_slots[order]
-        sorted_keys = build_keys[order]
-        sorted_values = build_values[order]
-        starts = np.searchsorted(sorted_slots, probe_slots, side="left")
-        ends = np.searchsorted(sorted_slots, probe_slots, side="right")
-    probe_idx, candidates = expand_ranges(starts, ends)
-    if len(candidates) == 0:
-        return _EMPTY, _EMPTY
-    hit = sorted_keys[candidates] == probe_keys[probe_idx]
-    return probe_idx[hit], sorted_values[candidates[hit]]
+            if build_hashes is None:
+                build_hashes = hash_u64(build_keys)
+            if probe_hashes is None:
+                probe_hashes = hash_u64(probe_keys)
+            build_slots = build_groups * n_buckets + bucket_of(build_hashes, bits)
+            probe_slots = probe_groups * n_buckets + bucket_of(probe_hashes, bits)
+
+        reference = reference or reference_mode_active()
+        domain = None if reference else _slot_domain(
+            build_groups, probe_groups, buckets
+        )
+        if domain is not None and (
+            dense_table_fits(len(build_keys), domain)
+            or counting_offsets_free(len(build_keys), domain)
+        ):
+            # Build: one counting scatter materializes every group's chains
+            # contiguously, exactly like each per-partition table does, and
+            # its offsets double as the dense per-(group, bucket) table.
+            # Probe: two O(1) lookups per probe replace the binary search.
+            telemetry.registry.count("batch.probe.dense")
+            sp.set(probe_path="dense")
+            order, offsets = counting_order_and_offsets(build_slots, domain)
+            sorted_keys = build_keys[order]
+            sorted_values = build_values[order]
+            starts = offsets[probe_slots]
+            ends = offsets[probe_slots + 1]
+        else:
+            # Oversized slot space: order the build without a domain-sized
+            # table (counting_order falls back to argsort on its own at
+            # extreme fanouts) and binary-search each probe's bucket range.
+            telemetry.registry.count("batch.probe.searchsorted")
+            sp.set(probe_path="searchsorted")
+            if domain is None:
+                order = np.argsort(build_slots, kind="stable")
+            else:
+                order = counting_order(build_slots, domain)
+            sorted_slots = build_slots[order]
+            sorted_keys = build_keys[order]
+            sorted_values = build_values[order]
+            starts = np.searchsorted(sorted_slots, probe_slots, side="left")
+            ends = np.searchsorted(sorted_slots, probe_slots, side="right")
+        probe_idx, candidates = expand_ranges(starts, ends)
+        if len(candidates) == 0:
+            return _EMPTY, _EMPTY
+        hit = sorted_keys[candidates] == probe_keys[probe_idx]
+        return probe_idx[hit], sorted_values[candidates[hit]]
 
 
 def grouped_perfect_join(
@@ -253,34 +265,45 @@ def grouped_perfect_join(
     in_range = (probe_keys >= 1) & (probe_keys <= key_range)
     probe_composite = probe_groups * span + np.where(in_range, probe_keys, 0)
 
-    reference = reference or reference_mode_active()
-    domain = None if reference else _slot_domain(
-        build_groups, probe_groups, key_range + 1
+    sp = telemetry.span(
+        "grouped_perfect_join",
+        build=len(build_keys),
+        probe=len(probe_keys),
+        key_range=key_range,
     )
-    if domain is not None and (
-        dense_table_fits(len(build_keys), domain)
-        or counting_offsets_free(len(build_keys), domain)
-    ):
-        order, offsets = counting_order_and_offsets(composite, domain)
-        counts = np.diff(offsets)
-        if int(counts.max()) > 1:
+    with sp:
+        reference = reference or reference_mode_active()
+        domain = None if reference else _slot_domain(
+            build_groups, probe_groups, key_range + 1
+        )
+        if domain is not None and (
+            dense_table_fits(len(build_keys), domain)
+            or counting_offsets_free(len(build_keys), domain)
+        ):
+            telemetry.registry.count("batch.probe.dense")
+            sp.set(probe_path="dense")
+            order, offsets = counting_order_and_offsets(composite, domain)
+            counts = np.diff(offsets)
+            if int(counts.max()) > 1:
+                raise ConfigurationError("perfect hashing requires unique keys")
+            # Unique keys make every span 0 or 1 wide: the offsets entry is
+            # the match's position, the histogram entry is the hit test.
+            hit = (counts[probe_composite] > 0) & in_range
+            idx = np.nonzero(hit)[0]
+            return idx, build_values[order][offsets[probe_composite][hit]]
+
+        telemetry.registry.count("batch.probe.searchsorted")
+        sp.set(probe_path="searchsorted")
+        if domain is None:
+            order = np.argsort(composite, kind="stable")
+        else:
+            order = counting_order(composite, domain)
+        sorted_composite = composite[order]
+        if np.any(sorted_composite[1:] == sorted_composite[:-1]):
             raise ConfigurationError("perfect hashing requires unique keys")
-        # Unique keys make every span 0 or 1 wide: the offsets entry is
-        # the match's position, the histogram entry is the hit test.
-        hit = (counts[probe_composite] > 0) & in_range
+
+        pos = np.searchsorted(sorted_composite, probe_composite)
+        pos_clamped = np.minimum(pos, len(sorted_composite) - 1)
+        hit = (sorted_composite[pos_clamped] == probe_composite) & in_range
         idx = np.nonzero(hit)[0]
-        return idx, build_values[order][offsets[probe_composite][hit]]
-
-    if domain is None:
-        order = np.argsort(composite, kind="stable")
-    else:
-        order = counting_order(composite, domain)
-    sorted_composite = composite[order]
-    if np.any(sorted_composite[1:] == sorted_composite[:-1]):
-        raise ConfigurationError("perfect hashing requires unique keys")
-
-    pos = np.searchsorted(sorted_composite, probe_composite)
-    pos_clamped = np.minimum(pos, len(sorted_composite) - 1)
-    hit = (sorted_composite[pos_clamped] == probe_composite) & in_range
-    idx = np.nonzero(hit)[0]
-    return idx, build_values[order][pos_clamped[hit]]
+        return idx, build_values[order][pos_clamped[hit]]

@@ -10,11 +10,13 @@ code, and tests cross-check them.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
@@ -87,6 +89,31 @@ class JoinRun:
         return self.counters.iommu_requests / tuples
 
 
+def _traced_run(run_method):
+    """Wrap an operator's ``run`` in a telemetry span (outermost layer).
+
+    Sits outside the run-cache wrapper so cache hits still appear as
+    spans (annotated ``run_cache=hit`` by the cache). Disabled telemetry
+    costs one flag check per run call.
+    """
+
+    @functools.wraps(run_method)
+    def wrapper(self, workload):
+        if not telemetry.enabled():
+            return run_method(self, workload)
+        name = getattr(self, "name", type(self).__name__)
+        with telemetry.span(
+            f"run:{name}",
+            operator=type(self).__name__,
+            build_rows=workload.build.nominal_rows,
+            probe_rows=workload.probe.nominal_rows,
+        ):
+            return run_method(self, workload)
+
+    wrapper.__wrapped_by_run_cache__ = True
+    return wrapper
+
+
 class JoinOperator(abc.ABC):
     """An equi-join operator bound to one system spec."""
 
@@ -110,7 +137,7 @@ class JoinOperator(abc.ABC):
         ):
             from repro.join import run_cache
 
-            cls.run = run_cache.cached_run(run)
+            cls.run = _traced_run(run_cache.cached_run(run))
 
     @abc.abstractmethod
     def run(self, workload: Workload) -> JoinRun:

@@ -28,6 +28,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.hashing.batch import DEFAULT_BUCKETS, grouped_bucket_chaining_join
@@ -80,25 +81,32 @@ def batched_radix_join_arrays(
         raise ConfigurationError("bits2 cannot be negative")
     if len(build) == 0 or len(probe) == 0:
         return _EMPTY, _EMPTY
-    build_hashes = hash_u64(build.keys)
-    probe_hashes = hash_u64(probe.keys)
-    build_order, build_groups = _composite_order(build_hashes, bits1, bits2)
-    probe_order, probe_groups = _composite_order(probe_hashes, bits1, bits2)
+    with telemetry.span(
+        "batched_radix_join",
+        build=len(build),
+        probe=len(probe),
+        bits1=bits1,
+        bits2=bits2,
+    ):
+        build_hashes = hash_u64(build.keys)
+        probe_hashes = hash_u64(probe.keys)
+        build_order, build_groups = _composite_order(build_hashes, bits1, bits2)
+        probe_order, probe_groups = _composite_order(probe_hashes, bits1, bits2)
 
-    build_keys = build.keys[build_order]
-    build_values = base.build_payload_column(build)[build_order]
-    probe_keys = probe.keys[probe_order]
-    idx, values = grouped_bucket_chaining_join(
-        build_keys,
-        build_values,
-        build_groups,
-        probe_keys,
-        probe_groups,
-        buckets=buckets,
-        build_hashes=build_hashes[build_order],
-        probe_hashes=probe_hashes[probe_order],
-    )
-    return probe_keys[idx], values
+        build_keys = build.keys[build_order]
+        build_values = base.build_payload_column(build)[build_order]
+        probe_keys = probe.keys[probe_order]
+        idx, values = grouped_bucket_chaining_join(
+            build_keys,
+            build_values,
+            build_groups,
+            probe_keys,
+            probe_groups,
+            buckets=buckets,
+            build_hashes=build_hashes[build_order],
+            probe_hashes=probe_hashes[probe_order],
+        )
+        return probe_keys[idx], values
 
 
 def batched_radix_join(

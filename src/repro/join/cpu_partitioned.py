@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.errors import ConfigurationError
 from repro.hashing.bucket_chaining import BucketChainingTable
@@ -223,7 +224,8 @@ class CpuPartitionedJoin(JoinOperator):
 
     def run(self, workload: Workload) -> JoinRun:
         plan = self.plan(workload)
-        match = self._functional_join(workload, plan)
+        with telemetry.span("functional", reference=self.reference):
+            match = self._functional_join(workload, plan)
 
         tuple_bytes = workload.build.tuple_bytes
         build_tuples = float(workload.build.nominal_rows)
@@ -252,8 +254,9 @@ class CpuPartitionedJoin(JoinOperator):
             previous_part_s = part_s
             graph.extend([part_s, gpu])
 
-        engine = SimEngine(ResourcePool.for_system(self.system))
-        sim = engine.run(graph)
+        with telemetry.span("simulate", chunks=chunks):
+            engine = SimEngine(ResourcePool.for_system(self.system))
+            sim = engine.run(graph)
         run = JoinRun(
             name=self.name,
             workload=workload,

@@ -14,6 +14,7 @@ import math
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.hashing.bucket_chaining import BucketChainingTable
 from repro.hashing.hash_table import HashScheme
@@ -117,7 +118,8 @@ class CpuRadixJoin(JoinOperator):
 
     def run(self, workload: Workload) -> JoinRun:
         bits = radix_bits_for(workload.build.nominal_rows)
-        match = self._functional_join(workload, bits)
+        with telemetry.span("functional", bits=bits, reference=self.reference):
+            match = self._functional_join(workload, bits)
 
         fanout = 1 << bits
         tuple_bytes = workload.build.tuple_bytes
@@ -153,9 +155,10 @@ class CpuRadixJoin(JoinOperator):
             tuples=total_tuples,
         )
 
-        graph = TaskGraph(chain([partition_task, join_task]))
-        engine = SimEngine(ResourcePool.for_system(self.system))
-        sim = engine.run(graph)
+        with telemetry.span("simulate", bits=bits):
+            graph = TaskGraph(chain([partition_task, join_task]))
+            engine = SimEngine(ResourcePool.for_system(self.system))
+            sim = engine.run(graph)
         run = JoinRun(
             name=self.name,
             workload=workload,

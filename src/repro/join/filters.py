@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.errors import ConfigurationError
 from repro.hashing.functions import fibonacci_hash, multiply_shift
@@ -144,9 +145,16 @@ class BloomFilteredTritonJoin(JoinOperator):
     def run(self, workload: Workload) -> JoinRun:
         # Build the filter and semi-join S functionally; false positives
         # survive here and are eliminated by the real join below.
-        bloom = BloomFilter(workload.build.keys, self.bits_per_key)
-        survives = bloom.contains(workload.probe.keys)
-        pass_rate = float(survives.mean()) if len(survives) else 1.0
+        sp = telemetry.span(
+            "bloom_filter",
+            build=workload.build.nominal_rows,
+            probe=workload.probe.nominal_rows,
+        )
+        with sp:
+            bloom = BloomFilter(workload.build.keys, self.bits_per_key)
+            survives = bloom.contains(workload.probe.keys)
+            pass_rate = float(survives.mean()) if len(survives) else 1.0
+            sp.set(pass_rate=pass_rate)
 
         filtered_probe = workload.probe.take(np.nonzero(survives)[0])
         filtered_probe = filtered_probe.with_nominal_rows(

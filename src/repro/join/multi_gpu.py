@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.errors import ConfigurationError
 from repro.hw.specs import SystemSpec
@@ -113,29 +114,32 @@ class MultiGpuTritonJoin(JoinOperator):
         # Functional execution: radix ownership does not change the
         # result, so the single-GPU functional join verifies correctness.
         plan = self._triton.plan(workload)
-        match = self._triton._functional_join(workload, plan)
+        with telemetry.span("functional"):
+            match = self._triton._functional_join(workload, plan)
 
-        slice_workload = self._slice_workload(workload)
-        graph = TaskGraph()
-        exchange_fraction = (self.gpu_count - 1) / self.gpu_count
-        for gpu in range(self.gpu_count):
-            sub_graph = self._triton.build_graph(slice_workload)
-            for task in sub_graph.tasks:
-                _retarget(task, gpu)
-                graph.add(task)
-                # The first pass's spilled writes that land in the other
-                # socket's partition ranges cross the X-bus.
-                if task.phase == "Part 1" and exchange_fraction > 0:
-                    exchange_bytes = (
-                        slice_workload.total_nominal_bytes * exchange_fraction
-                    )
-                    task.demands[XBUS] = (
-                        task.demands.get(XBUS, 0.0) + exchange_bytes
-                    )
-                    task.rate_caps[XBUS] = self.xbus_bytes_per_s
+        with telemetry.span("simulate", gpus=self.gpu_count):
+            slice_workload = self._slice_workload(workload)
+            graph = TaskGraph()
+            exchange_fraction = (self.gpu_count - 1) / self.gpu_count
+            for gpu in range(self.gpu_count):
+                sub_graph = self._triton.build_graph(slice_workload)
+                for task in sub_graph.tasks:
+                    _retarget(task, gpu)
+                    graph.add(task)
+                    # The first pass's spilled writes that land in the
+                    # other socket's partition ranges cross the X-bus.
+                    if task.phase == "Part 1" and exchange_fraction > 0:
+                        exchange_bytes = (
+                            slice_workload.total_nominal_bytes
+                            * exchange_fraction
+                        )
+                        task.demands[XBUS] = (
+                            task.demands.get(XBUS, 0.0) + exchange_bytes
+                        )
+                        task.rate_caps[XBUS] = self.xbus_bytes_per_s
 
-        engine = SimEngine(self._pool())
-        sim = engine.run(graph)
+            engine = SimEngine(self._pool())
+            sim = engine.run(graph)
         run = JoinRun(
             name=self.name,
             workload=workload,

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.errors import ConfigurationError
 from repro.hashing.bucket_chaining import BucketChainingTable
@@ -122,9 +123,10 @@ class NoPartitioningJoin(JoinOperator):
         )
 
     def run(self, workload: Workload) -> JoinRun:
-        table = self._build_table(workload)
-        idx, values = table.probe(workload.probe.keys)
-        match = base.JoinMatch.from_arrays(workload.probe.keys[idx], values)
+        with telemetry.span("functional", scheme=self.scheme.value):
+            table = self._build_table(workload)
+            idx, values = table.probe(workload.probe.keys)
+            match = base.JoinMatch.from_arrays(workload.probe.keys[idx], values)
 
         profile = self._table_profile(workload)
         g = self._gpu_fraction(profile.table_bytes)
@@ -198,9 +200,10 @@ class NoPartitioningJoin(JoinOperator):
             tuples=probe_rows,
         )
 
-        graph = TaskGraph(chain([build_task, probe_task]))
-        engine = SimEngine(ResourcePool.for_system(self.system))
-        sim = engine.run(graph)
+        with telemetry.span("simulate", gpu_fraction=g):
+            graph = TaskGraph(chain([build_task, probe_task]))
+            engine = SimEngine(ResourcePool.for_system(self.system))
+            sim = engine.run(graph)
         run = JoinRun(
             name=self.name,
             workload=workload,

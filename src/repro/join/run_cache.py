@@ -32,14 +32,26 @@ from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 _ATOMS = (type(None), bool, int, float, str, bytes, complex)
 
 #: Operators whose run() results may be cached (keyed structurally).
 _cache: Dict[Tuple, Any] = {}
 _enabled = False
 
-#: Hit/miss tallies since the last :func:`clear` (for the CLI summary).
-stats = {"hits": 0, "misses": 0}
+
+def __getattr__(name: str):
+    # Hit/miss tallies live in the telemetry metrics registry (counters
+    # ``run_cache.hits`` / ``run_cache.misses``) so they merge across
+    # bench workers like every other metric; ``stats`` stays available
+    # as a read-only snapshot for callers and tests.
+    if name == "stats":
+        return {
+            "hits": telemetry.registry.counter("run_cache.hits"),
+            "misses": telemetry.registry.counter("run_cache.misses"),
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class UnfreezableError(TypeError):
@@ -129,8 +141,7 @@ def enabled() -> bool:
 
 def clear() -> None:
     _cache.clear()
-    stats["hits"] = 0
-    stats["misses"] = 0
+    telemetry.registry.reset(prefix="run_cache.")
 
 
 def size() -> int:
@@ -157,12 +168,14 @@ def cached_run(run_method: Callable) -> Callable:
             return run_method(self, workload)
         hit = _cache.get(key)
         if hit is not None:
-            stats["hits"] += 1
+            telemetry.registry.count("run_cache.hits")
+            telemetry.annotate(run_cache="hit")
             run = copy.copy(hit)
             run.notes = dict(hit.notes)
             run.workload = workload
             return run
-        stats["misses"] += 1
+        telemetry.registry.count("run_cache.misses")
+        telemetry.annotate(run_cache="miss")
         run = run_method(self, workload)
         # Cache a snapshot, not the returned object: callers annotate
         # run.notes freely and must not retro-edit the cached result.

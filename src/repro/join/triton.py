@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.generator import Workload
 from repro.errors import ConfigurationError
 from repro.hashing.bucket_chaining import BucketChainingTable
@@ -561,10 +562,12 @@ class TritonJoin(JoinOperator):
     def run(self, workload: Workload) -> JoinRun:
         plan = self.plan(workload)
         cache = self.cache_plan(workload)
-        match = self._functional_join(workload, plan)
-        graph = self.build_graph(workload)
-        engine = SimEngine(ResourcePool.for_system(self.system))
-        sim = engine.run(graph)
+        with telemetry.span("functional", reference=self.reference):
+            match = self._functional_join(workload, plan)
+        with telemetry.span("simulate", chunks=self.pipeline_chunks):
+            graph = self.build_graph(workload)
+            engine = SimEngine(ResourcePool.for_system(self.system))
+            sim = engine.run(graph)
         seconds = sim.makespan_seconds
         # The hybrid-hash-R0 ablation policy loses transfer/compute
         # overlap: the spilled transfer time no longer hides behind the

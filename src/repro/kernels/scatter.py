@@ -24,6 +24,11 @@ Implementation notes:
 - ``reference=True`` (or the :func:`force_reference` context manager)
   forces the argsort path everywhere, keeping the replaced
   implementation reachable for cross-checks.
+- Every entry point tallies which path ran into the telemetry metrics
+  registry (``kernels.scatter.order.counting`` / ``.argsort``,
+  ``kernels.scatter.claim.scatter`` / ``.argsort``), so a silently
+  degraded run — scipy missing, domain past the crossover — is visible
+  in any metrics dump instead of only as a wall-clock anomaly.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import metrics as _metrics
 
 try:  # scipy is optional: the kernels degrade to stable argsort.
     from scipy.sparse import _sparsetools as _sparsetools
@@ -149,7 +155,9 @@ def counting_order(
     """
     keys = _checked(keys, domain)
     if _use_reference(reference, len(keys), domain):
+        _metrics.registry.count("kernels.scatter.order.argsort")
         return np.argsort(keys, kind="stable")
+    _metrics.registry.count("kernels.scatter.order.counting")
     return _counting_scatter(keys, domain)[0]
 
 
@@ -168,9 +176,11 @@ def counting_order_and_offsets(
     """
     keys = _checked(keys, domain)
     if _use_reference(reference, len(keys), domain):
+        _metrics.registry.count("kernels.scatter.order.argsort")
         if counts is None:
             counts = np.bincount(keys, minlength=domain)
         return np.argsort(keys, kind="stable"), exclusive_scan(counts)
+    _metrics.registry.count("kernels.scatter.order.counting")
     return _counting_scatter(keys, domain)
 
 
@@ -227,6 +237,7 @@ def claim_first(
         return np.zeros(0, dtype=bool)
     # Pure numpy — no scipy gate, only the domain-size crossover.
     if reference or _reference_mode or not _counting_profitable(n, domain):
+        _metrics.registry.count("kernels.scatter.claim.argsort")
         order = np.argsort(slots, kind="stable")
         sorted_slots = slots[order]
         first_of_slot = np.ones(n, dtype=bool)
@@ -234,6 +245,7 @@ def claim_first(
         mask = np.zeros(n, dtype=bool)
         mask[order[first_of_slot]] = True
         return mask
+    _metrics.registry.count("kernels.scatter.claim.scatter")
     claim = np.full(domain, -1, dtype=np.int64)
     claim[slots[::-1]] = np.arange(n - 1, -1, -1, dtype=np.int64)
     return claim[slots] == np.arange(n, dtype=np.int64)

@@ -16,6 +16,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import telemetry
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.hw.gpu import MemoryRequest
@@ -101,7 +102,12 @@ class GpuPartitioner(abc.ABC):
         ``hashed`` reuses precomputed multiply-shift hashes from an
         earlier pass instead of re-hashing the keys.
         """
-        return partition_relation(relation, bits, offset, hashed=hashed)
+        with telemetry.span(
+            f"partition:{getattr(self, 'name', type(self).__name__)}",
+            tuples=len(relation),
+            fanout=1 << bits,
+        ):
+            return partition_relation(relation, bits, offset, hashed=hashed)
 
     # -- cost model -------------------------------------------------------------
 

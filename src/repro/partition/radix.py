@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.hashing.functions import hash_u64, radix_window
@@ -105,19 +106,28 @@ def partition_relation(
     """
     if bits <= 0:
         raise ConfigurationError("bits must be positive")
-    if hashed is None:
-        hashed = hash_u64(relation.keys)
-    selector = radix_window(hashed, bits, offset)
-    # Histogram + exclusive scan + stable scatter — the counting kernel
-    # computes the partition order and the offsets in one linear pass.
-    order, offsets = counting_order_and_offsets(selector, 1 << bits)
-    return PartitionedRelation(
-        relation=relation.take(order),
-        offsets=offsets,
+    with telemetry.span(
+        "partition_relation",
+        tuples=len(relation),
         bits=bits,
-        offset_bits=offset,
-        hashed=hashed[order],
-    )
+        offset=offset,
+        fanout=1 << bits,
+        rehash=hashed is None,
+    ):
+        if hashed is None:
+            hashed = hash_u64(relation.keys)
+        selector = radix_window(hashed, bits, offset)
+        # Histogram + exclusive scan + stable scatter — the counting
+        # kernel computes the partition order and the offsets in one
+        # linear pass.
+        order, offsets = counting_order_and_offsets(selector, 1 << bits)
+        return PartitionedRelation(
+            relation=relation.take(order),
+            offsets=offsets,
+            bits=bits,
+            offset_bits=offset,
+            hashed=hashed[order],
+        )
 
 
 def count_flushes(counts: np.ndarray, buffer_tuples: int) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.data.relation import Relation
 from repro.errors import ConfigurationError
 from repro.hw.cpu import CpuModel
@@ -67,7 +68,10 @@ class CpuSwwcPartitioner:
     def partition(
         self, relation: Relation, bits: int, offset: int = 0, hashed=None
     ) -> PartitionedRelation:
-        return partition_relation(relation, bits, offset, hashed=hashed)
+        with telemetry.span(
+            f"partition:{self.name}", tuples=len(relation), fanout=1 << bits
+        ):
+            return partition_relation(relation, bits, offset, hashed=hashed)
 
     # -- cost model -------------------------------------------------------------
 

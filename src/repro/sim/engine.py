@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro import telemetry
 from repro.errors import SimulationError
 from repro.hw.counters import PerfCounters
 from repro.sim.resources import ResourcePool
@@ -199,9 +200,15 @@ class SimEngine:
                 trace.append(TraceEntry.from_task(task))
 
         trace.sort(key=lambda entry: (entry.start, entry.end))
-        return SimResult(
+        result = SimResult(
             makespan_seconds=now,
             trace=trace,
             counters=graph.total_counters(),
             resource_busy_units=busy,
         )
+        if telemetry.enabled():
+            # Capture the virtual-time schedule as its own trace track so
+            # one Chrome-trace file shows host wall-clock spans alongside
+            # the simulated kernel timeline.
+            telemetry.add_sim_result(result)
+        return result

@@ -1,0 +1,98 @@
+"""Span tracing + metrics for the real (host) execution.
+
+The simulator attributes *virtual* time (``repro.sim.trace``); this
+package attributes *wall-clock* time and path decisions in the numpy
+execution that produces it — the paper's own methodology (time
+breakdowns, per-kernel profiles) applied to the reproduction itself.
+
+Three pieces:
+
+- **Spans** (:mod:`repro.telemetry.spans`): nested wall-clock intervals
+  with structured attributes, gated behind a module flag so disabled
+  call sites cost one attribute check. ``telemetry.span(name, **attrs)``
+  is a context manager; ``telemetry.traced()`` the decorator form;
+  ``telemetry.annotate(**attrs)`` tags the innermost open span.
+- **Metrics** (:mod:`repro.telemetry.metrics`): an always-on registry of
+  counters, gauges, and timing histograms (``telemetry.count``,
+  ``telemetry.gauge``, ``telemetry.observe``) absorbing the formerly
+  ad-hoc stats: run-cache hits/misses, scatter kernel path counts,
+  grouped-probe dense-vs-searchsorted selection.
+- **Exporters** (:mod:`repro.telemetry.export`): one Chrome-trace/
+  Perfetto JSON writer shared by hosts spans, worker snapshots, and
+  simulated virtual-time tracks; a plain-text span tree; a JSON metrics
+  dump; and the structural validator tests run over emitted files.
+
+Capture a trace::
+
+    python -m repro.bench fig13 --trace trace.json --metrics metrics.json
+
+then open ``trace.json`` at https://ui.perfetto.dev. See
+``docs/observability.md``.
+"""
+
+from repro.telemetry import export, metrics, spans
+from repro.telemetry.export import (
+    chrome_trace_document,
+    format_span_tree,
+    metrics_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.metrics import MetricsRegistry, registry
+from repro.telemetry.spans import (
+    NULL_SPAN,
+    absorb_trace,
+    add_sim_result,
+    annotate,
+    collector,
+    current_path,
+    disable,
+    enable,
+    enabled,
+    span,
+    trace_snapshot,
+    traced,
+)
+
+#: Convenience aliases onto the process-wide registry.
+count = registry.count
+gauge = registry.gauge
+observe = registry.observe
+
+
+def reset() -> None:
+    """Drop all recorded spans, virtual tracks, and metrics."""
+    spans.reset()
+    registry.reset()
+
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "absorb_trace",
+    "add_sim_result",
+    "annotate",
+    "chrome_trace_document",
+    "collector",
+    "count",
+    "current_path",
+    "disable",
+    "enable",
+    "enabled",
+    "export",
+    "format_span_tree",
+    "gauge",
+    "metrics",
+    "metrics_document",
+    "observe",
+    "registry",
+    "reset",
+    "span",
+    "spans",
+    "trace_snapshot",
+    "traced",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,266 @@
+"""Exporters: Chrome-trace (Perfetto) JSON, span trees, metrics dumps.
+
+This is the **one trace-event writer in the codebase**: host wall-clock
+spans, worker-process spans, and simulated virtual-time timelines
+(:class:`repro.sim.trace.TraceEntry` lists) all serialize through the
+same helpers, so ``python -m repro.bench ... --trace`` and
+``python -m repro.sim.visualize --format chrome`` produce files a single
+viewer opens side by side.
+
+The format is the Chrome trace-event JSON object form
+(``{"traceEvents": [...]}``) that chrome://tracing and
+https://ui.perfetto.dev load directly:
+
+- host spans are complete events (``ph: "X"``, ``cat: "host"``) with
+  microsecond ``ts``/``dur`` relative to the trace epoch, one Perfetto
+  process per OS process;
+- each captured simulated execution becomes its **own process track**
+  (pid ``SIM_PID_BASE + k``, ``cat: "sim"``) whose threads are the
+  simulation's phases and whose timestamps are *virtual* microseconds —
+  a paper figure's simulated breakdown opens next to its real host cost.
+
+:func:`validate_chrome_trace` is the structural checker the tests (and
+CI) run over emitted files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import spans as _spans
+
+#: Virtual-time (simulated) tracks get pids in their own range so a
+#: viewer groups them apart from real host processes.
+SIM_PID_BASE = 10_000_000
+
+#: Floats survive JSON round trips; sub-0.001 µs jitter does not matter.
+_TS_DECIMALS = 3
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, _TS_DECIMALS)
+
+
+def _metadata(pid: int, name: str, value: str, tid: int = 0) -> dict:
+    return {
+        "ph": "M",
+        "name": name,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": value},
+    }
+
+
+def _span_events(
+    spans: Sequence[dict], pid: int, tid: int = 1, cat: str = "host"
+) -> List[dict]:
+    """Complete events for finished span dicts (see ``Span.to_dict``)."""
+    events = []
+    for record in spans:
+        if record.get("end") is None:
+            continue
+        events.append(
+            {
+                "name": record["name"],
+                "cat": cat,
+                "ph": "X",
+                "ts": _us(record["start"]),
+                "dur": _us(max(record["end"] - record["start"], 0.0)),
+                "pid": pid,
+                "tid": tid,
+                "args": dict(record.get("attrs") or {}),
+            }
+        )
+    return events
+
+
+def sim_track_events(
+    entries: Sequence[tuple],
+    pid: int,
+    label: str,
+    truncated: int = 0,
+) -> List[dict]:
+    """Events for one virtual-time track.
+
+    ``entries`` are ``(name, phase, start_s, end_s)`` tuples. Each phase
+    becomes a thread of the track's process (phases overlap each other
+    in simulated time — the Fig. 11 pipeline — but entries *within* a
+    phase are sequential, so per-phase threads render cleanly).
+    """
+    events: List[dict] = [_metadata(pid, "process_name", f"sim: {label}")]
+    tids: Dict[str, int] = {}
+    for name, phase, start, end in entries:
+        tid = tids.get(phase)
+        if tid is None:
+            tid = tids[phase] = len(tids) + 1
+            events.append(_metadata(pid, "thread_name", phase, tid=tid))
+        events.append(
+            {
+                "name": name,
+                "cat": "sim",
+                "ph": "X",
+                "ts": _us(start),
+                "dur": _us(max(end - start, 0.0)),
+                "pid": pid,
+                "tid": tid,
+                "args": {"phase": phase, "virtual_time": True},
+            }
+        )
+    if truncated:
+        events.append(
+            _metadata(pid, "process_labels", f"{truncated} tasks clipped")
+        )
+    return events
+
+
+def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> List[dict]:
+    """All trace events for the current collector state."""
+    collector = collector or _spans.collector()
+    events: List[dict] = []
+    local_pid = os.getpid()
+    local_spans = [s.to_dict() for s in collector.spans]
+    if local_spans:
+        events.append(_metadata(local_pid, "process_name", f"host pid {local_pid}"))
+        events.append(_metadata(local_pid, "thread_name", "main", tid=1))
+        events.extend(_span_events(local_spans, pid=local_pid))
+    for snapshot in collector.foreign:
+        pid = snapshot.get("pid", 0)
+        label = snapshot.get("label") or f"worker pid {pid}"
+        if snapshot.get("spans"):
+            events.append(_metadata(pid, "process_name", f"host {label}"))
+            events.append(_metadata(pid, "thread_name", "main", tid=1))
+            events.extend(_span_events(snapshot["spans"], pid=pid))
+    sim_index = 0
+    for track in collector.virtual_tracks + [
+        t for snap in collector.foreign for t in snap.get("virtual", ())
+    ]:
+        events.extend(
+            sim_track_events(
+                track["entries"], SIM_PID_BASE + sim_index, track["label"]
+            )
+        )
+        sim_index += 1
+    return events
+
+
+def chrome_trace_document(
+    events: Optional[List[dict]] = None, **other_data
+) -> dict:
+    """The JSON object form viewers load (events + free-form metadata)."""
+    return {
+        "traceEvents": chrome_trace_events() if events is None else events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.telemetry", **other_data},
+    }
+
+
+def write_chrome_trace(path, document: Optional[dict] = None) -> dict:
+    """Serialize the trace document to ``path``; returns the document."""
+    document = document if document is not None else chrome_trace_document()
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def format_span_tree(
+    collector: Optional[_spans.SpanCollector] = None, precision_ms: int = 3
+) -> str:
+    """Indented plain-text rendering of the recorded host spans."""
+    collector = collector or _spans.collector()
+    spans = sorted(collector.spans, key=lambda s: (s.start, s.depth))
+    if not spans:
+        return "(no spans recorded)"
+    width = max(2 * s.depth + len(s.name) for s in spans)
+    lines = []
+    for s in spans:
+        label = "  " * s.depth + s.name
+        attrs = (
+            "  " + ", ".join(f"{k}={v}" for k, v in sorted(s.attrs.items()))
+            if s.attrs
+            else ""
+        )
+        lines.append(
+            f"{label.ljust(width)}  "
+            f"{s.duration * 1e3:10.{precision_ms}f} ms{attrs}"
+        )
+    return "\n".join(lines)
+
+
+def metrics_document(registry: Optional[_metrics.MetricsRegistry] = None) -> dict:
+    """JSON-serializable dump of the metrics registry."""
+    return (registry or _metrics.registry).snapshot()
+
+
+def write_metrics(path, registry: Optional[_metrics.MetricsRegistry] = None) -> dict:
+    document = metrics_document(registry)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+# -- validation ----------------------------------------------------------------
+
+_REQUIRED_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+#: Slack for float µs round-tripping when checking containment.
+_NEST_EPSILON_US = 0.01
+
+
+def validate_chrome_trace(document) -> List[str]:
+    """Structural problems in a Chrome trace document ([] = well-formed).
+
+    Checks the object form, the required keys on every complete event,
+    non-negative timestamps/durations, and — for host spans, which are
+    recorded with strict stack discipline — proper nesting per
+    ``(pid, tid)`` (simulated tracks legitimately overlap: concurrent
+    kernels share a phase thread only when sequential, but concurrent
+    *phases* are the point of the Fig. 11 pipeline).
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    complete = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        if event.get("ph") != "X":
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in event]
+        if missing:
+            problems.append(f"event {i} ({event.get('name')!r}) missing {missing}")
+            continue
+        if event["ts"] < 0:
+            problems.append(f"event {i} ({event['name']!r}) has negative ts")
+        if event["dur"] < 0:
+            problems.append(f"event {i} ({event['name']!r}) has negative dur")
+        complete.append(event)
+    if not complete:
+        problems.append("no complete (ph == 'X') events")
+        return problems
+
+    by_track: Dict[tuple, List[dict]] = {}
+    for event in complete:
+        if event.get("cat") == "host":
+            by_track.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), track in by_track.items():
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[float] = []
+        for event in track:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and stack[-1] <= start + _NEST_EPSILON_US:
+                stack.pop()
+            if stack and end > stack[-1] + _NEST_EPSILON_US:
+                problems.append(
+                    f"span {event['name']!r} on pid {pid}/tid {tid} "
+                    f"overlaps its enclosing span without nesting"
+                )
+            stack.append(end)
+    return problems

@@ -1,0 +1,171 @@
+"""Process-wide metrics registry: counters, gauges, timing histograms.
+
+The registry is a plain-dictionary store that is *always* live — an
+increment is two dict operations, cheap enough to leave in hot kernels
+unconditionally (unlike spans, which are gated on the tracing flag).
+It absorbs the ad-hoc statistics that used to live in module-level
+dicts: :mod:`repro.join.run_cache` hit/miss tallies, the scatter
+kernels' scipy-vs-argsort path counts, and the grouped probes'
+dense-vs-searchsorted selection.
+
+Snapshots are JSON-serializable and mergeable, which is how the
+parallel benchmark runner aggregates per-worker tallies: each worker
+returns ``registry.delta_since(before)`` for its slice of the work and
+the parent merges the deltas — the same code path the serial runner
+reads directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Optional
+
+#: Timing-histogram bucket upper bounds in seconds (log10 from 1 µs to
+#: 100 s); the last bucket is unbounded.
+BUCKET_BOUNDS = tuple(10.0 ** e for e in range(-6, 3))
+
+
+def _new_timing() -> dict:
+    return {
+        "count": 0,
+        "total_seconds": 0.0,
+        "min_seconds": None,
+        "max_seconds": None,
+        "buckets": [0] * (len(BUCKET_BOUNDS) + 1),
+    }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and timing histograms keyed by dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timings: Dict[str, dict] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration into timing histogram ``name``."""
+        timing = self._timings.get(name)
+        if timing is None:
+            timing = self._timings[name] = _new_timing()
+        timing["count"] += 1
+        timing["total_seconds"] += seconds
+        if timing["min_seconds"] is None or seconds < timing["min_seconds"]:
+            timing["min_seconds"] = seconds
+        if timing["max_seconds"] is None or seconds > timing["max_seconds"]:
+            timing["max_seconds"] = seconds
+        timing["buckets"][bisect.bisect_left(BUCKET_BOUNDS, seconds)] += 1
+
+    # -- reads ----------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self, prefix: str = "") -> Dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-serializable copy of the whole registry."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timings": {
+                name: {**t, "buckets": list(t["buckets"])}
+                for name, t in self._timings.items()
+            },
+        }
+
+    def delta_since(self, before: dict) -> dict:
+        """Snapshot-shaped difference against an earlier :meth:`snapshot`.
+
+        Counters and timing counts/totals/buckets subtract; gauges and
+        timing min/max report the current value (a delta of an extremum
+        is not meaningful). This is what a worker process returns per
+        unit of work so a parent can :meth:`merge` without double
+        counting when the process is reused.
+        """
+        before_counters = before.get("counters", {})
+        counters = {}
+        for name, value in self._counters.items():
+            diff = value - before_counters.get(name, 0)
+            if diff:
+                counters[name] = diff
+        before_timings = before.get("timings", {})
+        timings = {}
+        for name, timing in self._timings.items():
+            old = before_timings.get(name, _new_timing())
+            count = timing["count"] - old["count"]
+            if count <= 0:
+                continue
+            timings[name] = {
+                "count": count,
+                "total_seconds": timing["total_seconds"] - old["total_seconds"],
+                "min_seconds": timing["min_seconds"],
+                "max_seconds": timing["max_seconds"],
+                "buckets": [
+                    new - prev
+                    for new, prev in zip(timing["buckets"], old["buckets"])
+                ],
+            }
+        return {
+            "counters": counters,
+            "gauges": dict(self._gauges),
+            "timings": timings,
+        }
+
+    # -- maintenance -----------------------------------------------------------
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold a snapshot (or delta) from another process into this one."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name, value)
+        for name, other in snapshot.get("timings", {}).items():
+            timing = self._timings.get(name)
+            if timing is None:
+                timing = self._timings[name] = _new_timing()
+            timing["count"] += other["count"]
+            timing["total_seconds"] += other["total_seconds"]
+            for bound in ("min_seconds", "max_seconds"):
+                value = other.get(bound)
+                if value is None:
+                    continue
+                current = timing[bound]
+                pick = min if bound == "min_seconds" else max
+                timing[bound] = value if current is None else pick(current, value)
+            for i, n in enumerate(other.get("buckets", ())):
+                timing["buckets"][i] += n
+
+    def reset(self, prefix: Optional[str] = None) -> None:
+        """Drop all metrics, or only those whose names start with ``prefix``."""
+        if prefix is None:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timings.clear()
+            return
+        for store in (self._counters, self._gauges, self._timings):
+            for name in [n for n in store if n.startswith(prefix)]:
+                del store[name]
+
+
+#: The process-wide registry every instrumented module writes to.
+registry = MetricsRegistry()

@@ -1,0 +1,273 @@
+"""Nested wall-clock spans with a near-zero-overhead disabled mode.
+
+Tracing is **off by default**. Call sites write::
+
+    with telemetry.span("partition_relation", tuples=n, bits=bits):
+        ...
+
+and pay one module-flag check plus one small dict build per call while
+tracing is disabled (:func:`span` returns a shared no-op context
+manager). When enabled, spans record ``time.perf_counter`` intervals
+relative to the trace epoch, nest via an explicit stack, and carry
+structured attributes (tuple counts, kernel path taken, fanout) that
+survive into every exporter.
+
+The collector also holds **virtual-time tracks**: simulated execution
+timelines (:class:`repro.sim.trace.TraceEntry` lists) registered by the
+simulation engine while tracing is active, so a figure's simulated
+breakdown and its real host cost export into one Chrome trace.
+
+Multiprocess support is snapshot-based: a worker calls
+:func:`trace_snapshot` (with ``drain=True`` so a reused pool process
+never re-sends old spans) and the parent :func:`absorb_trace`\\ s the
+result; every absorbed snapshot keeps its origin pid and becomes its
+own Perfetto process track.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+_enabled = False
+
+
+class NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One open (then finished) wall-clock interval."""
+
+    __slots__ = ("name", "start", "end", "attrs", "depth", "parent", "span_id")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        depth: int,
+        parent: Optional[int],
+        span_id: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.depth = depth
+        self.parent = parent
+        self.span_id = span_id
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the span (e.g. a path decision)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _collector.finish(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanCollector:
+    """Per-process store of finished spans and virtual sim tracks."""
+
+    def __init__(self) -> None:
+        self.epoch: Optional[float] = None
+        self.spans: List[Span] = []
+        self.stack: List[Span] = []
+        self.virtual_tracks: List[dict] = []
+        #: Snapshots absorbed from worker processes, keyed by origin pid.
+        self.foreign: List[dict] = []
+        self._next_id = 0
+
+    def start(self, name: str, attrs: Dict[str, Any]) -> Span:
+        if self.epoch is None:
+            self.epoch = time.perf_counter()
+        parent = self.stack[-1].span_id if self.stack else None
+        span = Span(
+            name=name,
+            start=time.perf_counter() - self.epoch,
+            depth=len(self.stack),
+            parent=parent,
+            span_id=self._next_id,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        span.end = time.perf_counter() - self.epoch
+        # Tolerate out-of-order exits (an exception unwinding through
+        # several spans): close everything above the span too.
+        while self.stack:
+            top = self.stack.pop()
+            if top.end is None:
+                top.end = span.end
+            self.spans.append(top)
+            if top is span:
+                break
+
+    def add_virtual_track(
+        self, label: str, entries, makespan: float
+    ) -> None:
+        self.virtual_tracks.append(
+            {
+                "label": label,
+                "makespan_seconds": float(makespan),
+                "entries": [
+                    (e.name, e.phase, float(e.start), float(e.end))
+                    for e in entries
+                ],
+            }
+        )
+
+    def reset(self) -> None:
+        self.epoch = None
+        self.spans.clear()
+        self.stack.clear()
+        self.virtual_tracks.clear()
+        self.foreign.clear()
+        self._next_id = 0
+
+
+_collector = SpanCollector()
+
+
+def enable() -> None:
+    """Turn span recording on (the epoch is set by the first span)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans, virtual tracks, and absorbed snapshots."""
+    _collector.reset()
+
+
+def collector() -> SpanCollector:
+    return _collector
+
+
+def span(name: str, **attrs):
+    """Open a span (``with telemetry.span(...)``); no-op when disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return _collector.start(name, attrs)
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the innermost open span, if tracing."""
+    if _enabled and _collector.stack:
+        _collector.stack[-1].attrs.update(attrs)
+
+
+def current_path() -> str:
+    """Slash-joined names of the open spans (for labeling sub-records)."""
+    return " / ".join(s.name for s in _collector.stack)
+
+
+def traced(name: Optional[str] = None, **static_attrs):
+    """Decorator form of :func:`span` (span per call, disabled = direct)."""
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _collector.start(label, dict(static_attrs)):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def add_sim_result(result, label: Optional[str] = None) -> None:
+    """Register a simulated execution as a virtual-time track.
+
+    ``result`` is duck-typed (``.trace`` entries with name/phase/start/
+    end plus ``.makespan_seconds``) so the simulator does not import the
+    exporters. The label defaults to the open span path, which is how a
+    trace viewer ties a simulated timeline back to the host span (e.g.
+    ``experiment:fig13 / GPU Triton Join / simulate``).
+    """
+    if not _enabled:
+        return
+    _collector.add_virtual_track(
+        label or current_path() or "simulated",
+        result.trace,
+        result.makespan_seconds,
+    )
+
+
+def trace_snapshot(drain: bool = False) -> dict:
+    """JSON-serializable dump of this process's finished spans + tracks.
+
+    With ``drain`` the returned records are removed from the collector —
+    the multiprocess contract: a pool worker drains after every unit of
+    work so a reused process never re-sends spans it already reported.
+    """
+    snapshot = {
+        "pid": os.getpid(),
+        "spans": [s.to_dict() for s in _collector.spans],
+        "virtual": list(_collector.virtual_tracks),
+    }
+    if drain:
+        _collector.spans = []
+        _collector.virtual_tracks = []
+    return snapshot
+
+
+def absorb_trace(snapshot: Optional[dict], label: Optional[str] = None) -> None:
+    """Fold a worker's :func:`trace_snapshot` into this process's trace."""
+    if not snapshot or not (snapshot.get("spans") or snapshot.get("virtual")):
+        return
+    record = dict(snapshot)
+    if label:
+        record["label"] = label
+    _collector.foreign.append(record)

@@ -1,0 +1,440 @@
+"""Unit tests for repro.telemetry: spans, metrics, exporters, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.bench.__main__ import main as cli_main
+from repro.data.generator import generate_workload
+from repro.join import TritonJoin, run_cache
+from repro.sim.visualize import main as viz_main
+from repro.telemetry.export import (
+    SIM_PID_BASE,
+    chrome_trace_document,
+    format_span_tree,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with telemetry disabled and empty."""
+    telemetry.disable()
+    telemetry.reset()
+    yield
+    telemetry.disable()
+    telemetry.reset()
+
+
+class TestDisabledMode:
+    def test_span_is_shared_noop(self):
+        assert telemetry.span("anything", x=1) is telemetry.NULL_SPAN
+        assert telemetry.span("other") is telemetry.NULL_SPAN
+
+    def test_noop_span_accepts_protocol(self):
+        with telemetry.span("a", n=3) as sp:
+            sp.set(path="dense")
+        assert telemetry.collector().spans == []
+
+    def test_annotate_is_noop(self):
+        telemetry.annotate(path="dense")  # must not raise
+        assert telemetry.collector().spans == []
+
+    def test_traced_decorator_passthrough(self):
+        @telemetry.traced("work")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert telemetry.collector().spans == []
+
+    def test_add_sim_result_is_noop(self):
+        class Fake:
+            trace = []
+            makespan_seconds = 0.0
+
+        telemetry.add_sim_result(Fake())
+        assert telemetry.collector().virtual_tracks == []
+
+
+class TestSpans:
+    def test_nesting_records_depth_and_parent(self):
+        telemetry.enable()
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.depth == 1
+                assert inner.parent == outer.span_id
+        spans = {s.name: s for s in telemetry.collector().spans}
+        assert spans["outer"].depth == 0
+        assert spans["inner"].start >= spans["outer"].start
+        assert spans["inner"].end <= spans["outer"].end
+
+    def test_attrs_via_kwargs_set_and_annotate(self):
+        telemetry.enable()
+        with telemetry.span("k", n=5) as sp:
+            sp.set(path="dense")
+            telemetry.annotate(hits=2)
+        (span,) = telemetry.collector().spans
+        assert span.attrs == {"n": 5, "path": "dense", "hits": 2}
+
+    def test_traced_decorator_records(self):
+        telemetry.enable()
+
+        @telemetry.traced("mul", kind="test")
+        def mul(a, b):
+            return a * b
+
+        assert mul(3, 4) == 12
+        (span,) = telemetry.collector().spans
+        assert span.name == "mul"
+        assert span.attrs == {"kind": "test"}
+
+    def test_exception_unwinds_open_spans(self):
+        telemetry.enable()
+        with pytest.raises(ValueError):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    raise ValueError("boom")
+        assert telemetry.collector().stack == []
+        assert {s.name for s in telemetry.collector().spans} == {
+            "outer",
+            "inner",
+        }
+        assert all(s.end is not None for s in telemetry.collector().spans)
+
+    def test_span_tree_text(self):
+        telemetry.enable()
+        with telemetry.span("outer", tuples=8):
+            with telemetry.span("inner"):
+                pass
+        tree = format_span_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "tuples=8" in lines[0]
+
+    def test_chrome_export_contains_nested_events(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        doc = chrome_trace_document()
+        assert validate_chrome_trace(doc) == []
+        events = {
+            e["name"]: e for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        outer, inner = events["outer"], events["inner"]
+        assert outer["cat"] == inner["cat"] == "host"
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 0.01
+
+
+class TestMetrics:
+    def test_count_gauge_observe(self):
+        reg = MetricsRegistry()
+        reg.count("a.hits")
+        reg.count("a.hits", 2)
+        reg.gauge("a.level", 0.5)
+        reg.observe("a.seconds", 0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.hits": 3}
+        assert snap["gauges"] == {"a.level": 0.5}
+        assert snap["timings"]["a.seconds"]["count"] == 1
+        assert snap["timings"]["a.seconds"]["total_seconds"] == 0.25
+
+    def test_counters_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.count("x.one")
+        reg.count("y.two")
+        assert reg.counters("x.") == {"x.one": 1}
+        assert reg.counter("missing") == 0
+
+    def test_delta_since_ignores_earlier_work(self):
+        reg = MetricsRegistry()
+        reg.count("k", 5)
+        reg.observe("t", 1.0)
+        before = reg.snapshot()
+        reg.count("k", 2)
+        reg.observe("t", 3.0)
+        delta = reg.delta_since(before)
+        assert delta["counters"] == {"k": 2}
+        assert delta["timings"]["t"]["count"] == 1
+        assert delta["timings"]["t"]["total_seconds"] == pytest.approx(3.0)
+
+    def test_merge_folds_snapshot(self):
+        reg = MetricsRegistry()
+        reg.count("k", 1)
+        other = MetricsRegistry()
+        other.count("k", 2)
+        other.observe("t", 0.5)
+        reg.merge(other.snapshot())
+        assert reg.counter("k") == 3
+        assert reg.snapshot()["timings"]["t"]["count"] == 1
+
+    def test_reset_prefix_only(self):
+        reg = MetricsRegistry()
+        reg.count("run_cache.hits")
+        reg.count("kernels.calls")
+        reg.reset(prefix="run_cache.")
+        assert reg.counter("run_cache.hits") == 0
+        assert reg.counter("kernels.calls") == 1
+
+
+class TestMultiprocessMerge:
+    def test_absorbed_snapshot_exports_as_own_process(self):
+        telemetry.enable()
+        with telemetry.span("local"):
+            pass
+        worker = {
+            "pid": 4242,
+            "spans": [
+                {
+                    "name": "remote",
+                    "start": 0.0,
+                    "end": 0.5,
+                    "depth": 0,
+                    "parent": None,
+                    "attrs": {"experiment": "fig13"},
+                }
+            ],
+            "virtual": [
+                {
+                    "label": "worker sim",
+                    "makespan_seconds": 1.0,
+                    "entries": [("join[0]", "Join", 0.0, 1.0)],
+                }
+            ],
+        }
+        telemetry.absorb_trace(worker, label="worker: fig13")
+        doc = chrome_trace_document()
+        assert validate_chrome_trace(doc) == []
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        pids = {e["pid"] for e in complete}
+        assert 4242 in pids
+        assert any(pid >= SIM_PID_BASE for pid in pids)
+        assert len(pids) >= 3  # local host, worker host, worker sim track
+
+    def test_drain_prevents_double_reporting(self):
+        telemetry.enable()
+        with telemetry.span("first"):
+            pass
+        first = telemetry.trace_snapshot(drain=True)
+        assert [s["name"] for s in first["spans"]] == ["first"]
+        with telemetry.span("second"):
+            pass
+        second = telemetry.trace_snapshot(drain=True)
+        assert [s["name"] for s in second["spans"]] == ["second"]
+
+    def test_registry_delta_merge_roundtrip(self):
+        telemetry.registry.count("run_cache.hits", 3)
+        before = telemetry.registry.snapshot()
+        telemetry.registry.count("run_cache.hits", 4)
+        delta = telemetry.registry.delta_since(before)
+        fresh = MetricsRegistry()
+        fresh.merge(delta)
+        assert fresh.counter("run_cache.hits") == 4
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_flags_missing_keys_and_negatives(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "ts": 0, "dur": 1, "pid": 1},
+                {
+                    "ph": "X",
+                    "name": "b",
+                    "ts": -1,
+                    "dur": 1,
+                    "pid": 1,
+                    "tid": 1,
+                },
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("missing" in p for p in problems)
+        assert any("negative ts" in p for p in problems)
+
+    def test_flags_host_overlap_without_nesting(self):
+        doc = {
+            "traceEvents": [
+                {
+                    "ph": "X", "name": "a", "cat": "host",
+                    "ts": 0, "dur": 100, "pid": 1, "tid": 1,
+                },
+                {
+                    "ph": "X", "name": "b", "cat": "host",
+                    "ts": 50, "dur": 100, "pid": 1, "tid": 1,
+                },
+            ]
+        }
+        assert any(
+            "overlaps" in p for p in validate_chrome_trace(doc)
+        )
+
+    def test_sim_overlap_is_legal(self):
+        doc = {
+            "traceEvents": [
+                {
+                    "ph": "X", "name": "a", "cat": "sim",
+                    "ts": 0, "dur": 100, "pid": SIM_PID_BASE, "tid": 1,
+                },
+                {
+                    "ph": "X", "name": "b", "cat": "sim",
+                    "ts": 50, "dur": 100, "pid": SIM_PID_BASE, "tid": 2,
+                },
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_empty_trace_is_a_problem(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+
+
+class TestOperatorInstrumentation:
+    def test_run_wrapper_spans_and_sim_track(self, system):
+        telemetry.enable()
+        workload = generate_workload(128, 512, scale_divisor=65536)
+        TritonJoin(system).run(workload)
+        names = [s.name for s in telemetry.collector().spans]
+        assert any(n.startswith("run:") for n in names)
+        assert "functional" in names
+        assert "simulate" in names
+        assert "batched_radix_join" in names
+        assert len(telemetry.collector().virtual_tracks) == 1
+        doc = chrome_trace_document()
+        assert validate_chrome_trace(doc) == []
+
+    def test_run_cache_annotates_hit(self, system):
+        telemetry.enable()
+        run_cache.enable()
+        try:
+            workload = generate_workload(128, 512, scale_divisor=65536)
+            op = TritonJoin(system)
+            op.run(workload)
+            op.run(workload)
+        finally:
+            run_cache.disable()
+            run_cache.clear()
+        run_spans = [
+            s for s in telemetry.collector().spans if s.name.startswith("run:")
+        ]
+        assert [s.attrs.get("run_cache") for s in run_spans] == [
+            "miss",
+            "hit",
+        ]
+
+    def test_disabled_run_records_nothing(self, system):
+        workload = generate_workload(128, 512, scale_divisor=65536)
+        TritonJoin(system).run(workload)
+        assert telemetry.collector().spans == []
+        assert telemetry.collector().virtual_tracks == []
+
+
+class TestBenchCliTrace:
+    def test_trace_and_metrics_files(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        code = cli_main(
+            [
+                "fig13",
+                "--sizes", "128",
+                "--divisor", "1048576",
+                "--trace", str(trace_path),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(doc) == []
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert any(e.get("cat") == "host" for e in complete)
+        assert any(e["pid"] >= SIM_PID_BASE for e in complete)
+        assert any(
+            e["name"].startswith("experiment:fig13") for e in complete
+        )
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"].get("run_cache.misses", 0) > 0
+
+    def test_cli_leaves_telemetry_disabled(self, tmp_path):
+        cli_main(
+            [
+                "fig13",
+                "--sizes", "128",
+                "--divisor", "1048576",
+                "--trace", str(tmp_path / "t.json"),
+            ]
+        )
+        assert not telemetry.enabled()
+        assert telemetry.collector().spans == []
+
+
+class TestVisualizeCli:
+    def test_chrome_format_is_valid(self, tmp_path, capsys):
+        out = tmp_path / "sim.trace.json"
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--format", "chrome",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert all(
+            e["pid"] == SIM_PID_BASE
+            for e in doc["traceEvents"]
+            if e.get("ph") == "X"
+        )
+
+    def test_json_format_reports_truncation(self, capsys):
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--format", "json",
+                "--max-rows", "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tasks"]) == 3
+        assert payload["truncated_tasks"] > 0
+
+    def test_chrome_format_reports_truncation(self, capsys):
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--format", "chrome",
+                "--max-rows", "3",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["truncated_tasks"] > 0
+
+    def test_text_format_reports_truncation(self, capsys):
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--by-task",
+                "--max-rows", "3",
+            ]
+        )
+        assert code == 0
+        assert "more tasks" in capsys.readouterr().out

@@ -33,8 +33,15 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import telemetry  # noqa: E402
 from repro.bench.experiments import ALL_EXPERIMENTS  # noqa: E402
 from repro.join import run_cache  # noqa: E402
+
+#: Counter namespaces worth recording per experiment: cache behaviour
+#: and which kernel paths actually ran (a silent scipy-less fallback or
+#: a dense-vs-searchsorted flip shows up here before it shows up as a
+#: wall-clock anomaly).
+METRIC_PREFIXES = ("run_cache.", "kernels.scatter.", "batch.probe.")
 
 #: Scale divisor at which fig17's grouped probes use the dense offsets
 #: table (the build side outgrows the planned slot space).
@@ -51,19 +58,33 @@ DEFAULT_DIVISOR = 16384.0
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
 
 
-def run_smoke(divisor: float, use_cache: bool = True) -> dict:
+def _metric_counters(delta: dict) -> dict:
+    """The delta's counters filtered to :data:`METRIC_PREFIXES`."""
+    return {
+        name: count
+        for name, count in sorted(delta.get("counters", {}).items())
+        if name.startswith(METRIC_PREFIXES)
+    }
+
+
+def run_smoke(divisor: float, use_cache: bool = True, runs=SMOKE_RUNS) -> dict:
     """Time the smoke experiments; returns the report dict."""
     if use_cache:
         run_cache.enable()
     run_cache.clear()
     timings = {}
+    metrics = {}
     try:
-        for name, override in SMOKE_RUNS:
+        for name, override in runs:
             run_divisor = divisor if override is None else override
             label = name if override is None else f"{name}@{override:g}"
+            before = telemetry.registry.snapshot()
             started = time.time()
             ALL_EXPERIMENTS[name].run(scale_divisor=run_divisor)
             timings[label] = round(time.time() - started, 3)
+            metrics[label] = _metric_counters(
+                telemetry.registry.delta_since(before)
+            )
     finally:
         cache_stats = dict(run_cache.stats)
         run_cache.disable()
@@ -74,6 +95,7 @@ def run_smoke(divisor: float, use_cache: bool = True) -> dict:
         "experiments": timings,
         "total_seconds": round(sum(timings.values()), 3),
         "run_cache": cache_stats,
+        "metrics": metrics,
     }
 
 
@@ -143,10 +165,40 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable run memoization during the smoke",
     )
+    parser.add_argument(
+        "--experiments",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of the smoke labels to run "
+        "(e.g. 'fig13' or 'fig17,fig17@4096')",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="compare against this report instead of --output (so a "
+        "gate can read the committed baseline without clobbering it)",
+    )
     args = parser.parse_args(argv)
 
-    previous = load_previous(args.output)
-    report = run_smoke(args.divisor, use_cache=not args.no_cache)
+    runs = SMOKE_RUNS
+    if args.experiments:
+        wanted = {label.strip() for label in args.experiments.split(",")}
+        labels = {
+            (name, override): name if override is None else f"{name}@{override:g}"
+            for name, override in SMOKE_RUNS
+        }
+        runs = tuple(run for run, label in labels.items() if label in wanted)
+        unknown = wanted - set(labels.values())
+        if unknown:
+            parser.error(
+                f"unknown smoke experiments: {sorted(unknown)}; "
+                f"choose from {sorted(labels.values())}"
+            )
+
+    previous = load_previous(args.baseline or args.output)
+    report = run_smoke(args.divisor, use_cache=not args.no_cache, runs=runs)
     add_speedups(report, previous)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
