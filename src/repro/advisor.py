@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.data.generator import Workload, generate_workload
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.hashing import HashScheme
 from repro.hw.specs import SystemSpec
 from repro.join import CpuRadixJoin, NoPartitioningJoin, TritonJoin
@@ -92,14 +92,31 @@ class JoinAdvisor:
             ),
         )
 
-    def estimate(self, build_m_tuples: float, probe_m_tuples: float) -> List[
-        CostEstimate
-    ]:
-        """All candidates' costs for one cardinality pair, best first."""
-        estimates = [
-            self._cost(name, build_m_tuples, probe_m_tuples)
-            for name in self.candidates
-        ]
+    def estimate(
+        self,
+        build_m_tuples: float,
+        probe_m_tuples: float,
+        on_error: str = "raise",
+    ) -> List[CostEstimate]:
+        """All candidates' costs for one cardinality pair, best first.
+
+        With ``on_error="skip"`` a candidate whose costing raises a
+        :class:`~repro.errors.ReproError` (e.g. a capacity fault makes
+        its plan infeasible) simply drops out of the ranking — this is
+        how the degradation ladder asks "which rungs still work?" under
+        an active fault plan.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ConfigurationError("on_error must be 'raise' or 'skip'")
+        estimates = []
+        for name in self.candidates:
+            try:
+                estimates.append(
+                    self._cost(name, build_m_tuples, probe_m_tuples)
+                )
+            except ReproError:
+                if on_error == "raise":
+                    raise
         return sorted(estimates, key=lambda e: e.seconds)
 
     def recommend(

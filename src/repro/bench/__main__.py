@@ -38,7 +38,7 @@ import inspect
 import sys
 import time
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentTable
 from repro.join import run_cache
@@ -88,19 +88,25 @@ def _profile_one(name: str, sizes, divisor) -> None:
     pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
 
-def _worker(name: str, sizes, divisor, use_cache: bool, trace: bool):
+def _worker(
+    name: str, sizes, divisor, use_cache: bool, trace: bool, fault_plan=None
+):
     """Process-pool entry point.
 
     Returns ``(name, output, seconds, metrics delta, trace snapshot)``.
     Metrics are reported as a delta against the snapshot taken before
     the experiment, and the span trace is drained after it — a pool
     process reused for several experiments never reports the same work
-    twice (summing cumulative per-worker stats would).
+    twice (summing cumulative per-worker stats would). ``fault_plan``
+    is the parent's ``--faults`` plan as a dict (plans are ambient
+    per-process state, so each worker re-activates it).
     """
     if use_cache:
         run_cache.enable()
     if trace:
         telemetry.enable()
+    if fault_plan is not None:
+        faults.activate(faults.FaultPlan.from_dict(fault_plan))
     before = telemetry.registry.snapshot()
     started = time.time()
     output = _render_one(name, sizes, divisor)
@@ -153,9 +159,13 @@ def _run_all(sizes, divisor, jobs: int) -> None:
 
     use_cache = run_cache.enabled()
     trace = telemetry.enabled()
+    plan = faults.active()
+    plan_dict = plan.to_dict() if plan is not None else None
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
-            pool.submit(_worker, name, sizes, divisor, use_cache, trace)
+            pool.submit(
+                _worker, name, sizes, divisor, use_cache, trace, plan_dict
+            )
             for name in ALL_EXPERIMENTS
         ]
         timings = []
@@ -220,6 +230,14 @@ def main(argv=None) -> int:
         help="dump the metrics registry (cache tallies, kernel path "
         "counts, timing histograms) as JSON",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="inject faults from a FaultPlan JSON file (see "
+        "docs/robustness.md); an empty plan is a no-op and results "
+        "stay byte-identical to a run without --faults",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -240,10 +258,20 @@ def main(argv=None) -> int:
         except ValueError:
             parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
 
+    fault_plan = None
+    if args.faults:
+        fault_plan = faults.FaultPlan.load(args.faults)
+        if fault_plan.is_empty():
+            # An empty plan must leave every code path (and every output
+            # byte) identical to a run without --faults.
+            fault_plan = None
+        else:
+            print(f"[fault plan: {fault_plan.summary()}]", file=sys.stderr)
     if not args.no_cache:
         run_cache.enable()
     if args.trace:
         telemetry.enable()
+    faults.activate(fault_plan)
     try:
         if args.experiment == "all":
             _run_all(sizes, args.divisor, args.jobs)
@@ -268,6 +296,7 @@ def main(argv=None) -> int:
             telemetry.write_chrome_trace(args.trace)
         if args.metrics:
             telemetry.write_metrics(args.metrics)
+        faults.deactivate()
         run_cache.disable()
         run_cache.clear()
         telemetry.disable()

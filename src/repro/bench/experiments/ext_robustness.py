@@ -1,7 +1,7 @@
-"""Extension: robustness to skew and selectivity.
+"""Extension: robustness to skew, selectivity, and injected faults.
 
-Two experiments the paper's uniform, fully-referential workloads cannot
-show:
+Three experiments the paper's uniform, fully-referential workloads
+cannot show:
 
 - **Skew**: Zipf-distributed foreign keys unbalance the first-pass
   partitions; the Triton join's pipeline chunks inherit the imbalance
@@ -11,22 +11,36 @@ show:
 - **Selectivity**: when few probe tuples can match, the Bloom-filter
   pushdown (``BloomFilteredTritonJoin``) trades one key-column scan for
   partitioning and joining only the surviving fraction.
+- **Faults**: throughput under injected NVLink bandwidth degradation
+  and transient join-kernel failure rates (:mod:`repro.faults`), run
+  through the :class:`~repro.join.ladder.DegradationLadder` — the
+  curves must decline monotonically (graceful), never cliff. The CI
+  chaos leg gates on exactly this property (``tools/chaos_smoke.py``).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro import faults
 from repro.bench.harness import ExperimentTable
 from repro.bench.workloads import DEFAULT_SCALE_DIVISOR
 from repro.data.generator import generate_workload
 from repro.hw.specs import ac922
-from repro.join import TritonJoin
+from repro.join import DegradationLadder, TritonJoin
 from repro.join.filters import BloomFilteredTritonJoin
 
 DEFAULT_THETAS = (0.0, 0.5, 1.0, 1.25, 1.5)
 DEFAULT_HIT_RATES = (1.0, 0.5, 0.25, 0.1)
 DEFAULT_SIZE = 1024
+
+#: Remaining NVLink capacity factors for the bandwidth leg (1.0 first:
+#: the fault-free baseline every other column degrades from).
+DEFAULT_BANDWIDTH_FACTORS = (1.0, 0.8, 0.6, 0.4, 0.2)
+#: Per-attempt transient failure probabilities for the join kernels.
+DEFAULT_FAILURE_RATES = (0.0, 0.1, 0.2, 0.3)
+DEFAULT_FAULT_SIZE = 512
+DEFAULT_FAULT_SEED = 0
 
 
 def run_skew(
@@ -91,11 +105,99 @@ def run_selectivity(
     return table
 
 
+def _bandwidth_plan(factor: float, seed: int) -> faults.FaultPlan:
+    """NVLink degraded to ``factor`` of nominal for the whole run."""
+    if factor >= 1.0:
+        return faults.FaultPlan(seed=seed)
+    return faults.FaultPlan(
+        seed=seed,
+        bandwidth=(faults.BandwidthFault("nvlink_*", factor),),
+        description=f"nvlink x{factor:g}",
+    )
+
+
+def _failure_plan(rate: float, seed: int) -> faults.FaultPlan:
+    """Join kernels fail transiently with per-attempt probability ``rate``.
+
+    The retry budget is deliberately generous (the sweep shows *graceful*
+    curves): with nested deterministic draws, raising the rate can only
+    add retries, so throughput is monotone non-increasing by
+    construction — the property the chaos gate asserts.
+    """
+    if rate <= 0.0:
+        return faults.FaultPlan(seed=seed)
+    return faults.FaultPlan(
+        seed=seed,
+        tasks=(faults.TaskFault(match="join[*]", probability=rate),),
+        retry=faults.RetryPolicy(max_attempts=8),
+        description=f"join kernels fail @ p={rate:g}",
+    )
+
+
+def run_fault_sweep(
+    bandwidth_factors: Sequence[float] = DEFAULT_BANDWIDTH_FACTORS,
+    failure_rates: Sequence[float] = DEFAULT_FAILURE_RATES,
+    size_m: int = DEFAULT_FAULT_SIZE,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+    seed: int = DEFAULT_FAULT_SEED,
+):
+    """Throughput vs. injected bandwidth degradation / task-failure rate.
+
+    Every run goes through the :class:`DegradationLadder`, so even a
+    plan that kills a rung outright produces a (slower) number instead
+    of an error — degradation, not cliffs. Returns the two tables
+    ``(bandwidth, failures)``.
+    """
+    system = ac922()
+    workload = generate_workload(
+        size_m, size_m, scale_divisor=scale_divisor, seed=41
+    )
+    ladder = DegradationLadder(system)
+
+    bw_table = ExperimentTable(
+        experiment="ext_faults_bandwidth",
+        title=f"Extension: fault sweep, NVLink bandwidth "
+        f"({size_m}M tuples/relation, fault seed {seed})",
+        columns=[f"bw={f}" for f in bandwidth_factors],
+        unit="G tuples/s",
+    )
+    values = {}
+    for factor in bandwidth_factors:
+        with faults.injected(_bandwidth_plan(factor, seed)):
+            run_ = ladder.run(workload)
+        values[f"bw={factor}"] = run_.throughput_g_tuples_per_s
+    bw_table.add_row("Triton Join (ladder)", values)
+    bw_table.add_note(
+        "expected: monotone decline with remaining bandwidth; no cliff"
+    )
+
+    fail_table = ExperimentTable(
+        experiment="ext_faults_failures",
+        title=f"Extension: fault sweep, transient join-kernel failures "
+        f"({size_m}M tuples/relation, fault seed {seed})",
+        columns=[f"p={r}" for r in failure_rates],
+        unit="G tuples/s",
+    )
+    values = {}
+    for rate in failure_rates:
+        with faults.injected(_failure_plan(rate, seed)):
+            run_ = ladder.run(workload)
+        values[f"p={rate}"] = run_.throughput_g_tuples_per_s
+    fail_table.add_row("Triton Join (ladder)", values)
+    fail_table.add_note(
+        "expected: retries/backoff absorb failures smoothly; no cliff"
+    )
+    return bw_table, fail_table
+
+
 def run(
     scale_divisor: float = DEFAULT_SCALE_DIVISOR,
 ):
-    """Both robustness tables."""
+    """All four robustness tables."""
+    bw_table, fail_table = run_fault_sweep(scale_divisor=scale_divisor)
     return (
         run_skew(scale_divisor=scale_divisor),
         run_selectivity(scale_divisor=scale_divisor),
+        bw_table,
+        fail_table,
     )

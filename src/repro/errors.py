@@ -46,3 +46,45 @@ class PlanError(ReproError):
     For example, requesting a single-pass partitioning whose per-partition
     working set cannot fit into the scratchpad no matter the fanout.
     """
+
+
+class TaskFailedError(ReproError):
+    """A simulated task failed permanently under an injected fault plan.
+
+    Raised by :meth:`repro.sim.engine.SimEngine.run` when a task hits a
+    permanent injected fault, or exhausts its retry/backoff budget on
+    transient faults (see :mod:`repro.faults`). Carries enough context
+    for the degradation ladder to decide whether the failure is
+    GPU-bound (fall back to a CPU rung) or fatal.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_name: str = "",
+        phase: str = "",
+        time_s: float = 0.0,
+        gpu: bool = False,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.task_name = task_name
+        self.phase = phase
+        self.time_s = time_s
+        self.gpu = gpu
+        self.attempts = attempts
+
+
+class DegradationError(ReproError):
+    """Every rung of the degradation ladder failed for a join run.
+
+    Raised by :class:`repro.join.ladder.DegradationLadder` after all
+    fallback operators (including the CPU-only rungs) were exhausted;
+    the ``failures`` attribute maps each attempted rung to the error it
+    raised.
+    """
+
+    def __init__(self, message: str, failures=None) -> None:
+        super().__init__(message)
+        self.failures = dict(failures or {})

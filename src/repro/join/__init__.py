@@ -18,6 +18,7 @@ against a reference join) and all costed against the hardware simulator:
 
 from repro.join import run_cache
 from repro.join.base import JoinOperator, JoinRun, reference_join
+from repro.join.ladder import DegradationLadder, Rung, default_rungs
 from repro.join.batched import batched_radix_join, batched_radix_join_arrays
 from repro.join.caching import CachePolicy, CachePlan, plan_cache
 from repro.join.no_partitioning import NoPartitioningJoin
@@ -34,12 +35,15 @@ __all__ = [
     "CachePolicy",
     "CpuPartitionedJoin",
     "CpuRadixJoin",
+    "DegradationLadder",
     "JoinOperator",
     "JoinRun",
     "MultiGpuTritonJoin",
     "NoPartitioningJoin",
+    "Rung",
     "TritonJoin",
     "batched_radix_join",
+    "default_rungs",
     "batched_radix_join_arrays",
     "plan_cache",
     "reference_join",

@@ -1,0 +1,169 @@
+"""Graceful degradation across join operators.
+
+The paper's core robustness argument (section 1, Figure 1) is that the
+Triton join degrades *gracefully* when its state outgrows GPU memory,
+where earlier GPU joins hit a cliff or fail outright. This module
+extends that argument across operators: when a rung of the ladder
+cannot run at all — GPU memory shrunk below the pipeline reservation
+(:class:`~repro.errors.CapacityError`), a kernel failed permanently or
+exhausted its retry budget (:class:`~repro.errors.TaskFailedError`) —
+the :class:`DegradationLadder` re-plans the *same* join run one rung
+down:
+
+1. ``triton`` — the paper's operator, hybrid cache enabled;
+2. ``triton-spill`` — Triton with ``degraded=True``: no cache, pure
+   out-of-core spilling, tolerates a sub-reservation GPU;
+3. ``cpu-partitioned`` — the CPU partitions, the GPU only joins;
+4. ``cpu-radix`` — CPU-only, no GPU resources touched.
+
+A GPU-attributed task failure marks the GPU unhealthy and skips every
+remaining rung that needs it. Among the surviving rungs the ladder
+reuses :class:`repro.advisor.JoinAdvisor` (with ``on_error="skip"``
+costing, which runs under the same ambient fault plan) to pick the
+cheapest feasible rung first. The returned
+:class:`~repro.join.base.JoinRun` is annotated in ``notes["degradation"]``
+with what degraded and why; the functional result is byte-identical to
+the fault-free run because faults only perturb the simulated execution,
+never the numpy join itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.data.generator import Workload
+from repro.errors import (
+    CapacityError,
+    DegradationError,
+    PlanError,
+    TaskFailedError,
+)
+from repro.hw.specs import SystemSpec
+from repro.join.base import JoinRun
+from repro.units import M_TUPLES
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One fallback level: a named operator factory."""
+
+    name: str
+    factory: Callable[[SystemSpec], object]
+    needs_gpu: bool = True
+
+
+def default_rungs() -> Tuple[Rung, ...]:
+    """The standard ladder, most capable rung first."""
+    from repro.join.cpu_partitioned import CpuPartitionedJoin
+    from repro.join.cpu_radix import CpuRadixJoin
+    from repro.join.triton import TritonJoin
+
+    return (
+        Rung("triton", lambda system: TritonJoin(system)),
+        Rung("triton-spill", lambda system: TritonJoin(system, degraded=True)),
+        Rung("cpu-partitioned", lambda system: CpuPartitionedJoin(system)),
+        Rung("cpu-radix", lambda system: CpuRadixJoin(system), needs_gpu=False),
+    )
+
+
+#: Errors that mean "this rung cannot complete here" (fall through) as
+#: opposed to caller bugs (ConfigurationError etc.), which propagate.
+_FALLTHROUGH = (CapacityError, TaskFailedError, PlanError)
+
+
+class DegradationLadder:
+    """Runs a join, falling down the operator ladder on failures."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        rungs: Optional[Sequence[Rung]] = None,
+        use_advisor: bool = True,
+    ) -> None:
+        self.system = system
+        self.rungs: Tuple[Rung, ...] = tuple(
+            rungs if rungs is not None else default_rungs()
+        )
+        self.use_advisor = use_advisor
+
+    def _rank(
+        self, rungs: List[Rung], workload: Workload
+    ) -> List[Rung]:
+        """Reorder fallback rungs by advisor cost under the active plan.
+
+        Costing runs each candidate through the simulator with the
+        ambient fault plan active, so infeasible rungs (``on_error=
+        "skip"``) self-deselect into the back of the line and the
+        cheapest *working* rung is tried first.
+        """
+        if not self.use_advisor or len(rungs) < 2:
+            return rungs
+        from repro.advisor import JoinAdvisor
+
+        advisor = JoinAdvisor(
+            self.system, candidates={r.name: (lambda f=r.factory: f(self.system)) for r in rungs}
+        )
+        estimates = advisor.estimate(
+            workload.build.nominal_rows / M_TUPLES,
+            workload.probe.nominal_rows / M_TUPLES,
+            on_error="skip",
+        )
+        order = {e.operator: i for i, e in enumerate(estimates)}
+        return sorted(
+            rungs, key=lambda r: order.get(r.name, len(order) + 1)
+        )
+
+    def run(self, workload: Workload) -> JoinRun:
+        """Execute the join, degrading down the ladder as needed."""
+        failures: Dict[str, str] = {}
+        gpu_healthy = True
+        attempted: List[str] = []
+        queue: List[Rung] = list(self.rungs)
+        ranked = False
+        while queue:
+            rung = queue.pop(0)
+            if rung.needs_gpu and not gpu_healthy:
+                failures.setdefault(rung.name, "skipped: GPU marked unhealthy")
+                continue
+            attempted.append(rung.name)
+            telemetry.registry.count("faults.ladder.attempts")
+            try:
+                run = rung.factory(self.system).run(workload)
+            except _FALLTHROUGH as error:
+                failures[rung.name] = f"{type(error).__name__}: {error}"
+                telemetry.registry.count("faults.ladder.fallbacks")
+                if (
+                    isinstance(error, TaskFailedError)
+                    and error.gpu
+                    and gpu_healthy
+                ):
+                    gpu_healthy = False
+                    telemetry.registry.count("faults.ladder.gpu_marked_unhealthy")
+                if not ranked and queue:
+                    survivors = []
+                    for r in queue:
+                        if r.needs_gpu and not gpu_healthy:
+                            failures.setdefault(
+                                r.name, "skipped: GPU marked unhealthy"
+                            )
+                        else:
+                            survivors.append(r)
+                    queue = self._rank(survivors, workload)
+                    ranked = True
+                continue
+            telemetry.registry.count(f"faults.ladder.completed.{rung.name}")
+            if failures:
+                run.notes["degradation"] = {
+                    "rung": rung.name,
+                    "attempted": list(attempted),
+                    "failures": dict(failures),
+                    "gpu_healthy": gpu_healthy,
+                }
+            return run
+        raise DegradationError(
+            "all degradation rungs failed: "
+            + "; ".join(f"{name}: {why}" for name, why in failures.items()),
+            failures=failures,
+        )

@@ -17,6 +17,12 @@ Per-GPU links, SM pools, GPU memories, CPU memories, and IOMMUs are
 independent simulator resources; the X-bus is shared. The expected
 behaviour (asserted in tests): near-linear scaling, degraded by the
 exchange — a faithful miniature of the multi-GPU literature's findings.
+
+Fault plans (:mod:`repro.faults`) target the suffixed per-GPU resources
+with ``*`` patterns: ``"nvlink_to_gpu[1]"`` degrades one GPU's inbound
+link, ``"nvlink_*"`` all links on all GPUs, ``"xbus"`` the shared
+exchange. Task faults match the suffixed task names the same way (e.g.
+``"join[*]@1"`` for GPU 1's join kernels).
 """
 
 from __future__ import annotations
@@ -54,11 +60,18 @@ def _suffixed(name: str, gpu: int) -> str:
 
 
 def _retarget(task: Task, gpu: int) -> Task:
-    """Move a task's per-GPU resource demands onto GPU ``gpu``'s copies."""
+    """Move a task's per-GPU resource demands onto GPU ``gpu``'s copies.
+
+    Also tags the task name with its GPU (``join[0]@1``) so traces stay
+    unambiguous and fault plans can target one GPU's kernels — and so
+    the deterministic per-task-name failure draws of
+    :class:`repro.faults.TaskFault` are independent across GPUs.
+    """
     for mapping in (task.demands, task.rate_caps):
         for name in list(mapping):
             if name in _PER_GPU_RESOURCES:
                 mapping[_suffixed(name, gpu)] = mapping.pop(name)
+    task.name = f"{task.name}@{gpu}"
     return task
 
 

@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 
 _ATOMS = (type(None), bool, int, float, str, bytes, complex)
 
@@ -113,6 +113,9 @@ def run_key(operator, workload) -> Tuple:
     The workload key covers the generator config (which determines the
     arrays) plus the nominal/materialized cardinalities, so workloads
     rescaled through ``with_nominal_rows`` never alias their originals.
+    The ambient fault plan is part of the key: a run simulated under
+    injected faults must never be served for (or poisoned by) a clean
+    run of the same triple.
     """
     return (
         type(operator).__qualname__,
@@ -122,6 +125,7 @@ def run_key(operator, workload) -> Tuple:
         workload.probe.nominal_rows,
         len(workload.build),
         len(workload.probe),
+        freeze(faults.active()),
     )
 
 

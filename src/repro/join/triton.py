@@ -25,9 +25,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.data.generator import Workload
-from repro.errors import ConfigurationError
+from repro.errors import CapacityError, ConfigurationError
 from repro.hashing.bucket_chaining import BucketChainingTable
 from repro.hashing.hash_table import HashScheme
 from repro.hw.gpu import GpuModel, MemoryRequest
@@ -36,7 +36,12 @@ from repro.hw.tlb import MemSpace
 from repro.join import base
 from repro.join.base import JoinOperator, JoinRun
 from repro.join.batched import batched_radix_join
-from repro.join.caching import CachePlan, CachePolicy, plan_cache
+from repro.join.caching import (
+    PIPELINE_RESERVED_BYTES,
+    CachePlan,
+    CachePolicy,
+    plan_cache,
+)
 from repro.partition.base import GpuPartitioner
 from repro.partition.hierarchical import HierarchicalPartitioner
 from repro.partition.planner import RadixPlan, plan_radix_join
@@ -88,6 +93,7 @@ class TritonJoin(JoinOperator):
         pipeline_chunks: int = DEFAULT_PIPELINE_CHUNKS,
         aggregate: bool = False,
         reference: bool = False,
+        degraded: bool = False,
     ) -> None:
         super().__init__(system)
         if scheme not in BUILD_SLOTS_PER_TUPLE:
@@ -96,6 +102,12 @@ class TritonJoin(JoinOperator):
             raise ConfigurationError("pipeline_chunks must be >= 1")
         self.scheme = scheme
         self.reference = reference
+        # Degraded mode (the ladder's spill rung): cache nothing, run a
+        # plain two-pass out-of-core radix join, and tolerate a GPU whose
+        # free memory has shrunk below the nominal pipeline reservation.
+        self.degraded = degraded
+        if degraded:
+            cache_policy = CachePolicy.NONE
         self.first_pass = first_pass or HierarchicalPartitioner()
         self.second_pass = second_pass or SharedPartitioner()
         self.cache_policy = cache_policy
@@ -121,9 +133,20 @@ class TritonJoin(JoinOperator):
 
     def cache_plan(self, workload: Workload) -> CachePlan:
         state_bytes = float(workload.total_nominal_bytes)
+        capacity = faults.effective_gpu_memory(self.system.gpu_memory_capacity)
+        if not self.degraded and capacity < PIPELINE_RESERVED_BYTES:
+            # The pipeline's own buffers no longer fit: the nominal plan
+            # is infeasible. The degradation ladder catches this and
+            # retries with ``degraded=True`` (no cache, smaller
+            # footprint) before leaving the GPU.
+            raise CapacityError(
+                f"GPU memory shrunk to {capacity / 2**30:.2f} GiB, below "
+                f"the {PIPELINE_RESERVED_BYTES / 2**30:.2f} GiB pipeline "
+                "reservation"
+            )
         return plan_cache(
             state_bytes,
-            self.system.gpu_memory_capacity,
+            capacity,
             policy=self.cache_policy,
             cache_bytes=self.cache_bytes,
         )

@@ -13,16 +13,31 @@ concurrent kernels issuing memory traffic split the NVLink roughly in
 proportion to their demand, and a compute-bound kernel coexists with a
 transfer without slowing it — which is exactly the concurrent-kernel
 overlap the Triton join exploits (section 5.2, Figure 11).
+
+When a fault plan is ambient (:func:`repro.faults.active`), the engine
+additionally consults it at every scheduling point: bandwidth faults
+scale resource capacities over simulated-time windows (the allocation
+step advances at most to the next window boundary, so degraded and
+nominal intervals never blend), and task faults fail finishing tasks —
+transiently (retried after exponential backoff in simulated time, under
+the plan's :class:`~repro.faults.RetryPolicy`) or permanently (raising
+:class:`~repro.errors.TaskFailedError`). Every injected event lands in
+``SimResult.fault_events`` and on the telemetry counters. With no plan
+(or an empty one) the scheduling loop is bit-for-bit the original: a
+clean run's :class:`SimResult` is byte-identical with faults imported
+or not.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
-from repro import telemetry
-from repro.errors import SimulationError
+from repro import faults, telemetry
+from repro.errors import SimulationError, TaskFailedError
+from repro.faults import FaultEvent
 from repro.hw.counters import PerfCounters
 from repro.sim.resources import ResourcePool
 from repro.sim.tasks import Task, TaskGraph
@@ -33,6 +48,13 @@ _CONVERGENCE = 1e-9
 _MAX_SCALING_ROUNDS = 10_000
 
 
+def _is_gpu_task(task: Task) -> bool:
+    """Whether the task touches GPU-side resources (for ladder routing)."""
+    return any(
+        name.startswith(("gpu", "nvlink")) for name in task.demands
+    )
+
+
 @dataclass
 class SimResult:
     """Outcome of simulating one task graph."""
@@ -41,6 +63,8 @@ class SimResult:
     trace: List[TraceEntry]
     counters: PerfCounters
     resource_busy_units: Dict[str, float] = field(default_factory=dict)
+    #: Faults injected during this run (empty for clean runs).
+    fault_events: Tuple[FaultEvent, ...] = ()
 
     def phase_breakdown(self) -> PhaseBreakdown:
         """Wall-clock seconds attributed to each phase label.
@@ -76,11 +100,18 @@ class SimEngine:
 
     # -- rate allocation ------------------------------------------------------
 
-    def _allocate_rates(self, running: List[Task]) -> Dict[int, float]:
+    def _allocate_rates(
+        self,
+        running: List[Task],
+        capacities: Optional[Dict[str, float]] = None,
+    ) -> Dict[int, float]:
         """Progress rates (fraction/s) for the running tasks.
 
         Starts every task at its own cap and iteratively scales down the
         users of the most over-committed resource until feasible.
+        ``capacities`` overrides the pool's nominal capacities (used for
+        fault windows where bandwidth is degraded); when ``None`` the
+        pool is read directly.
         """
         rates: Dict[int, float] = {}
         for task in running:
@@ -90,7 +121,10 @@ class SimEngine:
             for resource, amount in task.demands.items():
                 if amount <= 0:
                     continue
-                capacity = self.pool.capacity(resource)
+                if capacities is None:
+                    capacity = self.pool.capacity(resource)
+                else:
+                    capacity = capacities[resource]
                 resource_cap = task.rate_caps.get(resource, capacity)
                 cap = min(cap, resource_cap / amount)
             if math.isinf(cap):
@@ -107,7 +141,10 @@ class SimEngine:
                     for task in running
                     if not math.isinf(rates[task.task_id])
                 )
-                capacity = self.pool.capacity(name)
+                if capacities is None:
+                    capacity = self.pool.capacity(name)
+                else:
+                    capacity = capacities[name]
                 ratio = usage / capacity
                 if ratio > worst_ratio:
                     worst_ratio = ratio
@@ -120,10 +157,34 @@ class SimEngine:
                     rates[task.task_id] *= scale
         raise SimulationError("rate allocation did not converge")
 
+    def _effective_capacities(
+        self, plan: "faults.FaultPlan", now: float
+    ) -> Dict[str, float]:
+        """Pool capacities after the plan's bandwidth faults at ``now``."""
+        capacities = self.pool.capacities()
+        for name, capacity in capacities.items():
+            factor = plan.bandwidth_factor(name, now)
+            if factor != 1.0:
+                capacities[name] = capacity * factor
+        return capacities
+
     # -- main loop --------------------------------------------------------------
 
     def run(self, graph: TaskGraph) -> SimResult:
-        """Simulate the graph to completion and return the result."""
+        """Simulate the graph to completion and return the result.
+
+        Consults the ambient fault plan (:func:`repro.faults.active`) if
+        one is set; otherwise (or when the plan injects nothing into the
+        engine) runs the exact clean scheduling loop.
+        """
+        plan = faults.active()
+        if plan is not None and not plan.affects_engine():
+            plan = None
+        if plan is None:
+            return self._run_clean(graph)
+        return self._run_faulted(graph, plan)
+
+    def _run_clean(self, graph: TaskGraph) -> SimResult:
         graph.validate()
         graph.reset()
 
@@ -199,12 +260,235 @@ class SimEngine:
                 done_ids.add(task.task_id)
                 trace.append(TraceEntry.from_task(task))
 
+        return self._finalize(graph, now, trace, busy, ())
+
+    def _run_faulted(
+        self, graph: TaskGraph, plan: "faults.FaultPlan"
+    ) -> SimResult:
+        """The scheduling loop with fault injection and retry/backoff.
+
+        Differences from the clean loop: capacities are re-evaluated per
+        scheduling round against the plan's bandwidth windows, ``dt`` is
+        clipped to the next window boundary (or retry-resume time) so
+        time can advance without a completion, and finishing tasks pass
+        through :meth:`_resolve_completion`, which may requeue them with
+        backoff or raise :class:`TaskFailedError`.
+        """
+        graph.validate()
+        graph.reset()
+
+        policy = plan.retry if plan.retry is not None else faults.DEFAULT_RETRY_POLICY
+        pending = set(graph.tasks)
+        done_ids = set()
+        running: List[Task] = []
+        #: min-heap of (resume_time, task_id, task) backing-off retries.
+        blocked: List[Tuple[float, int, Task]] = []
+        attempts: Dict[int, int] = {}  # failed attempts so far, per task
+        class_retries: Dict[str, int] = {}  # retries spent per task class
+        events: List[FaultEvent] = []
+        now = 0.0
+        trace: List[TraceEntry] = []
+        busy: Dict[str, float] = {name: 0.0 for name in self.pool.names()}
+
+        def ready_tasks() -> List[Task]:
+            ready = [
+                t
+                for t in pending
+                if all(dep.task_id in done_ids for dep in t.after)
+            ]
+            return sorted(ready, key=lambda t: t.task_id)
+
+        def resolve_completion(task: Task) -> bool:
+            """Handle a task reaching 100% progress at ``now``.
+
+            Returns True when the task is genuinely done; False when an
+            injected transient fault requeued it for retry. Raises
+            :class:`TaskFailedError` on permanent faults and exhausted
+            retry budgets.
+            """
+            attempt = attempts.get(task.task_id, 0)
+            fault = plan.task_fault(task.name, task.task_class, attempt)
+            if fault is None:
+                return True
+
+            label = task.task_class
+            # The doomed attempt still occupied the hardware: record it
+            # on the timeline under a failed-attempt name.
+            trace.append(
+                TraceEntry(
+                    name=f"{task.name} [attempt {attempt + 1} failed]",
+                    phase=label,
+                    start=task.start_time,
+                    end=now,
+                )
+            )
+
+            def fail(kind: str, detail: str) -> TaskFailedError:
+                events.append(FaultEvent(now, kind, task.name, detail))
+                telemetry.registry.count(f"faults.{kind}")
+                return TaskFailedError(
+                    f"task {task.name!r} {detail} at t={now:.6f}s",
+                    task_name=task.name,
+                    phase=label,
+                    time_s=now,
+                    gpu=_is_gpu_task(task),
+                    attempts=attempt + 1,
+                )
+
+            if not fault.transient:
+                raise fail("task_permanent", "failed permanently")
+            if attempt + 1 >= policy.max_attempts:
+                raise fail(
+                    "retry_exhausted",
+                    f"failed {attempt + 1}x, retry budget exhausted",
+                )
+            budget = policy.budget_for(label)
+            used = class_retries.get(label, 0)
+            if budget is not None and used >= budget:
+                raise fail(
+                    "retry_exhausted",
+                    f"failed, class {label!r} retry budget exhausted",
+                )
+
+            # Transient: requeue the whole task after backoff.
+            class_retries[label] = used + 1
+            attempts[task.task_id] = attempt + 1
+            backoff = policy.backoff(attempt)
+            events.append(
+                FaultEvent(
+                    now,
+                    "task_transient",
+                    task.name,
+                    f"attempt {attempt + 1} failed; retry after "
+                    f"{backoff:g}s backoff",
+                )
+            )
+            telemetry.registry.count("faults.task_transient")
+            telemetry.registry.count("faults.retries")
+            task.remaining_fraction = 1.0
+            task.start_time = None
+            task.end_time = None
+            heapq.heappush(blocked, (now + backoff, task.task_id, task))
+            return False
+
+        while pending or running or blocked:
+            # Release retries whose backoff has elapsed.
+            while blocked and blocked[0][0] <= now + _EPSILON:
+                _, _, task = heapq.heappop(blocked)
+                task.start_time = now
+                running.append(task)
+            for task in ready_tasks():
+                pending.remove(task)
+                task.start_time = now
+                running.append(task)
+
+            if not running:
+                if blocked:
+                    # Everything live is backing off: jump to the
+                    # earliest resume time.
+                    now = max(now, blocked[0][0])
+                    continue
+                raise SimulationError(
+                    "deadlock: pending tasks but none are ready"
+                )
+
+            capacities = self._effective_capacities(plan, now)
+            rates = self._allocate_rates(running, capacities)
+
+            instant = [t for t in running if math.isinf(rates[t.task_id])]
+            if instant:
+                for task in instant:
+                    task.end_time = now
+                    task.remaining_fraction = 0.0
+                    running.remove(task)
+                    if resolve_completion(task):
+                        done_ids.add(task.task_id)
+                        trace.append(TraceEntry.from_task(task))
+                continue
+
+            dt = math.inf
+            for task in running:
+                rate = rates[task.task_id]
+                if rate <= _EPSILON:
+                    raise SimulationError(
+                        f"task {task.name!r} cannot make progress"
+                    )
+                dt = min(dt, task.remaining_fraction / rate)
+            if not math.isfinite(dt):
+                raise SimulationError("no finite completion time")
+
+            # Clip the step to the next capacity-change boundary and to
+            # the next retry resume, so neither is skipped over.
+            clipped = False
+            boundary = plan.next_boundary(now)
+            if boundary is not None and now + dt > boundary:
+                dt = boundary - now
+                clipped = True
+            if blocked and now + dt > blocked[0][0]:
+                dt = max(blocked[0][0] - now, 0.0)
+                clipped = True
+
+            now += dt
+            finished: List[Task] = []
+            for task in running:
+                rate = rates[task.task_id]
+                progressed = rate * dt
+                for resource, amount in task.demands.items():
+                    busy[resource] += amount * progressed
+                task.remaining_fraction -= progressed
+                if task.remaining_fraction <= _EPSILON:
+                    task.remaining_fraction = 0.0
+                    task.end_time = now
+                    finished.append(task)
+            if not finished and not clipped:
+                raise SimulationError("time advanced without completions")
+            for task in finished:
+                running.remove(task)
+                if resolve_completion(task):
+                    done_ids.add(task.task_id)
+                    trace.append(TraceEntry.from_task(task))
+
+        # Bandwidth windows that actually overlapped the run, rendered
+        # as drop/restore instants on the simulated timeline.
+        for fault in plan.bandwidth:
+            if fault.start_s > now:
+                continue
+            events.append(
+                FaultEvent(
+                    fault.start_s,
+                    "bandwidth_drop",
+                    fault.resource,
+                    f"capacity x{fault.factor:g}",
+                )
+            )
+            telemetry.registry.count("faults.bandwidth_drop")
+            if math.isfinite(fault.end_s) and fault.end_s <= now:
+                events.append(
+                    FaultEvent(
+                        fault.end_s,
+                        "bandwidth_restore",
+                        fault.resource,
+                        "capacity restored",
+                    )
+                )
+        events.sort(key=lambda e: (e.time_s, e.kind, e.target))
+        return self._finalize(graph, now, trace, busy, tuple(events))
+
+    def _finalize(
+        self,
+        graph: TaskGraph,
+        now: float,
+        trace: List[TraceEntry],
+        busy: Dict[str, float],
+        events: Tuple[FaultEvent, ...],
+    ) -> SimResult:
         trace.sort(key=lambda entry: (entry.start, entry.end))
         result = SimResult(
             makespan_seconds=now,
             trace=trace,
             counters=graph.total_counters(),
             resource_busy_units=busy,
+            fault_events=events,
         )
         if telemetry.enabled():
             # Capture the virtual-time schedule as its own trace track so

@@ -59,6 +59,18 @@ class ResourcePool:
     def capacity(self, name: str) -> float:
         return self[name].capacity_per_s
 
+    def capacities(self) -> Dict[str, float]:
+        """All nominal capacities by name (the engine's baseline view).
+
+        Fault plans (:mod:`repro.faults`) degrade a *copy* of this
+        mapping per scheduling round; the pool itself always holds the
+        hardware's nominal rates.
+        """
+        return {
+            name: resource.capacity_per_s
+            for name, resource in self._resources.items()
+        }
+
     @classmethod
     def for_system(cls, system: SystemSpec) -> "ResourcePool":
         """Build the standard resource pool for a system spec.

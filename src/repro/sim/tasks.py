@@ -81,6 +81,15 @@ class Task:
         self.after.extend(tasks)
         return self
 
+    @property
+    def task_class(self) -> str:
+        """The task's class label: its phase, or its name when unphased.
+
+        Retry budgets (:class:`repro.faults.RetryPolicy.class_budgets`)
+        and trace breakdowns group tasks by this label.
+        """
+        return self.phase or self.name
+
     def standalone_seconds(self) -> float:
         """Duration on an idle machine (max over per-resource times)."""
         times = [self.min_seconds]

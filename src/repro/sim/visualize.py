@@ -152,6 +152,10 @@ def chrome_trace(
         pid=SIM_PID_BASE,
         label=label,
         truncated=truncated,
+        instants=[
+            (e.time_s, e.kind, e.target, e.detail)
+            for e in getattr(result, "fault_events", ())
+        ],
     )
     return chrome_trace_document(
         events=events,

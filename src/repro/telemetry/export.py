@@ -82,6 +82,7 @@ def sim_track_events(
     pid: int,
     label: str,
     truncated: int = 0,
+    instants: Sequence[tuple] = (),
 ) -> List[dict]:
     """Events for one virtual-time track.
 
@@ -89,6 +90,9 @@ def sim_track_events(
     becomes a thread of the track's process (phases overlap each other
     in simulated time — the Fig. 11 pipeline — but entries *within* a
     phase are sequential, so per-phase threads render cleanly).
+    ``instants`` are ``(time_s, kind, target, detail)`` tuples — injected
+    fault events — rendered as process-scoped instant events (``ph: "i"``)
+    pinned to the simulated timeline.
     """
     events: List[dict] = [_metadata(pid, "process_name", f"sim: {label}")]
     tids: Dict[str, int] = {}
@@ -107,6 +111,19 @@ def sim_track_events(
                 "pid": pid,
                 "tid": tid,
                 "args": {"phase": phase, "virtual_time": True},
+            }
+        )
+    for time_s, kind, target, detail in instants:
+        events.append(
+            {
+                "name": f"fault:{kind}",
+                "cat": "sim",
+                "ph": "i",
+                "s": "p",
+                "ts": _us(time_s),
+                "pid": pid,
+                "tid": 0,
+                "args": {"target": target, "detail": detail},
             }
         )
     if truncated:
@@ -139,7 +156,10 @@ def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> Lis
     ]:
         events.extend(
             sim_track_events(
-                track["entries"], SIM_PID_BASE + sim_index, track["label"]
+                track["entries"],
+                SIM_PID_BASE + sim_index,
+                track["label"],
+                instants=track.get("instants", ()),
             )
         )
         sim_index += 1

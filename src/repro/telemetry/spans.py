@@ -142,18 +142,24 @@ class SpanCollector:
                 break
 
     def add_virtual_track(
-        self, label: str, entries, makespan: float
+        self, label: str, entries, makespan: float, instants=()
     ) -> None:
-        self.virtual_tracks.append(
-            {
-                "label": label,
-                "makespan_seconds": float(makespan),
-                "entries": [
-                    (e.name, e.phase, float(e.start), float(e.end))
-                    for e in entries
-                ],
-            }
-        )
+        track = {
+            "label": label,
+            "makespan_seconds": float(makespan),
+            "entries": [
+                (e.name, e.phase, float(e.start), float(e.end))
+                for e in entries
+            ],
+        }
+        if instants:
+            # Injected fault events: (time_s, kind, target, detail)
+            # tuples rendered as instant events on the virtual timeline.
+            track["instants"] = [
+                (float(e.time_s), e.kind, e.target, e.detail)
+                for e in instants
+            ]
+        self.virtual_tracks.append(track)
 
     def reset(self) -> None:
         self.epoch = None
@@ -242,6 +248,7 @@ def add_sim_result(result, label: Optional[str] = None) -> None:
         label or current_path() or "simulated",
         result.trace,
         result.makespan_seconds,
+        instants=getattr(result, "fault_events", ()),
     )
 
 

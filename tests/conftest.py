@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
+from repro import faults
 from repro.data.generator import generate_workload
 from repro.hw.cpu import CpuModel
 from repro.hw.gpu import GpuModel
@@ -42,3 +45,30 @@ def small_workload():
 def scaled_workload():
     """A nominal 512M workload materialized at a 8192x divisor."""
     return generate_workload(512, 512, scale_divisor=8192, seed=11)
+
+
+def gpu_with_memory(capacity_bytes, base=None):
+    """An AC922 variant whose GPU memory is capped at ``capacity_bytes``.
+
+    Shared by the failure-injection and degradation-ladder tests (which
+    used to each build their own crippled spec inline).
+    """
+    base = base if base is not None else ac922()
+    memory = dataclasses.replace(base.gpu.memory, capacity_bytes=capacity_bytes)
+    return base.with_gpu(dataclasses.replace(base.gpu, memory=memory))
+
+
+@pytest.fixture(scope="session")
+def fault_workload():
+    """The small, fast workload all fault/ladder tests share."""
+    return generate_workload(128, 128, scale_divisor=65536, seed=13)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Fail loudly if a test leaks an ambient fault plan to its neighbours."""
+    assert faults.active() is None, "a previous test leaked a fault plan"
+    yield
+    if faults.active() is not None:
+        faults.deactivate()
+        raise AssertionError("test left an ambient fault plan active")

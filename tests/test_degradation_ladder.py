@@ -1,0 +1,184 @@
+"""Degradation-ladder matrix: every rung x every fault class.
+
+The ladder's contract: for any injectable fault class the join either
+completes on the highest rung that tolerates it — with a functional
+result byte-identical to the fault-free run — or raises a typed
+:class:`DegradationError` after exhausting every rung. ``use_advisor=
+False`` keeps the fallback order deterministic so each scenario pins
+*which* rung handles it; the advisor-ranked path is tested separately.
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.errors import DegradationError, ReproError
+from repro.faults import BandwidthFault, FaultPlan, RetryPolicy, TaskFault
+from repro.join import DegradationLadder, Rung, TritonJoin, default_rungs
+from repro.join import reference_join
+
+
+@pytest.fixture(scope="module")
+def expected(fault_workload):
+    return reference_join(fault_workload.build, fault_workload.probe)
+
+
+@pytest.fixture(scope="module")
+def clean_run(system, fault_workload):
+    return DegradationLadder(system, use_advisor=False).run(fault_workload)
+
+
+def ladder_run(system, workload, plan, use_advisor=False):
+    with faults.injected(plan):
+        return DegradationLadder(system, use_advisor=use_advisor).run(workload)
+
+
+#: fault class -> (plan, rung expected to complete, rungs that fail).
+SCENARIOS = {
+    "capacity_shrink": (
+        FaultPlan(gpu_memory_factor=0.05, description="tenant pressure"),
+        "triton-spill",
+        ["triton"],
+    ),
+    "permanent_gpu_kernel": (
+        FaultPlan(
+            tasks=(TaskFault("join[*]", transient=False),),
+            description="GPU join kernels die",
+        ),
+        "cpu-radix",  # GPU marked unhealthy: cpu-partitioned is skipped
+        ["triton"],
+    ),
+    "retry_exhaustion": (
+        FaultPlan(
+            tasks=(TaskFault("join[*]", transient=True),),  # always fires
+            retry=RetryPolicy(max_attempts=2, backoff_s=1e-4),
+            description="join kernels never succeed",
+        ),
+        "cpu-radix",
+        ["triton"],
+    ),
+    "bandwidth_collapse": (
+        FaultPlan(
+            bandwidth=(BandwidthFault("nvlink_*", 0.05),),
+            description="interconnect brownout",
+        ),
+        "triton",  # slow, but no rung fails: graceful, not a cliff
+        [],
+    ),
+    "transient_recoverable": (
+        FaultPlan(
+            tasks=(TaskFault("join[*]", max_failures=1),),
+            retry=RetryPolicy(max_attempts=4, backoff_s=1e-4),
+            description="one transient failure per join kernel",
+        ),
+        "triton",  # retries absorb it on the top rung
+        [],
+    ),
+}
+
+
+class TestMatrix:
+    @pytest.mark.parametrize("fault_class", sorted(SCENARIOS))
+    def test_rung_assignment(
+        self, fault_class, system, fault_workload, expected, clean_run
+    ):
+        plan, completes_on, failing = SCENARIOS[fault_class]
+        run = ladder_run(system, fault_workload, plan)
+        note = run.notes.get("degradation")
+        if failing:
+            assert note is not None
+            assert note["rung"] == completes_on
+            for rung in failing:
+                assert rung in note["failures"]
+        else:
+            # Top rung handled it: no degradation happened.
+            assert note is None
+        # Functional soundness: byte-identical to the fault-free run.
+        assert run.match == expected
+        assert run.match == clean_run.match
+
+    @pytest.mark.parametrize("fault_class", sorted(SCENARIOS))
+    def test_rung_counters(self, fault_class, system, fault_workload):
+        plan, completes_on, failing = SCENARIOS[fault_class]
+        before = telemetry.registry.snapshot()
+        ladder_run(system, fault_workload, plan)
+        delta = telemetry.registry.delta_since(before)["counters"]
+        assert delta[f"faults.ladder.completed.{completes_on}"] == 1
+        assert delta.get("faults.ladder.fallbacks", 0) >= len(failing)
+
+
+class TestGpuHealth:
+    def test_gpu_failure_skips_gpu_rungs(self, system, fault_workload):
+        plan = SCENARIOS["permanent_gpu_kernel"][0]
+        run = ladder_run(system, fault_workload, plan)
+        note = run.notes["degradation"]
+        assert note["gpu_healthy"] is False
+        # Both remaining GPU rungs were skipped, not attempted.
+        assert note["failures"]["triton-spill"].startswith("skipped")
+        assert note["failures"]["cpu-partitioned"].startswith("skipped")
+        assert note["attempted"] == ["triton", "cpu-radix"]
+        before = telemetry.registry.snapshot()
+        ladder_run(system, fault_workload, plan)
+        delta = telemetry.registry.delta_since(before)["counters"]
+        assert delta["faults.ladder.gpu_marked_unhealthy"] == 1
+
+    def test_cpu_failure_keeps_gpu_rungs(self, system, fault_workload):
+        # Kill only the CPU-radix rung's partition task: the top rung
+        # has no such task, so the ladder never needs to fall at all.
+        plan = FaultPlan(tasks=(TaskFault("partition", transient=False),))
+        run = ladder_run(system, fault_workload, plan)
+        assert run.notes.get("degradation") is None
+        assert run.name == "GPU Triton Join"
+
+
+class TestExhaustion:
+    def test_all_rungs_fail_raises_degradation_error(
+        self, system, fault_workload
+    ):
+        # Every simulated task everywhere dies permanently.
+        plan = FaultPlan(tasks=(TaskFault("*", transient=False),))
+        with pytest.raises(DegradationError) as info:
+            ladder_run(system, fault_workload, plan)
+        failures = info.value.failures
+        assert "triton" in failures
+        assert "cpu-radix" in failures
+        assert set(failures) <= {
+            "triton", "triton-spill", "cpu-partitioned", "cpu-radix"
+        }
+        assert isinstance(info.value, ReproError)
+
+    def test_custom_rung_sequence(self, system, fault_workload, expected):
+        # A one-rung ladder degrades nowhere: the failure is terminal.
+        rungs = (Rung("triton", lambda s: TritonJoin(s)),)
+        plan = FaultPlan(tasks=(TaskFault("join[*]", transient=False),))
+        with pytest.raises(DegradationError):
+            with faults.injected(plan):
+                DegradationLadder(
+                    system, rungs=rungs, use_advisor=False
+                ).run(fault_workload)
+        # And clean it just runs the one rung.
+        run = DegradationLadder(
+            system, rungs=rungs, use_advisor=False
+        ).run(fault_workload)
+        assert run.match == expected
+
+
+class TestAdvisorRanking:
+    def test_advisor_picks_a_working_rung_under_shrink(
+        self, system, fault_workload, expected
+    ):
+        # With ranking on, the fallback choice is the advisor's cheapest
+        # feasible rung — either spilling Triton or the CPU-partitioned
+        # pipeline depending on size; both must be functionally exact.
+        plan = FaultPlan(gpu_memory_factor=0.05)
+        run = ladder_run(system, fault_workload, plan, use_advisor=True)
+        note = run.notes["degradation"]
+        assert note["rung"] in ("triton-spill", "cpu-partitioned")
+        assert "triton" in note["failures"]
+        assert run.match == expected
+
+    def test_default_rungs_shape(self):
+        rungs = default_rungs()
+        assert [r.name for r in rungs] == [
+            "triton", "triton-spill", "cpu-partitioned", "cpu-radix"
+        ]
+        assert [r.needs_gpu for r in rungs] == [True, True, True, False]

@@ -12,12 +12,19 @@ import pytest
 
 from repro.data.generator import generate_workload
 from repro.data.relation import Relation
-from repro.errors import ConfigurationError, PlanError
+from repro.errors import CapacityError, ConfigurationError, PlanError
 from repro.hw.specs import ac922
-from repro.join import TritonJoin, NoPartitioningJoin, reference_join
+from repro.join import (
+    DegradationLadder,
+    NoPartitioningJoin,
+    TritonJoin,
+    reference_join,
+)
 from repro.join.caching import PIPELINE_RESERVED_BYTES, plan_cache
 from repro.partition.planner import plan_radix_join
 from repro.units import GIB, MIB, gib
+
+from tests.conftest import gpu_with_memory
 
 
 class TestTinyGpu:
@@ -25,11 +32,7 @@ class TestTinyGpu:
 
     @pytest.fixture(scope="class")
     def tiny_system(self):
-        base = ac922()
-        tiny_mem = dataclasses.replace(
-            base.gpu.memory, capacity_bytes=2 * GIB
-        )
-        return base.with_gpu(dataclasses.replace(base.gpu, memory=tiny_mem))
+        return gpu_with_memory(2 * GIB)
 
     def test_cache_plan_degrades_to_spill(self, tiny_system):
         plan = plan_cache(gib(61), tiny_system.gpu_memory_capacity)
@@ -47,6 +50,34 @@ class TestTinyGpu:
         plan = plan_cache(gib(10), PIPELINE_RESERVED_BYTES / 2)
         assert plan.cache_bytes == 0.0
         assert plan.gpu_fraction == 0.0
+
+
+class TestSubReservationGpu:
+    """A GPU below the pipeline reservation: the plain operator refuses,
+    the degradation ladder spills and succeeds."""
+
+    @pytest.fixture(scope="class")
+    def sub_reservation_system(self):
+        return gpu_with_memory(PIPELINE_RESERVED_BYTES // 2)
+
+    def test_plain_operator_raises_capacity_error(
+        self, sub_reservation_system, fault_workload
+    ):
+        with pytest.raises(CapacityError):
+            TritonJoin(sub_reservation_system).run(fault_workload)
+
+    def test_ladder_degrades_to_spill_and_succeeds(
+        self, sub_reservation_system, fault_workload
+    ):
+        ladder = DegradationLadder(sub_reservation_system, use_advisor=False)
+        run = ladder.run(fault_workload)
+        note = run.notes["degradation"]
+        assert note["rung"] == "triton-spill"
+        assert "CapacityError" in note["failures"]["triton"]
+        assert run.match == reference_join(
+            fault_workload.build, fault_workload.probe
+        )
+        assert np.isfinite(run.seconds)
 
 
 class TestOneSmGpu:

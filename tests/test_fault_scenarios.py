@@ -1,0 +1,94 @@
+"""Golden fault-scenario corpus: regression replay.
+
+Each JSON under ``tests/data/fault_plans/`` is a checked-in
+:class:`repro.faults.FaultPlan` plus an ``expected`` block (ignored by
+the plan parser) pinning the outcome: which ladder rung completes the
+join, which rungs fail or are skipped, which fault-event kinds appear,
+and a minimum slowdown over the fault-free run. Replaying them catches
+regressions in the deterministic fault draws, the retry machinery, and
+the ladder's fallback order — the same plans feed the bench CLI's
+``--faults`` flag and the CI chaos leg.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.errors import DegradationError, ReproError
+from repro.faults import FaultPlan
+from repro.join import DegradationLadder, reference_join
+
+PLAN_DIR = Path(__file__).parent / "data" / "fault_plans"
+PLAN_PATHS = sorted(PLAN_DIR.glob("*.json"))
+
+
+def expected_block(path):
+    return json.loads(path.read_text())["expected"]
+
+
+@pytest.fixture(scope="module")
+def clean_run(system, fault_workload):
+    return DegradationLadder(system, use_advisor=False).run(fault_workload)
+
+
+def test_corpus_exists_and_is_substantial():
+    assert len(PLAN_PATHS) >= 6
+
+
+@pytest.mark.parametrize(
+    "path", PLAN_PATHS, ids=[p.stem for p in PLAN_PATHS]
+)
+def test_plan_round_trips(path):
+    plan = FaultPlan.load(path)
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    assert plan.description  # every golden scenario says what it is
+
+
+@pytest.mark.parametrize(
+    "path", PLAN_PATHS, ids=[p.stem for p in PLAN_PATHS]
+)
+def test_replay_matches_expected_outcome(
+    path, system, fault_workload, clean_run
+):
+    plan = FaultPlan.load(path)
+    expected = expected_block(path)
+    ladder = DegradationLadder(system, use_advisor=False)
+
+    if "error" in expected:
+        with pytest.raises(ReproError) as info:
+            with faults.injected(plan):
+                ladder.run(fault_workload)
+        assert type(info.value).__name__ == expected["error"]
+        return
+
+    with faults.injected(plan):
+        run = ladder.run(fault_workload)
+
+    # Functional result is byte-identical to the fault-free run.
+    assert run.match == clean_run.match
+    assert run.match == reference_join(
+        fault_workload.build, fault_workload.probe
+    )
+
+    note = run.notes.get("degradation")
+    if expected["degraded"]:
+        assert note is not None
+        assert note["rung"] == expected["rung"]
+        for rung in expected.get("failed_rungs", ()):
+            assert rung in note["failures"]
+            assert not note["failures"][rung].startswith("skipped")
+        for rung in expected.get("skipped_rungs", ()):
+            assert note["failures"][rung].startswith("skipped")
+    else:
+        assert note is None
+
+    if expected.get("fault_kinds") is not None and run.sim is not None:
+        kinds = {e.kind for e in run.sim.fault_events}
+        assert kinds == set(expected["fault_kinds"])
+
+    if expected.get("exact_clean_makespan"):
+        assert run.seconds == clean_run.seconds
+    if "min_slowdown" in expected:
+        assert run.seconds > expected["min_slowdown"] * clean_run.seconds

@@ -1,0 +1,216 @@
+"""Property-based tests: fault-injection invariants.
+
+Three properties the fault subsystem must hold for *any* plan:
+
+- determinism: the same seed and plan reproduce a byte-identical
+  :class:`SimResult` and identical telemetry fault counters;
+- bounded retries: no task exceeds ``max_attempts`` and no class
+  exceeds its retry budget;
+- soundness at the operator level: any plan either completes the join
+  with the correct (reference) result or raises a typed
+  :class:`ReproError` — never silent corruption, never a foreign
+  exception.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults, telemetry
+from repro.errors import ReproError, TaskFailedError
+from repro.faults import BandwidthFault, FaultPlan, RetryPolicy, TaskFault
+from repro.sim.engine import SimEngine
+from repro.sim.resources import Resource, ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+
+RESOURCES = ("link", "mem", "sm")
+
+
+def pool_():
+    return ResourcePool({r: Resource(r, 100.0) for r in RESOURCES})
+
+
+@st.composite
+def task_graphs(draw):
+    """Random DAGs of 1-6 tasks with forward-only dependencies."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    tasks = []
+    for i in range(n):
+        demands = {}
+        for resource in RESOURCES:
+            if draw(st.booleans()):
+                demands[resource] = draw(
+                    st.floats(min_value=1.0, max_value=200.0)
+                )
+        if not demands:
+            demands["link"] = 10.0
+        task = Task(name=f"t{i}", phase=f"phase{i % 2}", demands=demands)
+        for j in range(i):
+            if draw(st.booleans()) and draw(st.booleans()):
+                task.after.append(tasks[j])
+        tasks.append(task)
+    return TaskGraph(tasks)
+
+
+@st.composite
+def fault_plans(draw):
+    """Random fault plans over the t*/phase* task-graph namespace."""
+    bandwidth = []
+    for resource in draw(
+        st.lists(st.sampled_from(RESOURCES), max_size=2, unique=True)
+    ):
+        start = draw(st.floats(min_value=0.0, max_value=2.0))
+        bandwidth.append(
+            BandwidthFault(
+                resource,
+                draw(st.floats(min_value=0.1, max_value=1.0)),
+                start_s=start,
+                end_s=start + draw(st.floats(min_value=0.1, max_value=3.0)),
+            )
+        )
+    tasks = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        tasks.append(
+            TaskFault(
+                match=draw(st.sampled_from(("t*", "t0", "t1", "*"))),
+                probability=draw(st.floats(min_value=0.05, max_value=1.0)),
+                transient=draw(st.booleans()),
+                max_failures=draw(
+                    st.one_of(st.none(), st.integers(1, 3))
+                ),
+            )
+        )
+    retry = RetryPolicy(
+        max_attempts=draw(st.integers(min_value=1, max_value=5)),
+        backoff_s=draw(st.floats(min_value=1e-5, max_value=1e-2)),
+        default_class_budget=draw(st.one_of(st.none(), st.integers(0, 6))),
+    )
+    return FaultPlan(
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        bandwidth=tuple(bandwidth),
+        tasks=tuple(tasks),
+        retry=retry,
+    )
+
+
+def run_with(plan, graph):
+    """Run and return (result, error); exactly one is non-None."""
+    with faults.injected(plan):
+        try:
+            return SimEngine(pool_()).run(graph), None
+        except ReproError as error:
+            return None, error
+
+
+def fault_counter_delta(before):
+    return {
+        name: value
+        for name, value in telemetry.registry.delta_since(before)[
+            "counters"
+        ].items()
+        if name.startswith("faults.")
+    }
+
+
+@given(fault_plans(), task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_same_seed_same_plan_is_byte_identical(plan, graph):
+    before_first = telemetry.registry.snapshot()
+    first, first_error = run_with(plan, graph)
+    first_counters = fault_counter_delta(before_first)
+
+    before_second = telemetry.registry.snapshot()
+    second, second_error = run_with(plan, graph)
+    second_counters = fault_counter_delta(before_second)
+
+    assert first_counters == second_counters
+    if first is None:
+        assert type(first_error) is type(second_error)
+        assert str(first_error) == str(second_error)
+        return
+    assert second is not None
+    assert first.makespan_seconds == second.makespan_seconds  # exact
+    assert first.trace == second.trace
+    assert first.fault_events == second.fault_events
+    assert first.resource_busy_units == second.resource_busy_units
+
+
+@given(fault_plans(), task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_round_tripped_plan_behaves_identically(plan, graph):
+    first, first_error = run_with(plan, graph)
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    second, second_error = run_with(restored, graph)
+    if first is None:
+        assert str(first_error) == str(second_error)
+    else:
+        assert first.trace == second.trace
+        assert first.fault_events == second.fault_events
+
+
+@given(fault_plans(), task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_retries_never_exceed_budget(plan, graph):
+    policy = plan.retry
+    before = telemetry.registry.snapshot()
+    result, error = run_with(plan, graph)
+    counters = fault_counter_delta(before)
+
+    # Per-task bound: attempts <= max_attempts, so failed-attempt trace
+    # entries per task <= max_attempts - 1 on success paths.
+    if result is not None:
+        per_task = {}
+        for entry in result.trace:
+            if "failed]" in entry.name:
+                base = entry.name.split(" [attempt")[0]
+                per_task[base] = per_task.get(base, 0) + 1
+        for count in per_task.values():
+            assert count <= policy.max_attempts - 1
+    else:
+        assert isinstance(error, TaskFailedError)
+        assert error.attempts <= policy.max_attempts
+
+    # Class-budget bound: total retries across one class never exceed
+    # the budget (every class shares the same default budget here).
+    if policy.default_class_budget is not None:
+        # Two phase classes in the graph strategy.
+        assert counters.get("faults.retries", 0) <= (
+            2 * policy.default_class_budget
+        )
+
+
+@given(fault_plans(), task_graphs())
+@settings(max_examples=40, deadline=None)
+def test_any_plan_completes_or_raises_typed_error(plan, graph):
+    result, error = run_with(plan, graph)
+    if error is not None:
+        assert isinstance(error, ReproError)
+        return
+    # Completion is genuine: all demand units were delivered (each
+    # failed attempt re-delivers, so busy units >= clean totals).
+    for resource in RESOURCES:
+        total = sum(t.demands.get(resource, 0.0) for t in graph.tasks)
+        assert result.resource_busy_units[resource] >= total - 1e-6
+    for task in graph.tasks:
+        assert task.end_time is not None
+        assert task.remaining_fraction == 0.0
+
+
+@given(plan=fault_plans())
+@settings(max_examples=25, deadline=None)
+def test_operator_under_any_plan_is_correct_or_typed(plan, small_workload):
+    """End-to-end soundness: the Triton join under an arbitrary plan
+    either matches the fault-free reference result or raises a
+    ReproError subclass."""
+    from repro.hw.specs import ac922
+    from repro.join import TritonJoin, reference_join
+
+    expected = reference_join(small_workload.build, small_workload.probe)
+    op = TritonJoin(ac922())
+    with faults.injected(plan):
+        try:
+            run = op.run(small_workload)
+        except ReproError:
+            return
+    assert run.match == expected

@@ -88,10 +88,11 @@ class TestExtensionExperimentsSmoke:
         assert multi.rows and agg.rows
 
     def test_ext_robustness(self):
-        skew, selectivity = ALL_EXPERIMENTS["ext_robustness"].run(
+        skew, selectivity, bw, failures = ALL_EXPERIMENTS["ext_robustness"].run(
             scale_divisor=65536
         )
         assert skew.rows and selectivity.rows
+        assert bw.rows and failures.rows
 
     def test_registry_is_complete(self):
         assert len(ALL_EXPERIMENTS) == 22

@@ -1,0 +1,156 @@
+"""Chaos smoke check: graceful degradation under injected faults.
+
+Runs the fault-sweep experiment (:func:`repro.bench.experiments.
+ext_robustness.run_fault_sweep`) on fixed fault seeds and gates on the
+shape of the throughput curves:
+
+- **monotone**: throughput must not *rise* as faults worsen (within a
+  small tolerance for retry-quantization ties);
+- **no cliffs**: each step of the sweep must retain at least
+  ``--min-adjacent`` of the previous point's throughput — the paper's
+  core robustness claim (section 1, Figure 1) extended to the injected
+  failure envelope.
+
+Writes the curves and verdicts to a JSON report and exits non-zero on
+any violation. CI's chaos leg runs this after replaying the golden
+fault-plan corpus through the benchmark CLI (``--faults``)::
+
+    PYTHONPATH=src python tools/chaos_smoke.py --divisor 65536 --seeds 0,1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments.ext_robustness import (  # noqa: E402
+    run_fault_sweep,
+)
+from repro.join import run_cache  # noqa: E402
+
+DEFAULT_DIVISOR = 65536.0
+DEFAULT_SEEDS = (0, 1)
+#: Each sweep step must keep at least this fraction of the previous
+#: point's throughput (0.3: a 70% single-step drop is a cliff).
+DEFAULT_MIN_ADJACENT = 0.3
+#: Tolerated relative *rise* between adjacent points: the simulator is
+#: deterministic, but retry backoff quantizes, so equal-throughput ties
+#: within this band are not treated as non-monotone.
+MONOTONE_TOLERANCE = 0.01
+DEFAULT_OUTPUT = REPO_ROOT / "CHAOS_smoke.json"
+
+
+def curve_violations(values, min_adjacent: float) -> list:
+    """Monotonicity/cliff violations in a worst-faults-last curve."""
+    violations = []
+    for i in range(1, len(values)):
+        previous, current = values[i - 1], values[i]
+        if current > previous * (1.0 + MONOTONE_TOLERANCE):
+            violations.append(
+                f"point {i}: throughput rose {previous:.3f} -> "
+                f"{current:.3f} as faults worsened"
+            )
+        if previous > 0 and current < previous * min_adjacent:
+            violations.append(
+                f"point {i}: cliff {previous:.3f} -> {current:.3f} "
+                f"(retained {current / previous:.0%} "
+                f"< {min_adjacent:.0%} floor)"
+            )
+    return violations
+
+
+def table_curves(table) -> dict:
+    """Each row's values in column order: {row label: [floats]}."""
+    return {
+        row.label: [row.get(column) for column in table.columns]
+        for row in table.rows
+    }
+
+
+def run_chaos(divisor: float, seeds, min_adjacent: float) -> dict:
+    report = {"divisor": divisor, "seeds": list(seeds), "sweeps": {}}
+    failures = []
+    for seed in seeds:
+        started = time.time()
+        bw_table, fail_table = run_fault_sweep(
+            scale_divisor=divisor, seed=seed
+        )
+        entry = {"seconds": round(time.time() - started, 3)}
+        for table in (bw_table, fail_table):
+            curves = table_curves(table)
+            verdicts = {}
+            for label, values in curves.items():
+                violations = curve_violations(values, min_adjacent)
+                verdicts[label] = violations or "graceful"
+                for violation in violations:
+                    failures.append(
+                        f"seed {seed}, {table.experiment}, {label}: "
+                        f"{violation}"
+                    )
+            entry[table.experiment] = {
+                "columns": table.columns,
+                "curves": curves,
+                "verdicts": verdicts,
+            }
+        report["sweeps"][str(seed)] = entry
+    report["failures"] = failures
+    report["graceful"] = not failures
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--divisor",
+        type=float,
+        default=DEFAULT_DIVISOR,
+        help=f"scale divisor for the sweeps (default {DEFAULT_DIVISOR:g})",
+    )
+    parser.add_argument(
+        "--seeds",
+        default=",".join(str(s) for s in DEFAULT_SEEDS),
+        help="comma-separated fault-plan seeds to sweep (default 0,1)",
+    )
+    parser.add_argument(
+        "--min-adjacent",
+        type=float,
+        default=DEFAULT_MIN_ADJACENT,
+        metavar="FRACTION",
+        help="minimum throughput fraction each sweep step must retain "
+        f"of the previous point (default {DEFAULT_MIN_ADJACENT})",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+
+    run_cache.enable()
+    run_cache.clear()
+    try:
+        report = run_chaos(args.divisor, seeds, args.min_adjacent)
+    finally:
+        run_cache.disable()
+        run_cache.clear()
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if report["failures"]:
+        for failure in report["failures"]:
+            print(f"chaos smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("chaos smoke: all degradation curves graceful", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
