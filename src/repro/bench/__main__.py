@@ -26,26 +26,59 @@ single experiment in cProfile and prints the top 20 cumulative entries.
 run > functional/simulate > kernels) plus each simulated execution's
 virtual timeline into one Chrome-trace file for
 https://ui.perfetto.dev; ``--metrics out.json`` dumps the metrics
-registry (cache tallies, kernel path counts). Both work with ``--jobs``:
-per-worker spans and metrics are drained after every experiment and
-merged here.
+registry (cache tallies, kernel path counts). ``--explain out.json``
+runs the bottleneck attribution engine (:mod:`repro.explain`) over
+every simulated execution — critical path, per-resource utilization,
+bound classes — prints a one-line summary per experiment, and writes
+the full explanations as ``{"experiments": {name: [run, ...]}}``
+(the input format of ``tools/bench_diff.py``). All three work with
+``--jobs``: per-worker spans, metrics, and explanations are drained
+after every experiment and merged here. Note that with the run cache
+on, a figure that replays a memoized (operator, workload) run does not
+re-simulate it, so the explanation appears only under the experiment
+that ran it first.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 import time
 
+from repro import explain as explain_mod
 from repro import faults, telemetry
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentTable
 from repro.join import run_cache
 
 
-def _render_one(name: str, sizes, divisor) -> str:
-    """Run one experiment and render its tables (no printing)."""
+def _explain_summary(runs) -> str:
+    """One line summarizing an experiment's collected explanations."""
+    dominant = {}
+    problems = 0
+    for run in runs:
+        name = run.dominant_bound() or "unknown"
+        dominant[name] = dominant.get(name, 0) + 1
+        problems += len(run.verify())
+    classes = ", ".join(
+        f"{name} x{count}"
+        for name, count in sorted(dominant.items(), key=lambda kv: -kv[1])
+    )
+    line = f"[explain: {len(runs)} simulated runs; dominant {classes}"
+    if problems:
+        line += f"; INVARIANT PROBLEMS: {problems}"
+    return line + "]\n"
+
+
+def _render_one(name: str, sizes, divisor) -> "tuple[str, list]":
+    """Run one experiment; returns (rendered tables, explanation dicts).
+
+    Explanations are drained here — in whichever process ran the
+    experiment — so a reused pool worker never re-reports them, and
+    they travel to the parent as plain dicts (the JSON document form).
+    """
     module = ALL_EXPERIMENTS[name]
     kwargs = {}
     signature = inspect.signature(module.run)
@@ -63,13 +96,19 @@ def _render_one(name: str, sizes, divisor) -> str:
     for table in tables:
         chunks.append(table.format())
         chunks.append("")
+    explanations = explain_mod.drain() if explain_mod.collecting() else []
+    if explanations:
+        chunks.append(_explain_summary(explanations))
     chunks.append(f"[{name}: {elapsed:.1f}s]\n")
-    return "\n".join(chunks)
+    return "\n".join(chunks), [run.to_dict() for run in explanations]
 
 
-def _run_one(name: str, sizes, divisor) -> float:
+def _run_one(name: str, sizes, divisor, explained=None) -> float:
     started = time.time()
-    print(_render_one(name, sizes, divisor))
+    output, explanations = _render_one(name, sizes, divisor)
+    print(output)
+    if explained is not None and explanations:
+        explained.setdefault(name, []).extend(explanations)
     return time.time() - started
 
 
@@ -81,7 +120,7 @@ def _profile_one(name: str, sizes, divisor) -> None:
     profiler = cProfile.Profile()
     profiler.enable()
     try:
-        output = _render_one(name, sizes, divisor)
+        output, _ = _render_one(name, sizes, divisor)
     finally:
         profiler.disable()
     print(output)
@@ -89,31 +128,41 @@ def _profile_one(name: str, sizes, divisor) -> None:
 
 
 def _worker(
-    name: str, sizes, divisor, use_cache: bool, trace: bool, fault_plan=None
+    name: str,
+    sizes,
+    divisor,
+    use_cache: bool,
+    trace: bool,
+    fault_plan=None,
+    collect_explanations: bool = False,
 ):
     """Process-pool entry point.
 
-    Returns ``(name, output, seconds, metrics delta, trace snapshot)``.
-    Metrics are reported as a delta against the snapshot taken before
-    the experiment, and the span trace is drained after it — a pool
-    process reused for several experiments never reports the same work
-    twice (summing cumulative per-worker stats would). ``fault_plan``
-    is the parent's ``--faults`` plan as a dict (plans are ambient
-    per-process state, so each worker re-activates it).
+    Returns ``(name, output, seconds, metrics delta, trace snapshot,
+    explanation dicts)``. Metrics are reported as a delta against the
+    snapshot taken before the experiment, and the span trace and
+    explanations are drained after it — a pool process reused for
+    several experiments never reports the same work twice (summing
+    cumulative per-worker stats would). ``fault_plan`` is the parent's
+    ``--faults`` plan as a dict (plans are ambient per-process state,
+    so each worker re-activates it).
     """
     if use_cache:
         run_cache.enable()
     if trace:
         telemetry.enable()
+    if collect_explanations:
+        telemetry.enable()  # span labels name the explanations
+        explain_mod.enable_collection()
     if fault_plan is not None:
         faults.activate(faults.FaultPlan.from_dict(fault_plan))
     before = telemetry.registry.snapshot()
     started = time.time()
-    output = _render_one(name, sizes, divisor)
+    output, explanations = _render_one(name, sizes, divisor)
     seconds = time.time() - started
     delta = telemetry.registry.delta_since(before)
     snapshot = telemetry.trace_snapshot(drain=True) if trace else None
-    return name, output, seconds, delta, snapshot
+    return name, output, seconds, delta, snapshot, explanations
 
 
 def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
@@ -148,10 +197,11 @@ def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
     return table
 
 
-def _run_all(sizes, divisor, jobs: int) -> None:
+def _run_all(sizes, divisor, jobs: int, explained=None) -> None:
     if jobs <= 1:
         timings = [
-            (name, _run_one(name, sizes, divisor)) for name in ALL_EXPERIMENTS
+            (name, _run_one(name, sizes, divisor, explained=explained))
+            for name in ALL_EXPERIMENTS
         ]
         print(_timing_table(timings).format())
         return
@@ -159,12 +209,20 @@ def _run_all(sizes, divisor, jobs: int) -> None:
 
     use_cache = run_cache.enabled()
     trace = telemetry.enabled()
+    collect = explain_mod.collecting()
     plan = faults.active()
     plan_dict = plan.to_dict() if plan is not None else None
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(
-                _worker, name, sizes, divisor, use_cache, trace, plan_dict
+                _worker,
+                name,
+                sizes,
+                divisor,
+                use_cache,
+                trace,
+                plan_dict,
+                collect,
             )
             for name in ALL_EXPERIMENTS
         ]
@@ -172,11 +230,15 @@ def _run_all(sizes, divisor, jobs: int) -> None:
         # Print in submission (= creation) order, not completion order,
         # so the output is byte-stable across --jobs settings.
         for future in futures:
-            name, output, seconds, delta, snapshot = future.result()
+            name, output, seconds, delta, snapshot, explanations = (
+                future.result()
+            )
             print(output)
             timings.append((name, seconds))
             telemetry.registry.merge(delta)
             telemetry.absorb_trace(snapshot, label=f"worker: {name}")
+            if explained is not None and explanations:
+                explained.setdefault(name, []).extend(explanations)
     print(_timing_table(timings, workers=jobs).format())
 
 
@@ -238,6 +300,14 @@ def main(argv=None) -> int:
         "docs/robustness.md); an empty plan is a no-op and results "
         "stay byte-identical to a run without --faults",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="PATH",
+        default=None,
+        help="attribute bottlenecks for every simulated run (critical "
+        "path, utilization timelines, bound classes) and write the "
+        "explanations as JSON (the tools/bench_diff.py input format)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -271,10 +341,18 @@ def main(argv=None) -> int:
         run_cache.enable()
     if args.trace:
         telemetry.enable()
+    explained = None
+    if args.explain:
+        explained = {}
+        # Span labels name each explanation (experiment / operator /
+        # simulate), so attribution needs the span stack recorded even
+        # without --trace.
+        telemetry.enable()
+        explain_mod.enable_collection()
     faults.activate(fault_plan)
     try:
         if args.experiment == "all":
-            _run_all(sizes, args.divisor, args.jobs)
+            _run_all(sizes, args.divisor, args.jobs, explained=explained)
             return 0
 
         if args.experiment not in ALL_EXPERIMENTS:
@@ -287,7 +365,7 @@ def main(argv=None) -> int:
         if args.profile:
             _profile_one(args.experiment, sizes, args.divisor)
         else:
-            _run_one(args.experiment, sizes, args.divisor)
+            _run_one(args.experiment, sizes, args.divisor, explained=explained)
         return 0
     finally:
         # Write artifacts before run_cache.clear(): clearing the cache
@@ -296,11 +374,22 @@ def main(argv=None) -> int:
             telemetry.write_chrome_trace(args.trace)
         if args.metrics:
             telemetry.write_metrics(args.metrics)
+        if args.explain:
+            with open(args.explain, "w") as handle:
+                json.dump(
+                    {"experiments": explained or {}},
+                    handle,
+                    indent=1,
+                    sort_keys=True,
+                )
+                handle.write("\n")
         faults.deactivate()
         run_cache.disable()
         run_cache.clear()
         telemetry.disable()
         telemetry.spans.reset()
+        explain_mod.disable_collection()
+        explain_mod.drain()
 
 
 if __name__ == "__main__":

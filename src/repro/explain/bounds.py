@@ -1,0 +1,179 @@
+"""Per-task bound classification: what limited each task's span.
+
+Mirrors the paper's Fig. 15(b)/Fig. 18(e-f) stall accounting at task
+granularity: for every recorded task, the dominant resource is the one
+whose standalone time (``demand / nominal capacity``) is largest, and
+the task is classified by that resource's kind — compute, transfer,
+memory, or translation — unless retry backoff or fixed launch latency
+dominated the span instead.
+
+:func:`seconds_by_bound` then rolls the classes up into a
+makespan-attributed breakdown using the same overlap-splitting rule as
+:class:`~repro.sim.trace.PhaseBreakdown`, so the class totals sum to
+the makespan (idle gaps — everything waiting out a backoff — count as
+dependency time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import PhaseBreakdown, TaskRecord, TraceEntry
+
+#: Canonical resource name -> bound class. Unknown names fall back to
+#: substring heuristics so ad-hoc test pools ("link", "mem") classify
+#: sensibly too.
+RESOURCE_CLASSES = {
+    "gpu_sm": "compute",
+    "cpu_cores": "compute",
+    "nvlink_to_gpu": "transfer",
+    "nvlink_to_cpu": "transfer",
+    "cpu_mem_bw": "memory",
+    "gpu_mem_bw": "memory",
+    "iommu_walks": "translation",
+}
+
+#: Classes that do not come from a resource.
+DEPENDENCY_BOUND = "dependency-bound"
+LATENCY_BOUND = "latency-bound"
+
+
+def resource_class(name: str) -> str:
+    """The bound class a resource belongs to."""
+    if name in RESOURCE_CLASSES:
+        return RESOURCE_CLASSES[name]
+    lowered = name.lower()
+    if "iommu" in lowered or "walk" in lowered or "tlb" in lowered:
+        return "translation"
+    if "link" in lowered:
+        return "transfer"
+    if "mem" in lowered:
+        return "memory"
+    if "sm" in lowered or "core" in lowered or "op" in lowered:
+        return "compute"
+    return "other"
+
+
+@dataclass(frozen=True)
+class TaskBound:
+    """Classification of one task occurrence."""
+
+    name: str
+    phase: str
+    start: float
+    end: float
+    #: "compute-bound", "transfer-bound", "memory-bound",
+    #: "translation-bound", "dependency-bound", or "latency-bound".
+    bound: str
+    #: The dominant resource (None for dependency/latency bounds).
+    resource: Optional[str]
+    #: Dominant resource's standalone seconds / the task's span — how
+    #: much of the span the binding resource explains (1.0 = the task
+    #: ran at full capacity on it, lower = contention or waits).
+    share: float
+    retries: int = 0
+    backoff_seconds: float = 0.0
+
+    @property
+    def span_seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "phase": self.phase,
+            "start": self.start,
+            "end": self.end,
+            "bound": self.bound,
+            "resource": self.resource,
+            "share": self.share,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskBound":
+        return cls(
+            name=data["name"],
+            phase=data["phase"],
+            start=float(data["start"]),
+            end=float(data["end"]),
+            bound=data["bound"],
+            resource=data.get("resource"),
+            share=float(data.get("share", 0.0)),
+            retries=int(data.get("retries", 0)),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+        )
+
+
+def classify(record: TaskRecord, capacities: Dict[str, float]) -> TaskBound:
+    """Classify what bounded one task occurrence.
+
+    Priority order: retry backoff dominating the span beats everything
+    (the task spent most of its life waiting, not working); then fixed
+    launch latency (``min_seconds``) when it exceeds every resource's
+    standalone time; then the dominant resource's class.
+    """
+    span = record.span_seconds
+    standalone = {
+        name: amount / capacities[name]
+        for name, amount in record.demands.items()
+        if amount > 0 and capacities.get(name, 0.0) > 0
+    }
+    dominant = None
+    dominant_seconds = 0.0
+    if standalone:
+        dominant = max(standalone, key=lambda name: (standalone[name], name))
+        dominant_seconds = standalone[dominant]
+
+    if record.backoff_seconds > 0 and (
+        record.backoff_seconds >= record.active_seconds
+        or record.backoff_seconds >= span / 2
+    ):
+        bound, resource = DEPENDENCY_BOUND, dominant
+    elif dominant is None or record.min_seconds >= dominant_seconds:
+        bound, resource = LATENCY_BOUND, None
+    else:
+        bound, resource = f"{resource_class(dominant)}-bound", dominant
+
+    return TaskBound(
+        name=record.name,
+        phase=record.phase,
+        start=record.start,
+        end=record.end,
+        bound=bound,
+        resource=resource,
+        share=(dominant_seconds / span) if span > 0 else 0.0,
+        retries=record.retries,
+        backoff_seconds=record.backoff_seconds,
+    )
+
+
+def classify_all(
+    records: Sequence[TaskRecord], capacities: Dict[str, float]
+) -> List[TaskBound]:
+    return [classify(record, capacities) for record in records]
+
+
+def seconds_by_bound(
+    bounds: Sequence[TaskBound], makespan: float
+) -> Dict[str, float]:
+    """Makespan seconds attributed to each bound class.
+
+    Overlapping tasks split wall time between their classes via the
+    same slice-sharing rule as :class:`PhaseBreakdown`; timeline gaps
+    (nothing running: every live task backing off a retry) are added to
+    ``dependency-bound``. The values sum to the makespan.
+    """
+    entries = [
+        TraceEntry(name=b.name, phase=b.bound, start=b.start, end=b.end)
+        for b in bounds
+    ]
+    breakdown = PhaseBreakdown.from_trace(entries, makespan)
+    seconds = dict(breakdown.seconds_by_phase)
+    covered = sum(seconds.values())
+    idle = makespan - covered
+    if idle > 0:
+        seconds[DEPENDENCY_BOUND] = seconds.get(DEPENDENCY_BOUND, 0.0) + idle
+    return seconds

@@ -1,0 +1,228 @@
+"""Run-diff explainability: what changed between two explained runs.
+
+Compares two :class:`~repro.explain.ExplainedRun` objects task-by-task
+(matched by name) and resource-by-resource, then names the **drivers**:
+the tasks whose spans moved the most (with their bound class and
+binding resource) and the resources whose busy time moved the most.
+``tools/bench_diff.py`` applies the same machinery to whole benchmark
+documents and to the perf-smoke trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explain import ExplainedRun
+
+
+@dataclass(frozen=True)
+class TaskDelta:
+    """One task's change between run A and run B."""
+
+    name: str
+    seconds_a: Optional[float]
+    seconds_b: Optional[float]
+    #: B minus A; positive = slower in B. Missing on one side counts
+    #: the whole span of the other (appeared/disappeared task).
+    delta_seconds: float
+    bound: Optional[str] = None
+    resource: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds_a": self.seconds_a,
+            "seconds_b": self.seconds_b,
+            "delta_seconds": self.delta_seconds,
+            "bound": self.bound,
+            "resource": self.resource,
+        }
+
+
+@dataclass(frozen=True)
+class ResourceDelta:
+    """One resource's change between run A and run B."""
+
+    name: str
+    busy_seconds_a: float
+    busy_seconds_b: float
+    delta_seconds: float
+    utilization_a: float
+    utilization_b: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "busy_seconds_a": self.busy_seconds_a,
+            "busy_seconds_b": self.busy_seconds_b,
+            "delta_seconds": self.delta_seconds,
+            "utilization_a": self.utilization_a,
+            "utilization_b": self.utilization_b,
+        }
+
+
+@dataclass
+class RunDiff:
+    """The attributed difference between two explained runs."""
+
+    label_a: str
+    label_b: str
+    makespan_a: float
+    makespan_b: float
+    task_deltas: List[TaskDelta] = field(default_factory=list)
+    resource_deltas: List[ResourceDelta] = field(default_factory=list)
+    #: Bound class -> (seconds in A, seconds in B).
+    bound_deltas: Dict[str, List[float]] = field(default_factory=dict)
+    #: Human-readable sentences naming the biggest movers.
+    drivers: List[str] = field(default_factory=list)
+
+    @property
+    def makespan_delta(self) -> float:
+        return self.makespan_b - self.makespan_a
+
+    @property
+    def regression(self) -> bool:
+        return self.makespan_delta > 0
+
+    def to_dict(self) -> dict:
+        return {
+            "label_a": self.label_a,
+            "label_b": self.label_b,
+            "makespan_a": self.makespan_a,
+            "makespan_b": self.makespan_b,
+            "makespan_delta": self.makespan_delta,
+            "task_deltas": [d.to_dict() for d in self.task_deltas],
+            "resource_deltas": [d.to_dict() for d in self.resource_deltas],
+            "bound_deltas": {
+                name: list(pair) for name, pair in self.bound_deltas.items()
+            },
+            "drivers": list(self.drivers),
+        }
+
+
+def _spans_by_name(run: "ExplainedRun") -> Dict[str, float]:
+    """Total span seconds per task name (duplicates pool their spans)."""
+    spans: Dict[str, float] = {}
+    for bound in run.bounds:
+        spans[bound.name] = spans.get(bound.name, 0.0) + bound.span_seconds
+    return spans
+
+
+def _bound_by_name(run: "ExplainedRun") -> Dict[str, "object"]:
+    """Representative (longest-span) TaskBound per name."""
+    best: Dict[str, object] = {}
+    for bound in run.bounds:
+        current = best.get(bound.name)
+        if current is None or bound.span_seconds > current.span_seconds:
+            best[bound.name] = bound
+    return best
+
+
+def _busy_seconds(run: "ExplainedRun") -> Dict[str, float]:
+    return {
+        name: run.average_utilization.get(name, 0.0) * run.makespan_seconds
+        for name in run.resource_capacities
+    }
+
+
+def diff_runs(a: "ExplainedRun", b: "ExplainedRun") -> RunDiff:
+    """Attribute the makespan difference between two explained runs."""
+    spans_a, spans_b = _spans_by_name(a), _spans_by_name(b)
+    bounds_b = _bound_by_name(b)
+    bounds_a = _bound_by_name(a)
+    task_deltas: List[TaskDelta] = []
+    for name in sorted(set(spans_a) | set(spans_b)):
+        sa, sb = spans_a.get(name), spans_b.get(name)
+        delta = (sb or 0.0) - (sa or 0.0)
+        # Classify by the run that exhibits the task (B wins: the
+        # regression's own profile names the binding resource).
+        bound = bounds_b.get(name) or bounds_a.get(name)
+        task_deltas.append(
+            TaskDelta(
+                name=name,
+                seconds_a=sa,
+                seconds_b=sb,
+                delta_seconds=delta,
+                bound=getattr(bound, "bound", None),
+                resource=getattr(bound, "resource", None),
+            )
+        )
+    task_deltas.sort(key=lambda d: (-abs(d.delta_seconds), d.name))
+
+    busy_a, busy_b = _busy_seconds(a), _busy_seconds(b)
+    resource_deltas = [
+        ResourceDelta(
+            name=name,
+            busy_seconds_a=busy_a.get(name, 0.0),
+            busy_seconds_b=busy_b.get(name, 0.0),
+            delta_seconds=busy_b.get(name, 0.0) - busy_a.get(name, 0.0),
+            utilization_a=a.average_utilization.get(name, 0.0),
+            utilization_b=b.average_utilization.get(name, 0.0),
+        )
+        for name in sorted(set(busy_a) | set(busy_b))
+    ]
+    resource_deltas.sort(key=lambda d: (-abs(d.delta_seconds), d.name))
+
+    bound_deltas = {
+        name: [
+            a.seconds_by_bound.get(name, 0.0),
+            b.seconds_by_bound.get(name, 0.0),
+        ]
+        for name in sorted(set(a.seconds_by_bound) | set(b.seconds_by_bound))
+    }
+
+    diff = RunDiff(
+        label_a=a.label,
+        label_b=b.label,
+        makespan_a=a.makespan_seconds,
+        makespan_b=b.makespan_seconds,
+        task_deltas=task_deltas,
+        resource_deltas=resource_deltas,
+        bound_deltas=bound_deltas,
+    )
+    diff.drivers = _drivers(diff)
+    return diff
+
+
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _drivers(diff: RunDiff, top: int = 3) -> List[str]:
+    """Sentences naming what moved the makespan."""
+    sentences: List[str] = []
+    direction = "regressed" if diff.makespan_delta > 0 else "improved"
+    if diff.makespan_delta == 0:
+        sentences.append("makespan unchanged")
+    else:
+        sentences.append(
+            f"makespan {direction} by {_fmt_s(abs(diff.makespan_delta))} "
+            f"({_fmt_s(diff.makespan_a)} -> {_fmt_s(diff.makespan_b)})"
+        )
+    for delta in diff.task_deltas[:top]:
+        if delta.delta_seconds == 0:
+            continue
+        verb = "slowed" if delta.delta_seconds > 0 else "sped up"
+        where = ""
+        if delta.bound:
+            where = f" [{delta.bound}"
+            if delta.resource:
+                where += f" on {delta.resource}"
+            where += "]"
+        sentences.append(
+            f"task {delta.name!r} {verb} by "
+            f"{_fmt_s(abs(delta.delta_seconds))}{where}"
+        )
+    for delta in diff.resource_deltas[:1]:
+        if delta.delta_seconds == 0:
+            continue
+        verb = "gained" if delta.delta_seconds > 0 else "shed"
+        sentences.append(
+            f"resource {delta.name!r} {verb} "
+            f"{_fmt_s(abs(delta.delta_seconds))} of busy time "
+            f"(utilization {100 * delta.utilization_a:.1f}% -> "
+            f"{100 * delta.utilization_b:.1f}%)"
+        )
+    return sentences

@@ -1,0 +1,157 @@
+"""Per-resource utilization timelines from engine occupancy intervals.
+
+The engine records, for every time-advancing scheduling round, the
+absolute rate each resource was drawn at (:class:`~repro.sim.trace.
+OccupancyInterval`). Dividing by the nominal capacity turns that into a
+step-function utilization series per resource — the same quantity the
+paper plots in Fig. 14(a) for the interconnect, generalized to every
+resource the simulator models (NVLink per direction, CPU/GPU memory
+bandwidth, SMs, cores, IOMMU walkers).
+
+Everything here is a pure function over a duck-typed
+:class:`~repro.sim.engine.SimResult` (``occupancy``,
+``resource_capacities``, ``resource_busy_units``, ``makespan_seconds``,
+``counters``), so the telemetry exporter can call in without importing
+the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The paper's Fig. 14(a) denominator: the 75 GB/s electrical limit of
+#: the NVLink 2.0 interconnect (per direction).
+ELECTRICAL_LIMIT_BYTES_PER_S = 75e9
+
+#: One step of a utilization timeline: (start_s, end_s, utilization).
+Segment = Tuple[float, float, float]
+
+
+def capacities_of(result, pool=None) -> Dict[str, float]:
+    """Nominal capacities for a run (embedded snapshot, else the pool)."""
+    capacities = dict(getattr(result, "resource_capacities", {}) or {})
+    if not capacities and pool is not None:
+        capacities = pool.capacities()
+    return capacities
+
+
+def utilization_timeline(
+    result,
+    pool=None,
+    resources: Optional[Sequence[str]] = None,
+) -> Dict[str, List[Segment]]:
+    """Step-function utilization per resource, covering [0, makespan].
+
+    Gaps in the occupancy record (e.g. every task waiting out a retry
+    backoff) appear as explicit zero-utilization segments, and adjacent
+    segments with equal values are merged — the series is exactly the
+    information needed to re-derive the run's average utilization and
+    the Fig. 14-style occupancy plots.
+    """
+    capacities = capacities_of(result, pool)
+    if resources is not None:
+        capacities = {
+            name: capacities[name] for name in resources if name in capacities
+        }
+    makespan = result.makespan_seconds
+    timelines: Dict[str, List[Segment]] = {}
+    for name, capacity in sorted(capacities.items()):
+        segments: List[Segment] = []
+        cursor = 0.0
+        for interval in getattr(result, "occupancy", ()):
+            if interval.end <= interval.start:
+                continue
+            if interval.start > cursor:
+                segments.append((cursor, interval.start, 0.0))
+            value = interval.usage.get(name, 0.0) / capacity
+            if segments and segments[-1][2] == value and segments[-1][1] == interval.start:
+                segments[-1] = (segments[-1][0], interval.end, value)
+            else:
+                segments.append((interval.start, interval.end, value))
+            cursor = interval.end
+        if cursor < makespan:
+            if segments and segments[-1][2] == 0.0:
+                segments[-1] = (segments[-1][0], makespan, 0.0)
+            else:
+                segments.append((cursor, makespan, 0.0))
+        if not segments and makespan > 0:
+            segments.append((0.0, makespan, 0.0))
+        timelines[name] = segments
+    return timelines
+
+
+def busy_seconds_from_timeline(
+    timeline: Dict[str, List[Segment]],
+) -> Dict[str, float]:
+    """Integral of each utilization series (capacity-seconds of work)."""
+    return {
+        name: sum((end - start) * value for start, end, value in segments)
+        for name, segments in timeline.items()
+    }
+
+
+def average_utilization(
+    result, pool=None, timeline: Optional[Dict[str, List[Segment]]] = None
+) -> Dict[str, float]:
+    """Average utilization per resource over the makespan.
+
+    Derived purely from the occupancy timeline; matches
+    ``SimResult.resource_utilization(pool)`` (which integrates the same
+    draws into ``resource_busy_units``) up to floating-point noise —
+    the cross-check the tests pin down.
+    """
+    if timeline is None:
+        timeline = utilization_timeline(result, pool)
+    makespan = result.makespan_seconds
+    if makespan <= 0:
+        return {name: 0.0 for name in timeline}
+    return {
+        name: busy / makespan
+        for name, busy in busy_seconds_from_timeline(timeline).items()
+    }
+
+
+def utilization_samples(
+    result,
+    pool=None,
+    resources: Optional[Sequence[str]] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Change points per resource for Perfetto counter tracks.
+
+    Each series is ``[(t_seconds, utilization), ...]`` — the value holds
+    from its timestamp until the next sample — with a final sample at
+    the makespan returning the counter to zero so the track does not
+    dangle past the run.
+    """
+    samples: Dict[str, List[Tuple[float, float]]] = {}
+    for name, segments in utilization_timeline(
+        result, pool, resources=resources
+    ).items():
+        series: List[Tuple[float, float]] = []
+        for start, _end, value in segments:
+            if not series or series[-1][1] != value:
+                series.append((start, value))
+        makespan = result.makespan_seconds
+        if series and series[-1][1] != 0.0:
+            series.append((makespan, 0.0))
+        samples[name] = series
+    return samples
+
+
+def interconnect_utilization_75(
+    result, raw_limit_bytes_per_s: float = ELECTRICAL_LIMIT_BYTES_PER_S
+) -> float:
+    """Fig. 14(a)'s metric re-derived from one simulated run.
+
+    The paper measures CPU-to-GPU wire bandwidth (payload plus protocol
+    overhead) against the 75 GB/s electrical limit. The run's counters
+    carry the wire bytes and the makespan is the run's wall time, so
+    the figure's value falls straight out — this is what the fig14
+    experiment computes per (operator, size) cell, and the explain test
+    asserts both paths agree.
+    """
+    makespan = result.makespan_seconds
+    if makespan <= 0:
+        return 0.0
+    wire = getattr(result.counters, "nvlink_wire_to_gpu_bytes", 0.0)
+    return wire / makespan / raw_limit_bytes_per_s

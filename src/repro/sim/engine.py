@@ -35,13 +35,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro import faults, telemetry
+from repro import explain, faults, telemetry
 from repro.errors import SimulationError, TaskFailedError
 from repro.faults import FaultEvent
 from repro.hw.counters import PerfCounters
 from repro.sim.resources import ResourcePool
 from repro.sim.tasks import Task, TaskGraph
-from repro.sim.trace import PhaseBreakdown, TraceEntry
+from repro.sim.trace import (
+    OccupancyInterval,
+    PhaseBreakdown,
+    TaskRecord,
+    TraceEntry,
+)
 
 _EPSILON = 1e-12
 _CONVERGENCE = 1e-9
@@ -65,6 +70,16 @@ class SimResult:
     resource_busy_units: Dict[str, float] = field(default_factory=dict)
     #: Faults injected during this run (empty for clean runs).
     fault_events: Tuple[FaultEvent, ...] = ()
+    #: Per-scheduling-step resource draw (units/s), tiling the active
+    #: timeline. The raw material for utilization timelines and fig14
+    #: re-derivation (see :mod:`repro.explain`).
+    occupancy: Tuple[OccupancyInterval, ...] = ()
+    #: One record per completed task occurrence: dependency edges,
+    #: demands, and retry accounting for critical-path attribution.
+    task_records: Tuple[TaskRecord, ...] = ()
+    #: Nominal capacities of the pool the run was simulated against, so
+    #: post-hoc analysis does not need the pool object back.
+    resource_capacities: Dict[str, float] = field(default_factory=dict)
 
     def phase_breakdown(self) -> PhaseBreakdown:
         """Wall-clock seconds attributed to each phase label.
@@ -90,6 +105,67 @@ class SimResult:
             name: units / pool.capacity(name) / self.makespan_seconds
             for name, units in self.resource_busy_units.items()
         }
+
+
+def _task_record(
+    task: Task,
+    start: float,
+    end: float,
+    retries: int = 0,
+    backoff_seconds: float = 0.0,
+    active_seconds: Optional[float] = None,
+) -> TaskRecord:
+    """Snapshot a completed task occurrence for post-hoc attribution."""
+    return TaskRecord(
+        task_id=task.task_id,
+        name=task.name,
+        phase=task.phase or task.name,
+        start=start,
+        end=end,
+        demands=dict(task.demands),
+        dep_ids=tuple(dep.task_id for dep in task.after),
+        min_seconds=task.min_seconds,
+        retries=retries,
+        backoff_seconds=backoff_seconds,
+        active_seconds=(
+            end - start if active_seconds is None else active_seconds
+        ),
+    )
+
+
+def _step_usage(
+    running: List[Task], rates: Dict[int, float]
+) -> Dict[str, float]:
+    """Aggregate units/s drawn per resource at the allocated rates."""
+    usage: Dict[str, float] = {}
+    for task in running:
+        rate = rates[task.task_id]
+        for resource, amount in task.demands.items():
+            if amount <= 0:
+                continue
+            usage[resource] = usage.get(resource, 0.0) + amount * rate
+    return usage
+
+
+def _merged_occupancy(
+    intervals: List[OccupancyInterval],
+) -> Tuple[OccupancyInterval, ...]:
+    """Coalesce adjacent intervals with identical usage (fewer samples)."""
+    merged: List[OccupancyInterval] = []
+    for interval in intervals:
+        if (
+            merged
+            and merged[-1].end == interval.start
+            and merged[-1].usage == interval.usage
+        ):
+            merged[-1] = OccupancyInterval(
+                start=merged[-1].start,
+                end=interval.end,
+                usage=merged[-1].usage,
+            )
+        else:
+            merged.append(interval)
+    return tuple(merged)
 
 
 class SimEngine:
@@ -194,6 +270,8 @@ class SimEngine:
         now = 0.0
         trace: List[TraceEntry] = []
         busy: Dict[str, float] = {name: 0.0 for name in self.pool.names()}
+        occupancy: List[OccupancyInterval] = []
+        records: List[TaskRecord] = []
 
         def ready_tasks() -> List[Task]:
             ready = [
@@ -226,6 +304,7 @@ class SimEngine:
                     running.remove(task)
                     done_ids.add(task.task_id)
                     trace.append(TraceEntry.from_task(task))
+                    records.append(_task_record(task, now, now))
                 continue
 
             # Time until the earliest completion at current rates.
@@ -241,6 +320,10 @@ class SimEngine:
                 raise SimulationError("no finite completion time")
 
             # Advance and account resource usage.
+            if dt > 0:
+                occupancy.append(
+                    OccupancyInterval(now, now + dt, _step_usage(running, rates))
+                )
             now += dt
             finished: List[Task] = []
             for task in running:
@@ -259,8 +342,11 @@ class SimEngine:
                 running.remove(task)
                 done_ids.add(task.task_id)
                 trace.append(TraceEntry.from_task(task))
+                records.append(
+                    _task_record(task, task.start_time, task.end_time)
+                )
 
-        return self._finalize(graph, now, trace, busy, ())
+        return self._finalize(graph, now, trace, busy, (), occupancy, records)
 
     def _run_faulted(
         self, graph: TaskGraph, plan: "faults.FaultPlan"
@@ -289,6 +375,24 @@ class SimEngine:
         now = 0.0
         trace: List[TraceEntry] = []
         busy: Dict[str, float] = {name: 0.0 for name in self.pool.names()}
+        occupancy: List[OccupancyInterval] = []
+        records: List[TaskRecord] = []
+        first_start: Dict[int, float] = {}  # dependencies satisfied at
+        failed_active: Dict[int, float] = {}  # seconds lost to doomed attempts
+        backoff_total: Dict[int, float] = {}  # seconds waited out in backoff
+
+        def finish_record(task: Task) -> TaskRecord:
+            tid = task.task_id
+            return _task_record(
+                task,
+                first_start.get(tid, task.start_time),
+                now,
+                retries=attempts.get(tid, 0),
+                backoff_seconds=backoff_total.get(tid, 0.0),
+                active_seconds=(
+                    failed_active.get(tid, 0.0) + (now - task.start_time)
+                ),
+            )
 
         def ready_tasks() -> List[Task]:
             ready = [
@@ -354,6 +458,12 @@ class SimEngine:
             class_retries[label] = used + 1
             attempts[task.task_id] = attempt + 1
             backoff = policy.backoff(attempt)
+            failed_active[task.task_id] = failed_active.get(
+                task.task_id, 0.0
+            ) + (now - task.start_time)
+            backoff_total[task.task_id] = (
+                backoff_total.get(task.task_id, 0.0) + backoff
+            )
             events.append(
                 FaultEvent(
                     now,
@@ -380,6 +490,7 @@ class SimEngine:
             for task in ready_tasks():
                 pending.remove(task)
                 task.start_time = now
+                first_start[task.task_id] = now
                 running.append(task)
 
             if not running:
@@ -403,6 +514,7 @@ class SimEngine:
                     running.remove(task)
                     if resolve_completion(task):
                         done_ids.add(task.task_id)
+                        records.append(finish_record(task))
                         trace.append(TraceEntry.from_task(task))
                 continue
 
@@ -428,6 +540,10 @@ class SimEngine:
                 dt = max(blocked[0][0] - now, 0.0)
                 clipped = True
 
+            if dt > 0:
+                occupancy.append(
+                    OccupancyInterval(now, now + dt, _step_usage(running, rates))
+                )
             now += dt
             finished: List[Task] = []
             for task in running:
@@ -446,6 +562,7 @@ class SimEngine:
                 running.remove(task)
                 if resolve_completion(task):
                     done_ids.add(task.task_id)
+                    records.append(finish_record(task))
                     trace.append(TraceEntry.from_task(task))
 
         # Bandwidth windows that actually overlapped the run, rendered
@@ -472,7 +589,9 @@ class SimEngine:
                     )
                 )
         events.sort(key=lambda e: (e.time_s, e.kind, e.target))
-        return self._finalize(graph, now, trace, busy, tuple(events))
+        return self._finalize(
+            graph, now, trace, busy, tuple(events), occupancy, records
+        )
 
     def _finalize(
         self,
@@ -481,18 +600,27 @@ class SimEngine:
         trace: List[TraceEntry],
         busy: Dict[str, float],
         events: Tuple[FaultEvent, ...],
+        occupancy: List[OccupancyInterval],
+        records: List[TaskRecord],
     ) -> SimResult:
         trace.sort(key=lambda entry: (entry.start, entry.end))
+        records.sort(key=lambda r: (r.start, r.end, r.task_id))
         result = SimResult(
             makespan_seconds=now,
             trace=trace,
             counters=graph.total_counters(),
             resource_busy_units=busy,
             fault_events=events,
+            occupancy=_merged_occupancy(occupancy),
+            task_records=tuple(records),
+            resource_capacities=self.pool.capacities(),
         )
         if telemetry.enabled():
             # Capture the virtual-time schedule as its own trace track so
             # one Chrome-trace file shows host wall-clock spans alongside
             # the simulated kernel timeline.
             telemetry.add_sim_result(result)
+        # Post-hoc attribution (critical path, utilization timelines,
+        # bound classes) when ``bench --explain`` turned collection on.
+        explain.maybe_collect(result)
         return result

@@ -9,8 +9,8 @@ wall-clock time between concurrently running phases.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
 
@@ -40,6 +40,105 @@ class TraceEntry:
             phase=task.phase or task.name,
             start=task.start_time,
             end=task.end_time,
+        )
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task occurrence with the scheduling facts attribution needs.
+
+    Unlike :class:`TraceEntry` (which only names the completed interval),
+    a record carries the dependency edges, the resource demands, and the
+    retry accounting — everything :mod:`repro.explain` uses to walk the
+    critical path and classify what bounded the task. ``start`` is the
+    *first attempt's* start (dependencies were satisfied then); ``end``
+    is the final completion, so a retried task's span includes its failed
+    attempts and backoff waits.
+    """
+
+    task_id: int
+    name: str
+    phase: str
+    start: float
+    end: float
+    demands: Dict[str, float] = field(default_factory=dict, compare=False)
+    dep_ids: Tuple[int, ...] = ()
+    min_seconds: float = 0.0
+    retries: int = 0
+    #: Simulated seconds spent waiting out retry backoff inside the span.
+    backoff_seconds: float = 0.0
+    #: Simulated seconds the task actually progressed (all attempts).
+    active_seconds: float = 0.0
+
+    @property
+    def span_seconds(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "name": self.name,
+            "phase": self.phase,
+            "start": self.start,
+            "end": self.end,
+            "demands": dict(self.demands),
+            "dep_ids": list(self.dep_ids),
+            "min_seconds": self.min_seconds,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "active_seconds": self.active_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskRecord":
+        return cls(
+            task_id=int(data["task_id"]),
+            name=data["name"],
+            phase=data["phase"],
+            start=float(data["start"]),
+            end=float(data["end"]),
+            demands={k: float(v) for k, v in data.get("demands", {}).items()},
+            dep_ids=tuple(int(i) for i in data.get("dep_ids", ())),
+            min_seconds=float(data.get("min_seconds", 0.0)),
+            retries=int(data.get("retries", 0)),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+            active_seconds=float(data.get("active_seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class OccupancyInterval:
+    """Resource draw during one scheduling step of the engine.
+
+    ``usage`` maps resource names to the absolute rate (units/second)
+    the running tasks collectively drew over ``[start, end)``. The
+    engine emits one interval per time-advancing scheduling round;
+    integrating ``usage[r] * (end - start)`` over all intervals
+    reproduces ``SimResult.resource_busy_units[r]``, which is the
+    cross-check :mod:`repro.explain` verifies.
+    """
+
+    start: float
+    end: float
+    usage: Dict[str, float] = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "usage": dict(self.usage),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OccupancyInterval":
+        return cls(
+            start=float(data["start"]),
+            end=float(data["end"]),
+            usage={k: float(v) for k, v in data.get("usage", {}).items()},
         )
 
 

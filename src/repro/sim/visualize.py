@@ -147,6 +147,15 @@ def chrome_trace(
     Clipped tasks are reported in ``otherData["truncated_tasks"]``.
     """
     entries, truncated = _clipped(result, max_rows)
+    counters = ()
+    if getattr(result, "occupancy", ()):
+        from repro.explain.timeline import utilization_samples
+
+        counters = [
+            (name, samples)
+            for name, samples in sorted(utilization_samples(result).items())
+            if any(value > 0 for _, value in samples)
+        ]
     events = sim_track_events(
         [(e.name, e.phase, e.start, e.end) for e in entries],
         pid=SIM_PID_BASE,
@@ -156,6 +165,7 @@ def chrome_trace(
             (e.time_s, e.kind, e.target, e.detail)
             for e in getattr(result, "fault_events", ())
         ],
+        counters=counters,
     )
     return chrome_trace_document(
         events=events,
@@ -224,7 +234,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="materialization scale divisor (default 65536)",
     )
     parser.add_argument(
-        "--format", choices=("text", "chrome", "json"), default="text"
+        "--format", choices=("text", "chrome", "json", "explain"),
+        default="text",
+        help="explain = bottleneck attribution (critical path, bound "
+        "classes, utilization) instead of the raw timeline",
     )
     parser.add_argument(
         "--output", default=None, help="write to a file instead of stdout"
@@ -263,6 +276,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             chrome_trace(run.sim, label=run.name, max_rows=args.max_rows),
             indent=1,
         )
+    elif args.format == "explain":
+        from repro import explain
+
+        explained = explain.explain(run.sim, label=run.name)
+        rendered = explain.format_explanation(
+            explained, max_rows=args.max_rows
+        )
+        problems = explained.verify()
+        if problems:
+            rendered += "\n\nexplain invariant problems:\n" + "\n".join(
+                f"  ! {p}" for p in problems
+            )
     else:
         rendered = json.dumps(
             trace_json(run.sim, max_rows=args.max_rows), indent=1

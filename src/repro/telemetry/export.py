@@ -26,6 +26,7 @@ CI) run over emitted files.
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Dict, List, Optional, Sequence
 
@@ -83,6 +84,7 @@ def sim_track_events(
     label: str,
     truncated: int = 0,
     instants: Sequence[tuple] = (),
+    counters: Sequence[tuple] = (),
 ) -> List[dict]:
     """Events for one virtual-time track.
 
@@ -93,6 +95,9 @@ def sim_track_events(
     ``instants`` are ``(time_s, kind, target, detail)`` tuples — injected
     fault events — rendered as process-scoped instant events (``ph: "i"``)
     pinned to the simulated timeline.
+    ``counters`` are ``(resource_name, [(time_s, utilization), ...])``
+    pairs — per-resource occupancy series — rendered as Perfetto counter
+    tracks (``ph: "C"``), one named counter per resource.
     """
     events: List[dict] = [_metadata(pid, "process_name", f"sim: {label}")]
     tids: Dict[str, int] = {}
@@ -126,6 +131,19 @@ def sim_track_events(
                 "args": {"target": target, "detail": detail},
             }
         )
+    for resource, samples in counters:
+        for time_s, value in samples:
+            events.append(
+                {
+                    "name": f"util:{resource}",
+                    "cat": "sim",
+                    "ph": "C",
+                    "ts": _us(time_s),
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"utilization": value},
+                }
+            )
     if truncated:
         events.append(
             _metadata(pid, "process_labels", f"{truncated} tasks clipped")
@@ -160,6 +178,7 @@ def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> Lis
                 SIM_PID_BASE + sim_index,
                 track["label"],
                 instants=track.get("instants", ()),
+                counters=track.get("counters", ()),
             )
         )
         sim_index += 1
@@ -225,7 +244,45 @@ def write_metrics(path, registry: Optional[_metrics.MetricsRegistry] = None) -> 
 
 # -- validation ----------------------------------------------------------------
 
+
+def _counter_problems(i: int, event: dict) -> List[str]:
+    """Problems with one counter (``ph: "C"``) event.
+
+    A counter sample is a named series value: every entry in ``args``
+    must be a finite, non-negative number (a NaN or negative utilization
+    sample means the occupancy bookkeeping went wrong, not the viewer).
+    """
+    name = event.get("name")
+    missing = [key for key in _COUNTER_REQUIRED_KEYS if key not in event]
+    if missing:
+        return [f"counter event {i} ({name!r}) missing {missing}"]
+    problems: List[str] = []
+    if event["ts"] < 0:
+        problems.append(f"counter event {i} ({name!r}) has negative ts")
+    args = event["args"]
+    if not isinstance(args, dict) or not args:
+        problems.append(f"counter event {i} ({name!r}) has no sample values")
+        return problems
+    for series, value in args.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(
+                f"counter event {i} ({name!r}) sample {series!r} "
+                f"is not numeric: {value!r}"
+            )
+        elif math.isnan(value) or math.isinf(value):
+            problems.append(
+                f"counter event {i} ({name!r}) sample {series!r} "
+                f"is not finite"
+            )
+        elif value < 0:
+            problems.append(
+                f"counter event {i} ({name!r}) sample {series!r} "
+                f"is negative: {value!r}"
+            )
+    return problems
+
 _REQUIRED_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+_COUNTER_REQUIRED_KEYS = ("ph", "ts", "pid", "name", "args")
 #: Slack for float µs round-tripping when checking containment.
 _NEST_EPSILON_US = 0.01
 
@@ -234,7 +291,8 @@ def validate_chrome_trace(document) -> List[str]:
     """Structural problems in a Chrome trace document ([] = well-formed).
 
     Checks the object form, the required keys on every complete event,
-    non-negative timestamps/durations, and — for host spans, which are
+    non-negative timestamps/durations, counter (``ph: "C"``) events with
+    finite non-negative numeric samples, and — for host spans, which are
     recorded with strict stack discipline — proper nesting per
     ``(pid, tid)`` (simulated tracks legitimately overlap: concurrent
     kernels share a phase thread only when sequential, but concurrent
@@ -250,6 +308,9 @@ def validate_chrome_trace(document) -> List[str]:
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             problems.append(f"event {i} is not an object")
+            continue
+        if event.get("ph") == "C":
+            problems.extend(_counter_problems(i, event))
             continue
         if event.get("ph") != "X":
             continue

@@ -142,7 +142,7 @@ class SpanCollector:
                 break
 
     def add_virtual_track(
-        self, label: str, entries, makespan: float, instants=()
+        self, label: str, entries, makespan: float, instants=(), counters=()
     ) -> None:
         track = {
             "label": label,
@@ -158,6 +158,13 @@ class SpanCollector:
             track["instants"] = [
                 (float(e.time_s), e.kind, e.target, e.detail)
                 for e in instants
+            ]
+        if counters:
+            # Utilization counter series: (name, [(time_s, value), ...])
+            # pairs rendered as Perfetto counter tracks (ph "C").
+            track["counters"] = [
+                (name, [(float(t), float(v)) for t, v in series])
+                for name, series in counters
             ]
         self.virtual_tracks.append(track)
 
@@ -244,11 +251,23 @@ def add_sim_result(result, label: Optional[str] = None) -> None:
     """
     if not _enabled:
         return
+    counters = ()
+    if getattr(result, "occupancy", ()):
+        # Lazy import: telemetry must stay importable without the
+        # explain package (and the simulator without telemetry).
+        from repro.explain.timeline import utilization_samples
+
+        counters = tuple(
+            (name, samples)
+            for name, samples in sorted(utilization_samples(result).items())
+            if any(value > 0 for _, value in samples)
+        )
     _collector.add_virtual_track(
         label or current_path() or "simulated",
         result.trace,
         result.makespan_seconds,
         instants=getattr(result, "fault_events", ()),
+        counters=counters,
     )
 
 

@@ -438,3 +438,113 @@ class TestVisualizeCli:
         )
         assert code == 0
         assert "more tasks" in capsys.readouterr().out
+
+
+class TestCounterTracks:
+    """Per-resource utilization counter (ph "C") events on sim tracks."""
+
+    def test_sim_track_emits_counter_events(self, system):
+        telemetry.enable()
+        workload = generate_workload(128, 512, scale_divisor=65536)
+        TritonJoin(system).run(workload)
+        doc = chrome_trace_document()
+        assert validate_chrome_trace(doc) == []
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert counters, "sim track should carry utilization counters"
+        names = {e["name"] for e in counters}
+        assert any(name.startswith("util:nvlink") for name in names)
+        assert all(e["pid"] >= SIM_PID_BASE for e in counters)
+
+    def test_counter_samples_are_valid_utilization(self, system):
+        telemetry.enable()
+        workload = generate_workload(128, 512, scale_divisor=65536)
+        TritonJoin(system).run(workload)
+        doc = chrome_trace_document()
+        for event in doc["traceEvents"]:
+            if event.get("ph") != "C":
+                continue
+            for value in event["args"].values():
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_counters_survive_snapshot_roundtrip(self, system):
+        telemetry.enable()
+        workload = generate_workload(128, 512, scale_divisor=65536)
+        TritonJoin(system).run(workload)
+        snapshot = telemetry.trace_snapshot(drain=True)
+        telemetry.absorb_trace(snapshot, label="worker: fig")
+        doc = chrome_trace_document()
+        assert validate_chrome_trace(doc) == []
+        assert any(e.get("ph") == "C" for e in doc["traceEvents"])
+
+    def test_fake_result_without_occupancy_still_works(self):
+        telemetry.enable()
+
+        class Fake:
+            trace = []
+            makespan_seconds = 1.0
+
+        telemetry.add_sim_result(Fake(), label="fake")
+        (track,) = telemetry.collector().virtual_tracks
+        assert "counters" not in track
+
+
+class TestCounterValidation:
+    def _counter(self, **overrides):
+        event = {
+            "ph": "C",
+            "name": "util:nvlink_to_gpu",
+            "ts": 0.0,
+            "pid": SIM_PID_BASE,
+            "tid": 0,
+            "args": {"utilization": 0.5},
+        }
+        event.update(overrides)
+        return event
+
+    def _doc(self, counter):
+        anchor = {
+            "ph": "X", "name": "a", "cat": "sim",
+            "ts": 0, "dur": 1, "pid": SIM_PID_BASE, "tid": 1,
+        }
+        return {"traceEvents": [counter, anchor]}
+
+    def test_valid_counter_passes(self):
+        assert validate_chrome_trace(self._doc(self._counter())) == []
+
+    def test_missing_args_flagged(self):
+        event = self._counter()
+        del event["args"]
+        problems = validate_chrome_trace(self._doc(event))
+        assert any("missing" in p for p in problems)
+
+    def test_empty_args_flagged(self):
+        problems = validate_chrome_trace(self._doc(self._counter(args={})))
+        assert any("no sample values" in p for p in problems)
+
+    def test_negative_sample_rejected(self):
+        problems = validate_chrome_trace(
+            self._doc(self._counter(args={"utilization": -0.1}))
+        )
+        assert any("negative" in p for p in problems)
+
+    def test_nan_sample_rejected(self):
+        problems = validate_chrome_trace(
+            self._doc(self._counter(args={"utilization": float("nan")}))
+        )
+        assert any("not finite" in p for p in problems)
+
+    def test_infinite_sample_rejected(self):
+        problems = validate_chrome_trace(
+            self._doc(self._counter(args={"utilization": float("inf")}))
+        )
+        assert any("not finite" in p for p in problems)
+
+    def test_non_numeric_sample_rejected(self):
+        problems = validate_chrome_trace(
+            self._doc(self._counter(args={"utilization": "busy"}))
+        )
+        assert any("not numeric" in p for p in problems)
+
+    def test_negative_counter_ts_rejected(self):
+        problems = validate_chrome_trace(self._doc(self._counter(ts=-1.0)))
+        assert any("negative ts" in p for p in problems)

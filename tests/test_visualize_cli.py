@@ -95,3 +95,49 @@ class TestCli:
     def test_unknown_experiment(self, capsys):
         assert cli_main(["bogus"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestExplainFormat:
+    def test_explain_format_renders_attribution(self, capsys):
+        from repro.sim.visualize import main as viz_main
+
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--format", "explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "explain: GPU Triton Join" in out
+        assert "critical path" in out
+        assert "bound classes" in out
+        assert "invariant problems" not in out
+
+    def test_explain_format_writes_file(self, tmp_path):
+        from repro.sim.visualize import main as viz_main
+
+        out = tmp_path / "explain.txt"
+        code = viz_main(
+            [
+                "triton",
+                "--size", "128",
+                "--divisor", "1048576",
+                "--format", "explain",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        assert "dominant bound class" in out.read_text()
+
+    def test_explain_on_synthetic_result(self, sim_result):
+        from repro import explain
+
+        result, pool = sim_result
+        explained = explain.explain(result, pool=pool, label="toy")
+        assert explained.verify() == []
+        # a saturates the link; b runs at half rate afterwards.
+        assert explained.average_utilization["link"] > 0.5
+        assert [s.record.name for s in explained.critical_path] == ["a", "b"]

@@ -1,0 +1,307 @@
+"""Diff two benchmark artifacts and name what moved.
+
+Three input shapes, auto-detected:
+
+- **explain documents** (``python -m repro.bench ... --explain out.json``,
+  ``{"experiments": {name: [explained run, ...]}}``) — runs are matched
+  by label within each experiment and diffed with
+  :func:`repro.explain.diff_runs`, so the output names the slowed tasks
+  *and their bounding resource*, not just the totals;
+- **perf-smoke reports** (``BENCH_kernels.json``) — per-experiment
+  wall-clock deltas;
+- **the perf trajectory** (``--history``: ``BENCH_history.json``
+  appended by ``tools/perf_smoke.py``) — diffs the last two entries.
+
+``--check-invariants`` instead audits one explain document against the
+attribution invariants (:meth:`repro.explain.ExplainedRun.verify`:
+utilization in [0, 1], bound attribution and critical path summing to
+the makespan) and exits non-zero on any violation — the CI gate.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_diff.py old.json new.json
+    PYTHONPATH=src python tools/bench_diff.py --history
+    PYTHONPATH=src python tools/bench_diff.py --check-invariants run.json
+    PYTHONPATH=src python tools/bench_diff.py a.json b.json --fail-regression 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import explain  # noqa: E402
+
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.json"
+
+
+def _load(path: pathlib.Path) -> dict:
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"bench_diff: cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"bench_diff: {path} is not JSON: {exc}")
+    if not isinstance(document, dict):
+        raise SystemExit(f"bench_diff: {path} is not a JSON object")
+    return document
+
+
+def _kind(document: dict) -> str:
+    """'explain', 'smoke', or 'history', from the document's shape."""
+    if isinstance(document.get("entries"), list):
+        return "history"
+    experiments = document.get("experiments")
+    if isinstance(experiments, dict) and experiments:
+        value = next(iter(experiments.values()))
+        return "explain" if isinstance(value, list) else "smoke"
+    return "explain" if "experiments" in document else "smoke"
+
+
+# -- smoke-report timing diffs --------------------------------------------------
+
+
+def diff_smoke(a: dict, b: dict, label_a: str, label_b: str) -> List[str]:
+    """Per-experiment wall-clock deltas between two smoke reports."""
+    times_a = a.get("experiments") or {}
+    times_b = b.get("experiments") or {}
+    lines = [f"smoke diff: {label_a}  ->  {label_b}"]
+    shared = sorted(set(times_a) & set(times_b))
+    if not shared:
+        lines.append("  (no shared experiments)")
+        return lines
+    movers: List[Tuple[float, str]] = []
+    for name in shared:
+        old, new = times_a[name], times_b[name]
+        delta = new - old
+        movers.append((delta, name))
+        sign = "+" if delta >= 0 else "-"
+        factor = f" ({new / old:.2f}x)" if old > 0 else ""
+        lines.append(
+            f"  {name:>16} {old:8.3f}s -> {new:8.3f}s  "
+            f"{sign}{abs(delta):.3f}s{factor}"
+        )
+    old_total = sum(times_a[name] for name in shared)
+    new_total = sum(times_b[name] for name in shared)
+    delta = new_total - old_total
+    sign = "+" if delta >= 0 else "-"
+    lines.append(
+        f"  {'total':>16} {old_total:8.3f}s -> {new_total:8.3f}s  "
+        f"{sign}{abs(delta):.3f}s"
+    )
+    worst = max(movers)
+    if worst[0] > 0:
+        lines.append(
+            f"  biggest regression: {worst[1]} (+{worst[0]:.3f}s)"
+        )
+    only_a = sorted(set(times_a) - set(times_b))
+    only_b = sorted(set(times_b) - set(times_a))
+    if only_a:
+        lines.append(f"  only in {label_a}: {', '.join(only_a)}")
+    if only_b:
+        lines.append(f"  only in {label_b}: {', '.join(only_b)}")
+    return lines
+
+
+def _smoke_factor(a: dict, b: dict) -> float:
+    """New/old total over shared experiments (0 when not comparable)."""
+    times_a = a.get("experiments") or {}
+    times_b = b.get("experiments") or {}
+    shared = set(times_a) & set(times_b)
+    old_total = sum(times_a[name] for name in shared)
+    if old_total <= 0:
+        return 0.0
+    return sum(times_b[name] for name in shared) / old_total
+
+
+# -- explain-document diffs -----------------------------------------------------
+
+
+def _runs_by_label(document: dict) -> Dict[str, Dict[str, dict]]:
+    """{experiment: {run label: run dict}} for one explain document."""
+    indexed: Dict[str, Dict[str, dict]] = {}
+    for name, runs in (document.get("experiments") or {}).items():
+        indexed[name] = {run.get("label", str(i)): run
+                         for i, run in enumerate(runs)}
+    return indexed
+
+
+def diff_explain(a: dict, b: dict, label_a: str, label_b: str) -> List[str]:
+    """Attributed diffs for every run present in both explain documents."""
+    runs_a, runs_b = _runs_by_label(a), _runs_by_label(b)
+    lines = [f"explain diff: {label_a}  ->  {label_b}"]
+    compared = 0
+    for name in sorted(set(runs_a) & set(runs_b)):
+        for label in sorted(set(runs_a[name]) & set(runs_b[name])):
+            run_a = explain.ExplainedRun.from_dict(runs_a[name][label])
+            run_b = explain.ExplainedRun.from_dict(runs_b[name][label])
+            diff = explain.diff_runs(run_a, run_b)
+            compared += 1
+            if abs(diff.makespan_delta) < 1e-12:
+                continue
+            lines.append("")
+            lines.append(explain.format_diff(diff))
+    unmatched_a = sum(
+        len(set(runs_a[name]) - set(runs_b.get(name, {}))) for name in runs_a
+    )
+    unmatched_b = sum(
+        len(set(runs_b[name]) - set(runs_a.get(name, {}))) for name in runs_b
+    )
+    lines.append("")
+    summary = f"compared {compared} run(s)"
+    if unmatched_a or unmatched_b:
+        summary += (
+            f"; unmatched: {unmatched_a} only in {label_a}, "
+            f"{unmatched_b} only in {label_b}"
+        )
+    lines.append(summary)
+    return lines
+
+
+def _explain_factor(a: dict, b: dict) -> float:
+    """Summed-makespan ratio over runs present in both documents."""
+    runs_a, runs_b = _runs_by_label(a), _runs_by_label(b)
+    old_total = new_total = 0.0
+    for name in set(runs_a) & set(runs_b):
+        for label in set(runs_a[name]) & set(runs_b[name]):
+            old_total += runs_a[name][label].get("makespan_seconds", 0.0)
+            new_total += runs_b[name][label].get("makespan_seconds", 0.0)
+    if old_total <= 0:
+        return 0.0
+    return new_total / old_total
+
+
+# -- invariant audit ------------------------------------------------------------
+
+
+def check_invariants(document: dict) -> List[str]:
+    """Every invariant violation in an explain document ([] = clean)."""
+    problems: List[str] = []
+    for name, runs in sorted((document.get("experiments") or {}).items()):
+        for run_dict in runs:
+            run = explain.ExplainedRun.from_dict(run_dict)
+            for problem in run.verify():
+                problems.append(f"{name} / {run.label}: {problem}")
+    return problems
+
+
+# -- history --------------------------------------------------------------------
+
+
+def last_two_entries(path: pathlib.Path) -> Tuple[dict, dict, str, str]:
+    """The trajectory's last two entries as (a, b, label_a, label_b)."""
+    entries = _load(path).get("entries")
+    if not isinstance(entries, list) or len(entries) < 2:
+        raise SystemExit(
+            f"bench_diff: {path} has fewer than two history entries; "
+            "run tools/perf_smoke.py to append one"
+        )
+    a, b = entries[-2], entries[-1]
+    return (
+        a,
+        b,
+        a.get("timestamp", "entry[-2]"),
+        b.get("timestamp", "entry[-1]"),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_diff.py",
+        description="Diff two benchmark artifacts and name what moved.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="two reports to diff (explain documents or smoke reports)",
+    )
+    parser.add_argument(
+        "--history",
+        nargs="?",
+        type=pathlib.Path,
+        const=DEFAULT_HISTORY,
+        default=None,
+        metavar="PATH",
+        help="diff the last two entries of the perf trajectory "
+        f"(default {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--check-invariants",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="audit one explain document against the attribution "
+        "invariants; exits 1 on any violation",
+    )
+    parser.add_argument(
+        "--fail-regression",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit 1 when the shared total (seconds or makespan) grows "
+        "by more than FACTOR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check_invariants is not None:
+        document = _load(args.check_invariants)
+        if _kind(document) != "explain":
+            parser.error(
+                f"{args.check_invariants} is not an explain document"
+            )
+        problems = check_invariants(document)
+        runs = sum(
+            len(runs) for runs in (document.get("experiments") or {}).values()
+        )
+        if problems:
+            print(f"{len(problems)} invariant violation(s) in {runs} run(s):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        print(f"all invariants hold over {runs} explained run(s)")
+        return 0
+
+    if args.history is not None:
+        if args.paths:
+            parser.error("--history takes no positional reports")
+        a, b, label_a, label_b = last_two_entries(args.history)
+        print("\n".join(diff_smoke(a, b, label_a, label_b)))
+        factor = _smoke_factor(a, b)
+    else:
+        if len(args.paths) != 2:
+            parser.error("expected exactly two report paths (or --history)")
+        path_a, path_b = args.paths
+        a, b = _load(path_a), _load(path_b)
+        kind_a, kind_b = _kind(a), _kind(b)
+        if kind_a != kind_b:
+            parser.error(
+                f"cannot diff a {kind_a} document against a {kind_b} one"
+            )
+        if kind_a == "history":
+            parser.error("pass a trajectory via --history, not positionally")
+        if kind_a == "explain":
+            print("\n".join(diff_explain(a, b, str(path_a), str(path_b))))
+            factor = _explain_factor(a, b)
+        else:
+            print("\n".join(diff_smoke(a, b, str(path_a), str(path_b))))
+            factor = _smoke_factor(a, b)
+
+    if args.fail_regression is not None and factor > args.fail_regression:
+        print(
+            f"bench_diff FAILED: {factor:.2f}x the baseline's shared total "
+            f"(> {args.fail_regression:g}x allowed)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

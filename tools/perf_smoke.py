@@ -9,8 +9,11 @@ instead of binary search — the radix-window fanout is planned from the
 *nominal* size, so only lowering the divisor grows the build side
 relative to the slot space). Writes the timings to
 ``BENCH_kernels.json`` in the repo root, with per-experiment speedups
-against the previously committed report. CI runs this to catch
-functional-layer performance regressions::
+against the previously committed report, and **appends** a timestamped
+entry to ``BENCH_history.json`` — the perf trajectory
+``tools/bench_diff.py --history`` reads (the latest report alone only
+ever shows one hop; the history shows the trend). CI runs this to
+catch functional-layer performance regressions::
 
     PYTHONPATH=src python tools/perf_smoke.py
     PYTHONPATH=src python tools/perf_smoke.py --fail-over 60 --fail-regression 2
@@ -24,6 +27,7 @@ FACTOR — together they turn the smoke into a hard gate.
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import pathlib
 import platform
@@ -56,6 +60,11 @@ SMOKE_RUNS = (
 )
 DEFAULT_DIVISOR = 16384.0
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.json"
+
+#: History entries kept (oldest dropped first); bounds the committed
+#: file while keeping enough trajectory for trend plots.
+HISTORY_LIMIT = 200
 
 
 def _metric_counters(delta: dict) -> dict:
@@ -97,6 +106,40 @@ def run_smoke(divisor: float, use_cache: bool = True, runs=SMOKE_RUNS) -> dict:
         "run_cache": cache_stats,
         "metrics": metrics,
     }
+
+
+def append_history(
+    path: pathlib.Path, report: dict, limit: int = HISTORY_LIMIT
+) -> dict:
+    """Append a timestamped entry to the trajectory file at ``path``.
+
+    Unlike the report file (overwritten every run), the history
+    accumulates: ``{"entries": [{"timestamp": ..., "experiments": ...,
+    "total_seconds": ...}, ...]}``, oldest first, capped at ``limit``.
+    A corrupt or missing file restarts the trajectory rather than
+    failing the smoke.
+    """
+    try:
+        document = json.loads(path.read_text())
+        entries = document.get("entries")
+        if not isinstance(entries, list):
+            entries = []
+    except (OSError, ValueError):
+        entries = []
+    entries.append(
+        {
+            "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .isoformat(timespec="seconds")
+            .replace("+00:00", "Z"),
+            "divisor": report["divisor"],
+            "python": report["python"],
+            "experiments": dict(report["experiments"]),
+            "total_seconds": report["total_seconds"],
+        }
+    )
+    document = {"entries": entries[-limit:]}
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return document
 
 
 def load_previous(path: pathlib.Path) -> dict:
@@ -180,6 +223,19 @@ def main(argv=None) -> int:
         help="compare against this report instead of --output (so a "
         "gate can read the committed baseline without clobbering it)",
     )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help="perf trajectory file to append a timestamped entry to "
+        f"(default {DEFAULT_HISTORY.name}; see tools/bench_diff.py)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending to the trajectory file",
+    )
     args = parser.parse_args(argv)
 
     runs = SMOKE_RUNS
@@ -201,6 +257,8 @@ def main(argv=None) -> int:
     report = run_smoke(args.divisor, use_cache=not args.no_cache, runs=runs)
     add_speedups(report, previous)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+    if not args.no_history:
+        append_history(args.history, report)
     print(json.dumps(report, indent=2))
     failed = False
     if args.fail_over is not None and report["total_seconds"] > args.fail_over:
