@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     fig24_sm_scaling,
     tab01_design_goals,
     ablations,
+    ext_coprocess,
     ext_interconnect,
     ext_scaling,
     ext_robustness,
@@ -50,6 +51,7 @@ ALL_EXPERIMENTS = {
     "fig24": fig24_sm_scaling,
     "tab01": tab01_design_goals,
     "ablations": ablations,
+    "ext_coprocess": ext_coprocess,
     "ext_interconnect": ext_interconnect,
     "ext_scaling": ext_scaling,
     "ext_robustness": ext_robustness,

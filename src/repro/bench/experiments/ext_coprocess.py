@@ -1,0 +1,66 @@
+"""Extension: co-processing split-ratio sweep.
+
+The co-processing join assigns the first ``boundary`` radix partitions
+to the GPU and the rest to the CPU; the single knob is the CPU
+fraction of the partition range. This experiment sweeps that fraction
+over a fixed grid and overlays the advisor's pick
+(:meth:`repro.advisor.JoinAdvisor.recommend_split`), so the table shows
+both how sharp the optimum is and how close the golden-section search
+lands to the empirical argmin — the property the Hypothesis tests
+assert within one search step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.advisor import JoinAdvisor
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import DEFAULT_SCALE_DIVISOR, default_workload
+from repro.hw.specs import ac922
+from repro.join import CoProcessingJoin
+from repro.units import M_TUPLES
+
+DEFAULT_FRACTIONS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 1.0)
+DEFAULT_SIZE = 512
+
+
+def run(
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    size_m: int = DEFAULT_SIZE,
+    scale_divisor: float = DEFAULT_SCALE_DIVISOR,
+) -> ExperimentTable:
+    """Throughput vs. pinned CPU fraction, with the advisor's pick."""
+    system = ac922()
+    workload = default_workload(size_m, size_m, scale_divisor=scale_divisor)
+    table = ExperimentTable(
+        experiment="ext_coprocess",
+        title=f"Extension: co-processing split sweep "
+        f"({size_m}M tuples/relation)",
+        columns=[f"cpu={f:g}" for f in fractions],
+        unit="G tuples/s",
+    )
+    values = {}
+    for fraction in fractions:
+        op = CoProcessingJoin(system, cpu_fraction=fraction)
+        values[f"cpu={fraction:g}"] = op.run(
+            workload
+        ).throughput_g_tuples_per_s
+    table.add_row("Co-Processing (pinned split)", values)
+
+    advisor = JoinAdvisor(system)
+    plan = advisor.recommend_split(
+        workload.build.nominal_rows / M_TUPLES,
+        workload.probe.nominal_rows / M_TUPLES,
+    )
+    best = max(values, key=lambda column: values[column])
+    table.add_note(
+        f"advisor picks cpu_fraction={plan.cpu_fraction:.3f} "
+        f"({plan.speedup_vs_best_single:.2f}x vs best single backend, "
+        f"seeded at {plan.seeded_fraction:.3f}); grid argmax {best}"
+    )
+    table.add_note(
+        "cpu=0 is all-GPU (Triton path), cpu=1 all-CPU (radix path); "
+        "the interior optimum is where both pools finish together"
+    )
+    return table

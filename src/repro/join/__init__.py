@@ -18,13 +18,19 @@ against a reference join) and all costed against the hardware simulator:
 
 from repro.join import run_cache
 from repro.join.base import JoinOperator, JoinRun, reference_join
-from repro.join.ladder import DegradationLadder, Rung, default_rungs
+from repro.join.ladder import (
+    DegradationLadder,
+    Rung,
+    coprocess_rungs,
+    default_rungs,
+)
 from repro.join.batched import batched_radix_join, batched_radix_join_arrays
 from repro.join.caching import CachePolicy, CachePlan, plan_cache
 from repro.join.no_partitioning import NoPartitioningJoin
 from repro.join.cpu_radix import CpuRadixJoin
 from repro.join.cpu_partitioned import CpuPartitionedJoin
 from repro.join.triton import TritonJoin
+from repro.join.coprocess import CoProcessingJoin
 from repro.join.multi_gpu import MultiGpuTritonJoin
 from repro.join.filters import BloomFilter, BloomFilteredTritonJoin
 
@@ -33,6 +39,7 @@ __all__ = [
     "BloomFilteredTritonJoin",
     "CachePlan",
     "CachePolicy",
+    "CoProcessingJoin",
     "CpuPartitionedJoin",
     "CpuRadixJoin",
     "DegradationLadder",
@@ -43,6 +50,7 @@ __all__ = [
     "Rung",
     "TritonJoin",
     "batched_radix_join",
+    "coprocess_rungs",
     "default_rungs",
     "batched_radix_join_arrays",
     "plan_cache",

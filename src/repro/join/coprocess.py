@@ -1,0 +1,407 @@
+"""CPU+GPU co-processing join: one join split across both processors.
+
+The Triton join keeps the GPU busy while the CPU mostly feeds it;
+"Revisiting Co-Processing for Hash Joins on the Coupled CPU-GPU
+Architecture" (PAPERS.md) shows that a single join goes faster when
+*both* processors work on disjoint slices of the same partitioned
+state. :class:`CoProcessingJoin` implements that strategy on the Triton
+machinery:
+
+- The join's radix space (the first-pass partitions) is split into two
+  **contiguous partition ranges**: partitions ``[0, gpu_partitions)``
+  run the Triton grouped-kernel path end to end (GPU-partitioned,
+  hybrid-cached, pipelined second pass + join), partitions
+  ``[gpu_partitions, fanout)`` run the multi-core CPU radix-join path
+  (SWWC partitioning + cache-resident joins).
+- Both sides execute **concurrently** in one simulated task graph: the
+  GPU side's kernels and the CPU side's partition/join tasks share the
+  machine's resource pools (the GPU's first pass reads base relations
+  out of CPU memory, so both sides genuinely contend for
+  ``cpu_mem_bw`` — the co-processing tax is emergent, not modeled).
+- Functionally each side joins only its own partitions' tuples; hash
+  partitions are disjoint, so merging the two :class:`JoinMatch`
+  summaries is exact and byte-identical to the single-backend reference
+  path (``reference=True`` computes the whole join in one pass for the
+  cross-check, like PRs 1-2's reference modes).
+
+The split fraction is a cost decision: :meth:`repro.advisor.JoinAdvisor.
+recommend_split` searches it through this operator (golden-section over
+the fraction, seeded by the Fig. 16b partitioning-throughput ratio).
+``cpu_fraction=None`` asks the advisor at run time.
+
+Under faults the operator **collapses to the surviving processor**
+instead of failing: a GPU capacity loss or a permanent GPU task fault
+re-plans all partitions CPU-ward (``cpu_fraction=1.0``), a permanent
+CPU-side task fault re-plans them GPU-ward (``cpu_fraction=0.0``); soft
+degradation (bandwidth brownouts) shifts the advisor's cost optimum
+instead. The degradation ladder's ``coprocess`` rung
+(:func:`repro.join.ladder.coprocess_rungs`) sits on top of the standard
+ladder and therefore only falls through when *both* processors are gone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+from repro.data.generator import Workload
+from repro.errors import CapacityError, ConfigurationError, TaskFailedError
+from repro.hashing.functions import hash_u64, radix_window
+from repro.hashing.hash_table import HashScheme
+from repro.hw.cpu import CpuModel
+from repro.join import base
+from repro.join.base import JoinMatch, JoinOperator, JoinRun
+from repro.join.batched import batched_radix_join
+from repro.join.cpu_radix import JOIN_OPS, radix_bits_for
+from repro.join.triton import TritonJoin
+from repro.partition.planner import plan_radix_join
+from repro.partition.swwc import CpuSwwcPartitioner
+from repro.sim.engine import SimEngine
+from repro.sim.kernels import CpuTaskBuilder
+from repro.sim.resources import ResourcePool
+from repro.sim.tasks import Task, TaskGraph
+
+#: The checksum modulus of :meth:`JoinMatch.from_arrays`; partition-wise
+#: sums merge exactly under it.
+_CHECKSUM_MOD = 2**62
+
+#: Functional radix width cap shared with the single-backend operators.
+_MAX_FUNCTIONAL_BITS = 10
+
+#: Operator display name (the bench gate greps explain labels for it).
+CO_PROCESS_NAME = "Co-Processing Join (CPU+GPU)"
+
+
+def merge_matches(left: JoinMatch, right: JoinMatch) -> JoinMatch:
+    """Combine two disjoint partition ranges' join summaries exactly."""
+    return JoinMatch(
+        matches=left.matches + right.matches,
+        key_checksum=(left.key_checksum + right.key_checksum)
+        % _CHECKSUM_MOD,
+        payload_checksum=(left.payload_checksum + right.payload_checksum)
+        % _CHECKSUM_MOD,
+    )
+
+
+def _empty_match() -> JoinMatch:
+    empty = np.empty(0, dtype=np.int64)
+    return JoinMatch.from_arrays(empty, empty)
+
+
+class CoProcessingJoin(JoinOperator):
+    """One join, cost-split across the CPU and the GPU concurrently."""
+
+    def __init__(
+        self,
+        system,
+        cpu_fraction: Optional[float] = None,
+        scheme: HashScheme = HashScheme.BUCKET_CHAINING,
+        cpu_scheme: HashScheme = HashScheme.PERFECT,
+        pipeline_chunks: Optional[int] = None,
+        reference: bool = False,
+        label: Optional[str] = None,
+    ) -> None:
+        super().__init__(system)
+        if cpu_fraction is not None and not 0.0 <= cpu_fraction <= 1.0:
+            raise ConfigurationError("cpu_fraction must be in [0, 1]")
+        if cpu_scheme not in JOIN_OPS:
+            raise ConfigurationError(
+                f"unsupported CPU-side scheme: {cpu_scheme}"
+            )
+        self.cpu_fraction = cpu_fraction
+        self.scheme = scheme
+        self.cpu_scheme = cpu_scheme
+        self.pipeline_chunks = pipeline_chunks
+        self.reference = reference
+        self.name = label or CO_PROCESS_NAME
+
+    # -- split geometry ---------------------------------------------------------
+
+    def split_bits(self, workload: Workload) -> int:
+        """Radix width of the split space (the functional bits1 cap)."""
+        plan = plan_radix_join(
+            workload.build.nominal_rows,
+            workload.probe.nominal_rows,
+            workload.build.tuple_bytes,
+            self.system,
+        )
+        return min(plan.bits1, _MAX_FUNCTIONAL_BITS)
+
+    def gpu_partitions(self, fanout: int, cpu_fraction: float) -> int:
+        """Partitions ``[0, boundary)`` assigned to the GPU side."""
+        return int(round(fanout * (1.0 - cpu_fraction)))
+
+    def _split_workload(
+        self, workload: Workload, bits: int, boundary: int
+    ) -> Tuple[Workload, Workload]:
+        """The GPU- and CPU-side sub-workloads (contiguous radix ranges).
+
+        Rows route by the same hashed-key radix window every partitioner
+        uses, so "partitions [0, boundary) on the GPU" is exactly the
+        contiguous range a real first pass would hand over. ``take``
+        scales each side's nominal cardinality by its measured share,
+        which keeps the cost model skew-aware.
+        """
+        sides = []
+        for relation in (workload.build, workload.probe):
+            selector = radix_window(hash_u64(relation.keys), bits, 0)
+            on_gpu = selector < boundary
+            sides.append(
+                (
+                    relation.take(np.nonzero(on_gpu)[0]),
+                    relation.take(np.nonzero(~on_gpu)[0]),
+                )
+            )
+        (build_gpu, build_cpu), (probe_gpu, probe_cpu) = sides
+        gpu = Workload(config=workload.config, build=build_gpu, probe=probe_gpu)
+        cpu = Workload(config=workload.config, build=build_cpu, probe=probe_cpu)
+        return gpu, cpu
+
+    # -- functional -------------------------------------------------------------
+
+    def _functional_join(
+        self, workload: Workload, bits: int, boundary: int
+    ) -> JoinMatch:
+        """Join each side's partitions, merge the summaries.
+
+        ``reference=True`` is the single-backend reference path: the
+        whole workload through one batched radix join, which the split
+        path must match byte for byte (hash partitions are disjoint and
+        the checksums are modular sums, so they do).
+        """
+        plan = plan_radix_join(
+            workload.build.nominal_rows,
+            workload.probe.nominal_rows,
+            workload.build.tuple_bytes,
+            self.system,
+        )
+        if self.reference:
+            return batched_radix_join(
+                workload.build, workload.probe, bits, plan.bits2
+            )
+        gpu, cpu = self._split_workload(workload, bits, boundary)
+        match = _empty_match()
+        if len(gpu.build) and len(gpu.probe):
+            match = merge_matches(
+                match,
+                batched_radix_join(gpu.build, gpu.probe, bits, plan.bits2),
+            )
+        if len(cpu.build) and len(cpu.probe):
+            cpu_bits = radix_bits_for(max(cpu.build.nominal_rows, 1))
+            match = merge_matches(
+                match, batched_radix_join(cpu.build, cpu.probe, cpu_bits)
+            )
+        return match
+
+    # -- cost -------------------------------------------------------------------
+
+    def _cpu_side_tasks(self, side: Workload, tuple_bytes: int) -> List[Task]:
+        """The CPU radix-join pipeline over the CPU-side partitions."""
+        cpu = CpuModel(self.system.cpu)
+        partitioner = CpuSwwcPartitioner(cpu)
+        builder = CpuTaskBuilder(cpu)
+        build_tuples = float(side.build.nominal_rows)
+        probe_tuples = float(side.probe.nominal_rows)
+        total_tuples = build_tuples + probe_tuples
+        bits = radix_bits_for(max(side.build.nominal_rows, 1))
+        part_work = partitioner.work(total_tuples, tuple_bytes, 1 << bits)
+        partition_task = builder.build(
+            name="cpu_part",
+            phase="CPU Partition",
+            read_bytes=part_work.read_bytes,
+            write_bytes=part_work.write_bytes,
+            operations=part_work.operations,
+            tuples=total_tuples,
+        )
+        build_ops, probe_ops = JOIN_OPS[self.cpu_scheme]
+        result_writes = base.result_bytes(probe_tuples)
+        write_bytes = result_writes * (
+            1.0 if partitioner.non_temporal_stores else 2.0
+        )
+        join_task = builder.build(
+            name="cpu_join",
+            phase="CPU Join",
+            read_bytes=total_tuples * tuple_bytes,
+            write_bytes=write_bytes,
+            operations=build_tuples * build_ops + probe_tuples * probe_ops,
+            tuples=total_tuples,
+        ).depends_on(partition_task)
+        return [partition_task, join_task]
+
+    def _gpu_operator(self) -> TritonJoin:
+        kwargs = {"scheme": self.scheme}
+        if self.pipeline_chunks is not None:
+            kwargs["pipeline_chunks"] = self.pipeline_chunks
+        return TritonJoin(self.system, **kwargs)
+
+    def build_graph(
+        self, workload: Workload, bits: int, boundary: int
+    ) -> TaskGraph:
+        """Both sides' task DAGs in one graph, no cross dependencies.
+
+        The engine schedules them against the shared resource pools, so
+        contention (the GPU's first-pass reads vs. the CPU side's
+        partitioning traffic, both on ``cpu_mem_bw``) emerges from the
+        fluid allocation rather than being hand-modeled.
+        """
+        fanout = 1 << bits
+        gpu_side, cpu_side = self._split_workload(workload, bits, boundary)
+        graph = TaskGraph()
+        if boundary > 0 and gpu_side.total_nominal_tuples > 0:
+            graph.extend(self._gpu_operator().build_graph(gpu_side).tasks)
+        if boundary < fanout and cpu_side.total_nominal_tuples > 0:
+            graph.extend(
+                self._cpu_side_tasks(cpu_side, workload.build.tuple_bytes)
+            )
+        if not graph.tasks:
+            raise ConfigurationError(
+                "co-processing split produced an empty task graph"
+            )
+        return graph
+
+    # -- per-side utilization ---------------------------------------------------
+
+    @staticmethod
+    def _busy_seconds(records, pool_resources: Tuple[str, ...]) -> float:
+        """Union length of intervals of tasks demanding the pool."""
+        intervals = sorted(
+            (record.start, record.end)
+            for record in records
+            if any(
+                record.demands.get(resource, 0.0) > 0
+                for resource in pool_resources
+            )
+        )
+        busy = 0.0
+        cursor = None
+        for start, end in intervals:
+            if cursor is None or start > cursor:
+                busy += end - start
+                cursor = end
+            elif end > cursor:
+                busy += end - cursor
+                cursor = end
+        return float(busy)
+
+    def _side_utilization(self, sim) -> Dict[str, float]:
+        """Busy seconds and idle fractions for each processor pool.
+
+        "Busy" means a task demanding the pool's compute resource was in
+        flight (GPU: ``gpu_sm``; CPU: ``cpu_cores`` — the CPU-located
+        prefix sums of the Triton pipeline count as CPU work too).
+        """
+        records = sim.task_records
+        makespan = sim.makespan_seconds
+        gpu_busy = self._busy_seconds(
+            records,
+            ("gpu_sm", "gpu_mem_bw", "nvlink_to_gpu", "nvlink_to_cpu"),
+        )
+        cpu_busy = self._busy_seconds(records, ("cpu_cores",))
+
+        def idle(busy: float) -> float:
+            if makespan <= 0:
+                return 0.0
+            return max(0.0, 1.0 - busy / makespan)
+
+        def bound(resources) -> Optional[str]:
+            # The side's dominant resource by delivered-units share of
+            # its capacity: "what would this side hit first if pushed?"
+            shares = {
+                name: sim.resource_busy_units.get(name, 0.0)
+                / sim.resource_capacities[name]
+                for name in resources
+                if sim.resource_capacities.get(name)
+            }
+            if not shares or max(shares.values()) <= 0:
+                return None
+            return max(shares, key=lambda name: (shares[name], name))
+
+        return {
+            "gpu_busy_seconds": gpu_busy,
+            "cpu_busy_seconds": cpu_busy,
+            "gpu_idle_fraction": idle(gpu_busy),
+            "cpu_idle_fraction": idle(cpu_busy),
+            "gpu_bound": bound(
+                ("gpu_sm", "gpu_mem_bw", "nvlink_to_gpu", "nvlink_to_cpu")
+            ),
+            "cpu_bound": bound(("cpu_cores", "cpu_mem_bw")),
+        }
+
+    # -- execution --------------------------------------------------------------
+
+    def _run_at(self, workload: Workload, cpu_fraction: float) -> JoinRun:
+        bits = self.split_bits(workload)
+        fanout = 1 << bits
+        boundary = self.gpu_partitions(fanout, cpu_fraction)
+        with telemetry.span(
+            "functional", reference=self.reference, boundary=boundary
+        ):
+            match = self._functional_join(workload, bits, boundary)
+        with telemetry.span("simulate", cpu_fraction=cpu_fraction):
+            graph = self.build_graph(workload, bits, boundary)
+            engine = SimEngine(ResourcePool.for_system(self.system))
+            sim = engine.run(graph)
+        run = JoinRun(
+            name=self.name,
+            workload=workload,
+            match=match,
+            seconds=sim.makespan_seconds,
+            counters=sim.counters,
+            sim=sim,
+            uses_gpu=boundary > 0,
+        )
+        run.notes["cpu_fraction"] = 1.0 - boundary / fanout
+        run.notes["split"] = {
+            "bits": bits,
+            "fanout": fanout,
+            "gpu_partitions": boundary,
+            "cpu_partitions": fanout - boundary,
+            "requested_cpu_fraction": cpu_fraction,
+        }
+        run.notes["utilization"] = self._side_utilization(sim)
+        return run
+
+    def run(self, workload: Workload) -> JoinRun:
+        fraction = self.cpu_fraction
+        split_plan = None
+        if fraction is None:
+            from repro.advisor import JoinAdvisor
+            from repro.units import M_TUPLES
+
+            split_plan = JoinAdvisor(self.system).recommend_split(
+                workload.build.nominal_rows / M_TUPLES,
+                workload.probe.nominal_rows / M_TUPLES,
+                on_error="skip",
+            )
+            fraction = split_plan.cpu_fraction
+        try:
+            run = self._run_at(workload, fraction)
+        except CapacityError as error:
+            # GPU memory shrunk below the Triton pipeline reservation:
+            # every partition shifts CPU-ward.
+            run = self._run_at(workload, 1.0)
+            run.notes["collapsed"] = {
+                "to": "cpu",
+                "reason": f"{type(error).__name__}: {error}",
+            }
+        except TaskFailedError as error:
+            # A permanent kernel failure on one side: collapse onto the
+            # surviving processor (and let a second failure propagate —
+            # the degradation ladder takes over from there).
+            survivor_fraction = 1.0 if error.gpu else 0.0
+            run = self._run_at(workload, survivor_fraction)
+            run.notes["collapsed"] = {
+                "to": "cpu" if error.gpu else "gpu",
+                "reason": f"{type(error).__name__}: {error}",
+            }
+        if split_plan is not None:
+            run.notes["split_plan"] = {
+                "cpu_fraction": split_plan.cpu_fraction,
+                "seconds": split_plan.seconds,
+                "seconds_all_gpu": split_plan.seconds_all_gpu,
+                "seconds_all_cpu": split_plan.seconds_all_cpu,
+                "seeded_fraction": split_plan.seeded_fraction,
+            }
+        return run

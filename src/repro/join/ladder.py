@@ -68,6 +68,29 @@ def default_rungs() -> Tuple[Rung, ...]:
     )
 
 
+def coprocess_rungs() -> Tuple[Rung, ...]:
+    """The co-processing ladder: both processors first, then the rest.
+
+    The top rung runs :class:`~repro.join.coprocess.CoProcessingJoin`
+    with the advisor-searched split. It is *not* marked ``needs_gpu``:
+    the operator collapses onto the surviving processor internally
+    (all-CPU on a GPU capacity loss or GPU-attributed task failure,
+    all-GPU on a CPU-side failure), so a GPU marked unhealthy by a
+    deeper rung's failure must not skip it — it still runs CPU-only.
+    Only when *both* collapse targets fail does it fall through to the
+    standard ladder below.
+    """
+    from repro.join.coprocess import CoProcessingJoin
+
+    return (
+        Rung(
+            "coprocess",
+            lambda system: CoProcessingJoin(system),
+            needs_gpu=False,
+        ),
+    ) + default_rungs()
+
+
 #: Errors that mean "this rung cannot complete here" (fall through) as
 #: opposed to caller bugs (ConfigurationError etc.), which propagate.
 _FALLTHROUGH = (CapacityError, TaskFailedError, PlanError)

@@ -38,6 +38,9 @@ _ATOMS = (type(None), bool, int, float, str, bytes, complex)
 
 #: Operators whose run() results may be cached (keyed structurally).
 _cache: Dict[Tuple, Any] = {}
+#: Advisor split plans (:class:`repro.advisor.SplitPlan`), keyed per
+#: (workload cardinalities, system, fault plan) by the advisor.
+_plan_cache: Dict[Any, Any] = {}
 _enabled = False
 
 
@@ -50,6 +53,10 @@ def __getattr__(name: str):
         return {
             "hits": telemetry.registry.counter("run_cache.hits"),
             "misses": telemetry.registry.counter("run_cache.misses"),
+            "plan_hits": telemetry.registry.counter("run_cache.plan_hits"),
+            "plan_misses": telemetry.registry.counter(
+                "run_cache.plan_misses"
+            ),
         }
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
@@ -145,11 +152,34 @@ def enabled() -> bool:
 
 def clear() -> None:
     _cache.clear()
+    _plan_cache.clear()
     telemetry.registry.reset(prefix="run_cache.")
 
 
 def size() -> int:
     return len(_cache)
+
+
+def cached_plan(key: Any) -> Any:
+    """A memoized advisor split plan for ``key`` (None on miss/disabled).
+
+    Split plans are immutable frozen dataclasses, so unlike run
+    memoization no defensive copy is needed on a hit.
+    """
+    if not _enabled:
+        return None
+    hit = _plan_cache.get(key)
+    if hit is not None:
+        telemetry.registry.count("run_cache.plan_hits")
+    else:
+        telemetry.registry.count("run_cache.plan_misses")
+    return hit
+
+
+def store_plan(key: Any, plan: Any) -> None:
+    """Memoize an advisor split plan (no-op while the cache is off)."""
+    if _enabled:
+        _plan_cache[key] = plan
 
 
 def cached_run(run_method: Callable) -> Callable:

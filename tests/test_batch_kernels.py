@@ -308,7 +308,9 @@ class TestRunCache:
     def test_disabled_by_default(self):
         workload = generate_workload(1, 1, seed=3)
         CpuRadixJoin(SYSTEM).run(workload)
-        assert run_cache.stats == {"hits": 0, "misses": 0}
+        assert run_cache.stats == {
+            "hits": 0, "misses": 0, "plan_hits": 0, "plan_misses": 0
+        }
 
     def test_hit_returns_equal_run(self):
         run_cache.enable()
@@ -316,7 +318,9 @@ class TestRunCache:
         operator = CpuRadixJoin(SYSTEM)
         first = operator.run(workload)
         second = operator.run(workload)
-        assert run_cache.stats == {"hits": 1, "misses": 1}
+        assert run_cache.stats == {
+            "hits": 1, "misses": 1, "plan_hits": 0, "plan_misses": 0
+        }
         assert second.match == first.match
         assert second.seconds == first.seconds
         assert second.counters == first.counters
@@ -326,14 +330,18 @@ class TestRunCache:
         workload = generate_workload(1, 1, seed=3)
         CpuRadixJoin(SYSTEM).run(workload)
         CpuRadixJoin(SYSTEM, reference=True).run(workload)
-        assert run_cache.stats == {"hits": 0, "misses": 2}
+        assert run_cache.stats == {
+            "hits": 0, "misses": 2, "plan_hits": 0, "plan_misses": 0
+        }
 
     def test_distinct_workload_misses(self):
         run_cache.enable()
         operator = CpuRadixJoin(SYSTEM)
         operator.run(generate_workload(1, 1, seed=3))
         operator.run(generate_workload(1, 1, seed=4))
-        assert run_cache.stats == {"hits": 0, "misses": 2}
+        assert run_cache.stats == {
+            "hits": 0, "misses": 2, "plan_hits": 0, "plan_misses": 0
+        }
 
     def test_notes_do_not_poison_cache(self):
         run_cache.enable()

@@ -112,3 +112,11 @@ def test_fig24():
 
 def test_ablations():
     assert_sane(ALL_EXPERIMENTS["ablations"].run(sizes=(512,), **FAST))
+
+
+def test_ext_coprocess():
+    result = ALL_EXPERIMENTS["ext_coprocess"].run(
+        fractions=(0.0, 0.375, 1.0), size_m=128, **FAST
+    )
+    assert_sane(result)
+    assert any("advisor picks" in note for note in result.notes)

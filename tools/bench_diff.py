@@ -191,6 +191,72 @@ def check_invariants(document: dict) -> List[str]:
     return problems
 
 
+# -- co-processing gate ---------------------------------------------------------
+
+_COPROCESS_RUN = "run:Co-Processing Join (CPU+GPU)"
+_SEARCH_MARKER = "[split search]"
+_SINGLE_BACKEND_RUNS = (
+    "run:GPU Triton Join",
+    "run:CPU-Partitioned Radix Join",
+)
+
+
+def check_coprocess(document: dict) -> List[str]:
+    """Audit an explain document's co-processing runs ([] = clean).
+
+    For every experiment that simulated a co-processing join (split-
+    search candidates, labelled ``[split search]``, don't count), each
+    production run must have kept both processors busy (non-zero
+    average ``cpu_cores`` and ``gpu_sm`` utilization) and must beat the
+    index-aligned single-backend runs — the i-th co-processing makespan
+    may not exceed the i-th Triton or i-th CPU-partitioned one, which
+    the fig16 harness emits per size in that order.
+    """
+    problems: List[str] = []
+    saw_coprocess = False
+    for name, runs in sorted((document.get("experiments") or {}).items()):
+        by_kind: Dict[str, List[dict]] = {}
+        for run in runs:
+            label = run.get("label", "")
+            if _SEARCH_MARKER in label:
+                continue
+            for kind in (_COPROCESS_RUN,) + _SINGLE_BACKEND_RUNS:
+                if kind in label:
+                    by_kind.setdefault(kind, []).append(run)
+        coprocess = by_kind.get(_COPROCESS_RUN, [])
+        if not coprocess:
+            continue
+        saw_coprocess = True
+        for i, run in enumerate(coprocess):
+            label = run.get("label", f"coprocess[{i}]")
+            utilization = run.get("average_utilization") or {}
+            for resource in ("cpu_cores", "gpu_sm"):
+                if not utilization.get(resource, 0.0) > 0.0:
+                    problems.append(
+                        f"{name} / {label}: {resource} utilization is "
+                        f"{utilization.get(resource, 0.0)!r}; co-processing "
+                        "must keep both pools busy"
+                    )
+            for kind in _SINGLE_BACKEND_RUNS:
+                singles = by_kind.get(kind, [])
+                if i >= len(singles):
+                    continue
+                single = singles[i]
+                if run["makespan_seconds"] > single["makespan_seconds"]:
+                    problems.append(
+                        f"{name} / {label}: makespan "
+                        f"{run['makespan_seconds']:.6g}s exceeds "
+                        f"{single.get('label', kind)} "
+                        f"({single['makespan_seconds']:.6g}s)"
+                    )
+    if not saw_coprocess:
+        problems.append(
+            "no co-processing runs found in the document (wrong "
+            "experiment, or the operator never simulated?)"
+        )
+    return problems
+
+
 # -- history --------------------------------------------------------------------
 
 
@@ -241,6 +307,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "invariants; exits 1 on any violation",
     )
     parser.add_argument(
+        "--check-coprocess",
+        action="store_true",
+        help="with --check-invariants: also require the document's "
+        "co-processing runs to keep both pools busy and beat the "
+        "aligned single-backend runs",
+    )
+    parser.add_argument(
         "--fail-regression",
         type=float,
         default=None,
@@ -250,6 +323,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.check_coprocess and args.check_invariants is None:
+        parser.error("--check-coprocess requires --check-invariants PATH")
+
     if args.check_invariants is not None:
         document = _load(args.check_invariants)
         if _kind(document) != "explain":
@@ -257,6 +333,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{args.check_invariants} is not an explain document"
             )
         problems = check_invariants(document)
+        if args.check_coprocess:
+            problems += check_coprocess(document)
         runs = sum(
             len(runs) for runs in (document.get("experiments") or {}).values()
         )
@@ -265,7 +343,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             for problem in problems:
                 print(f"  ! {problem}")
             return 1
-        print(f"all invariants hold over {runs} explained run(s)")
+        checked = "invariants"
+        if args.check_coprocess:
+            checked += " + co-processing gate"
+        print(f"all {checked} hold over {runs} explained run(s)")
         return 0
 
     if args.history is not None:
