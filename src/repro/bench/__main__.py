@@ -22,6 +22,18 @@ hit/miss tallies as metrics deltas that merge into one registry — the
 identical code path the serial runner reads. ``--profile`` wraps a
 single experiment in cProfile and prints the top 20 cumulative entries.
 
+``--memory-budget 512M`` activates an ambient out-of-core
+:class:`repro.exec.ExecutionConfig`: any join whose materialized
+relations exceed the budget is radix-spilled to disk shards and
+streamed back morsel by morsel (``--oc-workers N`` fans the morsels
+out over the persistent worker pool; ``--morsel-rows`` and
+``--spill-dir`` tune granularity and shard placement — see
+docs/performance.md). With ``all --jobs N`` the same budget also
+gates *admission*: experiments declare their peak host memory via a
+module-level ``MEMORY_BUDGET_BYTES`` and the parallel scheduler only
+keeps a set of experiments in flight whose declared budgets sum under
+the cap.
+
 ``--trace out.json`` records wall-clock spans (experiment > operator
 run > functional/simulate > kernels) plus each simulated execution's
 virtual timeline into one Chrome-trace file for
@@ -51,7 +63,26 @@ from repro import explain as explain_mod
 from repro import faults, telemetry
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import ExperimentTable
+from repro.exec import ExecutionConfig, shutdown_pool
+from repro.exec import context as exec_context
 from repro.join import run_cache
+from repro.units import parse_bytes
+
+#: Assumed peak host memory for experiments that do not declare their
+#: own ``MEMORY_BUDGET_BYTES`` module attribute (admission control for
+#: ``all --jobs N --memory-budget SIZE``).
+DEFAULT_EXPERIMENT_BUDGET = 256 * 1024 * 1024
+
+
+def experiment_budget_bytes(name: str) -> int:
+    """The experiment's declared peak host memory for job admission."""
+    return int(
+        getattr(
+            ALL_EXPERIMENTS[name],
+            "MEMORY_BUDGET_BYTES",
+            DEFAULT_EXPERIMENT_BUDGET,
+        )
+    )
 
 
 def _explain_summary(runs) -> str:
@@ -135,6 +166,7 @@ def _worker(
     trace: bool,
     fault_plan=None,
     collect_explanations: bool = False,
+    exec_config=None,
 ):
     """Process-pool entry point.
 
@@ -144,8 +176,9 @@ def _worker(
     explanations are drained after it — a pool process reused for
     several experiments never reports the same work twice (summing
     cumulative per-worker stats would). ``fault_plan`` is the parent's
-    ``--faults`` plan as a dict (plans are ambient per-process state,
-    so each worker re-activates it).
+    ``--faults`` plan as a dict, and ``exec_config`` the parent's
+    out-of-core :class:`ExecutionConfig` as a dict (both are ambient
+    per-process state, so each worker re-activates them).
     """
     if use_cache:
         run_cache.enable()
@@ -156,10 +189,20 @@ def _worker(
         explain_mod.enable_collection()
     if fault_plan is not None:
         faults.activate(faults.FaultPlan.from_dict(fault_plan))
+    if exec_config is not None:
+        exec_context.activate(ExecutionConfig(**exec_config))
     before = telemetry.registry.snapshot()
     started = time.time()
-    output, explanations = _render_one(name, sizes, divisor)
+    try:
+        output, explanations = _render_one(name, sizes, divisor)
+    finally:
+        # A worker's morsel pool must not outlive its experiment: the
+        # bench pool reuses this process for other experiments, and the
+        # tempdir-leak / stray-process guards in CI check for exactly
+        # this kind of residue.
+        shutdown_pool()
     seconds = time.time() - started
+    telemetry.update_process_gauges()
     delta = telemetry.registry.delta_since(before)
     snapshot = telemetry.trace_snapshot(drain=True) if trace else None
     return name, output, seconds, delta, snapshot, explanations
@@ -197,7 +240,7 @@ def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
     return table
 
 
-def _run_all(sizes, divisor, jobs: int, explained=None) -> None:
+def _run_all(sizes, divisor, jobs: int, explained=None, memory_budget=None) -> None:
     if jobs <= 1:
         timings = [
             (name, _run_one(name, sizes, divisor, explained=explained))
@@ -205,41 +248,93 @@ def _run_all(sizes, divisor, jobs: int, explained=None) -> None:
         ]
         print(_timing_table(timings).format())
         return
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from dataclasses import asdict
 
     use_cache = run_cache.enabled()
     trace = telemetry.enabled()
     collect = explain_mod.collecting()
     plan = faults.active()
     plan_dict = plan.to_dict() if plan is not None else None
+    config = exec_context.active()
+    config_dict = asdict(config) if config is not None else None
+
+    names = list(ALL_EXPERIMENTS)
+    budgets = {name: experiment_budget_bytes(name) for name in names}
+    results = {}
+    timings_by_name = {}
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [
-            pool.submit(
-                _worker,
-                name,
-                sizes,
-                divisor,
-                use_cache,
-                trace,
-                plan_dict,
-                collect,
-            )
-            for name in ALL_EXPERIMENTS
-        ]
-        timings = []
-        # Print in submission (= creation) order, not completion order,
-        # so the output is byte-stable across --jobs settings.
-        for future in futures:
-            name, output, seconds, delta, snapshot, explanations = (
-                future.result()
-            )
-            print(output)
-            timings.append((name, seconds))
-            telemetry.registry.merge(delta)
-            telemetry.absorb_trace(snapshot, label=f"worker: {name}")
-            if explained is not None and explanations:
-                explained.setdefault(name, []).extend(explanations)
-    print(_timing_table(timings, workers=jobs).format())
+        queued = list(names)
+        running = {}  # future -> name
+        in_flight = 0
+
+        def admit():
+            """Submit queued experiments while budget headroom allows.
+
+            Submission == admission here: the executor caps concurrent
+            processes at ``jobs``, and never submitting more than the
+            memory budget covers means whatever subset is running also
+            fits. An oversized experiment is admitted alone rather
+            than starved.
+            """
+            nonlocal in_flight
+            index = 0
+            while index < len(queued) and len(running) < jobs:
+                name = queued[index]
+                need = budgets[name]
+                if (
+                    memory_budget is not None
+                    and running
+                    and in_flight + need > memory_budget
+                ):
+                    index += 1
+                    continue
+                future = pool.submit(
+                    _worker,
+                    name,
+                    sizes,
+                    divisor,
+                    use_cache,
+                    trace,
+                    plan_dict,
+                    collect,
+                    config_dict,
+                )
+                running[future] = name
+                in_flight += need
+                queued.pop(index)
+
+        admit()
+        printed = 0
+        while running:
+            done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+            for future in done:
+                finished = running.pop(future)
+                in_flight -= budgets[finished]
+                results[finished] = future.result()
+            admit()
+            # Print the contiguous prefix now available — output stays
+            # in deterministic experiment order regardless of completion
+            # (and of the admission scheduler's reorderings).
+            while printed < len(names) and names[printed] in results:
+                name, output, seconds, delta, snapshot, explanations = (
+                    results.pop(names[printed])
+                )
+                print(output)
+                timings_by_name[name] = seconds
+                telemetry.registry.merge(delta)
+                telemetry.absorb_trace(snapshot, label=f"worker: {name}")
+                if explained is not None and explanations:
+                    explained.setdefault(name, []).extend(explanations)
+                printed += 1
+    timings = [(name, timings_by_name[name]) for name in names]
+    table = _timing_table(timings, workers=jobs)
+    if memory_budget is not None:
+        table.add_note(
+            f"admission control: concurrent experiments capped at "
+            f"{memory_budget} declared bytes"
+        )
+    print(table.format())
 
 
 def main(argv=None) -> int:
@@ -308,6 +403,39 @@ def main(argv=None) -> int:
         "path, utilization timelines, bound classes) and write the "
         "explanations as JSON (the tools/bench_diff.py input format)",
     )
+    parser.add_argument(
+        "--memory-budget",
+        metavar="SIZE",
+        default=None,
+        help="host-memory budget (e.g. 512M, 2GiB): joins whose "
+        "relations exceed it spill to disk shards and stream morsels "
+        "(docs/performance.md), and with 'all --jobs N' the same "
+        "budget caps how many experiments run concurrently by their "
+        "declared MEMORY_BUDGET_BYTES",
+    )
+    parser.add_argument(
+        "--oc-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="morsel-pool worker processes for out-of-core joins "
+        "(default 0: morsels run serially in-process)",
+    )
+    parser.add_argument(
+        "--morsel-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="combined build+probe rows per morsel (default "
+        f"{exec_context.DEFAULT_MORSEL_ROWS})",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="PATH",
+        default=None,
+        help="parent directory for spill shards (default: system tmp); "
+        "the spill manager creates and removes its own subdirectory",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -327,6 +455,30 @@ def main(argv=None) -> int:
             sizes = tuple(int(s) for s in args.sizes.split(","))
         except ValueError:
             parser.error(f"--sizes must be comma-separated integers, got {args.sizes!r}")
+
+    memory_budget = None
+    if args.memory_budget:
+        try:
+            memory_budget = parse_bytes(args.memory_budget)
+        except ValueError as error:
+            parser.error(str(error))
+    exec_config = None
+    if (
+        memory_budget is not None
+        or args.oc_workers
+        or args.morsel_rows is not None
+        or args.spill_dir is not None
+    ):
+        exec_config = ExecutionConfig(
+            budget_bytes=memory_budget,
+            morsel_rows=(
+                args.morsel_rows
+                if args.morsel_rows is not None
+                else exec_context.DEFAULT_MORSEL_ROWS
+            ),
+            workers=args.oc_workers,
+            spill_dir=args.spill_dir,
+        )
 
     fault_plan = None
     if args.faults:
@@ -350,9 +502,16 @@ def main(argv=None) -> int:
         telemetry.enable()
         explain_mod.enable_collection()
     faults.activate(fault_plan)
+    exec_context.activate(exec_config)
     try:
         if args.experiment == "all":
-            _run_all(sizes, args.divisor, args.jobs, explained=explained)
+            _run_all(
+                sizes,
+                args.divisor,
+                args.jobs,
+                explained=explained,
+                memory_budget=memory_budget,
+            )
             return 0
 
         if args.experiment not in ALL_EXPERIMENTS:
@@ -384,6 +543,8 @@ def main(argv=None) -> int:
                 )
                 handle.write("\n")
         faults.deactivate()
+        exec_context.deactivate()
+        shutdown_pool()
         run_cache.disable()
         run_cache.clear()
         telemetry.disable()

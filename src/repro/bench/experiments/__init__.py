@@ -27,6 +27,7 @@ from repro.bench.experiments import (
     ablations,
     ext_coprocess,
     ext_interconnect,
+    ext_outofcore,
     ext_scaling,
     ext_robustness,
     ext_sort,
@@ -53,6 +54,7 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
     "ext_coprocess": ext_coprocess,
     "ext_interconnect": ext_interconnect,
+    "ext_outofcore": ext_outofcore,
     "ext_scaling": ext_scaling,
     "ext_robustness": ext_robustness,
     "ext_sort": ext_sort,

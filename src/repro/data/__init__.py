@@ -10,6 +10,7 @@ arrays), and :mod:`repro.data.generator` builds the workloads.
 """
 
 from repro.data.relation import Relation
+from repro.data.chunked import ChunkedRelation
 from repro.data.generator import (
     WorkloadConfig,
     generate_workload,
@@ -17,6 +18,7 @@ from repro.data.generator import (
 )
 
 __all__ = [
+    "ChunkedRelation",
     "Relation",
     "WorkloadConfig",
     "generate_pk_fk",

@@ -1,0 +1,145 @@
+"""Ambient out-of-core execution configuration.
+
+Mirrors the fault layer's ambient-plan pattern (:mod:`repro.faults`):
+``with exec_context.configured(cfg): ...`` activates an
+:class:`ExecutionConfig` for everything on the current thread without
+changing operator signatures. :func:`repro.join.batched.
+batched_radix_join` consults :func:`active` and transparently routes the
+functional join through :func:`repro.exec.outofcore.out_of_core_join`
+when the configured host-memory budget is exceeded (or ``force`` is
+set), and the run cache folds :func:`active` into its keys so an
+out-of-core run never aliases an in-memory run of the same triple.
+
+The context also carries a small mailbox of per-join execution notes
+(:func:`record_note` / :func:`consume_notes`): the out-of-core executor
+deposits a summary (mode, morsels, steals, bytes spilled) for each join
+it ran, and the operator that triggered it picks the summaries up right
+after its functional phase to annotate ``run.notes["out_of_core"]``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Default morsel granularity: combined build+probe rows per morsel.
+#: Large enough that the grouped kernels stay vectorized, small enough
+#: that a handful of morsels per worker leaves room for stealing.
+DEFAULT_MORSEL_ROWS = 65536
+
+#: Partitions smaller than this make morsel bookkeeping dominate.
+MIN_MORSEL_ROWS = 256
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the functional layer should execute oversized joins.
+
+    Attributes:
+        budget_bytes: host-memory budget for a join's materialized
+            relations. When ``build + probe`` tuple bytes exceed it, the
+            relations are radix-spilled to disk shards and streamed back
+            morsel by morsel. ``None`` = unlimited (never spill).
+        morsel_rows: target combined rows (build + probe) per morsel.
+        workers: morsel-pool worker processes. ``0`` = run morsels
+            serially in-process (still out-of-core when over budget).
+        spill_dir: parent directory for spill shards (``None`` = the
+            system temp directory). The spill manager always creates and
+            removes its own subdirectory underneath.
+        force: route joins through the out-of-core executor even when
+            they fit the budget — the cross-check and benchmark knob
+            that lets small-scale runs exercise the exact production
+            code path.
+    """
+
+    budget_bytes: Optional[int] = None
+    morsel_rows: int = DEFAULT_MORSEL_ROWS
+    workers: int = 0
+    spill_dir: Optional[str] = None
+    force: bool = False
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ConfigurationError("budget_bytes must be positive")
+        if self.morsel_rows < MIN_MORSEL_ROWS:
+            raise ConfigurationError(
+                f"morsel_rows must be >= {MIN_MORSEL_ROWS}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError("workers cannot be negative")
+
+
+# -- ambient config -------------------------------------------------------------
+
+_active: Optional[ExecutionConfig] = None
+
+#: Notes deposited by the out-of-core executor, consumed by operators.
+_notes: List[dict] = []
+
+
+def activate(config: Optional[ExecutionConfig]) -> None:
+    """Make ``config`` the ambient execution config (``None`` clears it)."""
+    global _active
+    _active = config
+    _notes.clear()
+
+
+def deactivate() -> None:
+    activate(None)
+
+
+def active() -> Optional[ExecutionConfig]:
+    """The ambient execution config, or ``None``."""
+    return _active
+
+
+@contextmanager
+def configured(config: Optional[ExecutionConfig]):
+    """Activate ``config`` for the duration of the ``with`` block."""
+    previous = _active
+    activate(config)
+    try:
+        yield config
+    finally:
+        activate(previous)
+
+
+def should_go_out_of_core(build, probe, config=None) -> bool:
+    """Whether this join's functional execution leaves the in-memory path.
+
+    True when a config is active and either forces the out-of-core path
+    or sets a budget the two relations' materialized tuple bytes exceed.
+    """
+    config = config if config is not None else _active
+    if config is None:
+        return False
+    if config.force:
+        return True
+    if config.budget_bytes is None:
+        return False
+    state = build.materialized_bytes + probe.materialized_bytes
+    return state > config.budget_bytes
+
+
+# -- per-join notes -------------------------------------------------------------
+
+
+def record_note(note: dict) -> None:
+    """Deposit one out-of-core run summary for the triggering operator."""
+    _notes.append(note)
+
+
+def consume_notes() -> List[dict]:
+    """Drain the deposited summaries (empty when nothing ran out-of-core).
+
+    Operators call this right after their functional phase; a join that
+    fanned out into several out-of-core executions (the co-processing
+    operator joins each side separately) receives one note per
+    execution, in execution order.
+    """
+    drained = list(_notes)
+    _notes.clear()
+    return drained

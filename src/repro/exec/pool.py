@@ -1,0 +1,450 @@
+"""Persistent morsel-pool workers with shared-memory transport.
+
+The pool keeps ``N`` worker processes alive across joins (fork start
+method where available, so workers inherit the loaded modules) and
+feeds them **jobs**: a join's partition-major columns plus a morsel
+list. Columns travel zero-copy — the parent gathers them straight into
+``multiprocessing.shared_memory`` segments and ships only the segment
+*names*; each worker maps the segments and slices its morsels as views.
+Spilled joins ship even less: just the two shard-directory paths, and
+every worker memory-maps its own morsels off disk.
+
+Scheduling is morsel-driven work stealing. A control block (one more
+shared-memory segment of ``int64``) holds, under a single shared lock::
+
+    ctrl[0:N]              per-worker next-morsel cursor
+    ctrl[N:2N]             per-worker end-of-range (exclusive)
+    ctrl[2N]               steal tally
+    ctrl[2N+1 : 2N+1+M]    per-morsel done flags
+
+Workers claim from the *front* of their own contiguous range and steal
+from the *back* of the most-loaded victim's — the classic morsel-driven
+scheme, which keeps each worker's claims contiguous (sequential shared
+memory / shard reads) while bounding imbalance to one morsel.
+
+The done flags are the crash story: a worker that dies mid-morsel never
+set its flag, so after collecting results the parent re-executes every
+morsel with an unset flag inline and respawns the dead worker. Partials
+are order-independent mergeable sums, so recovery is exact — see
+``docs/robustness.md``. Fault plans are threaded through job payloads
+and re-activated ambiently inside each worker, and each worker returns
+its telemetry registry delta for the parent to merge (the same
+aggregation contract as the parallel bench runner).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.exec.morsel import Morsel, Partial, execute_morsel
+
+#: Hard ceiling on one job's wall-clock before the parent gives up on
+#: the pool (a worker wedged while holding the claim lock).
+DEFAULT_JOB_TIMEOUT = 300.0
+
+#: Poll interval while waiting on worker results.
+_POLL_SECONDS = 0.2
+
+#: Exit code of the deliberate crash-test hook (``die_on`` jobs).
+CRASH_EXIT_CODE = 17
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting its lifetime.
+
+    Attaching registers the segment with the resource tracker, which
+    would unlink the parent's segment when the worker exits
+    (bpo-38119) — and under the fork start method the tracker is
+    *shared* with the parent, so unregister-after-attach would strip
+    the creator's own registration. Suppressing registration during
+    the attach avoids both failure modes (Python 3.13's ``track=False``
+    made this official; the worker is single-threaded here, so the
+    temporary patch cannot race).
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class ShmBlock:
+    """One parent-owned shared-memory segment viewed as a numpy array."""
+
+    def __init__(self, rows: int, dtype: np.dtype) -> None:
+        dtype = np.dtype(dtype)
+        self.rows = int(rows)
+        self.dtype = dtype
+        self.segment = shared_memory.SharedMemory(
+            create=True, size=max(1, self.rows * dtype.itemsize)
+        )
+        self.array = np.ndarray(
+            self.rows, dtype=dtype, buffer=self.segment.buf
+        )
+
+    def descriptor(self) -> Tuple[str, int, str]:
+        return (self.segment.name, self.rows, self.dtype.str)
+
+    def release(self) -> None:
+        self.array = None
+        self.segment.close()
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _view(segment: shared_memory.SharedMemory, rows: int, dtype: str):
+    return np.ndarray(rows, dtype=np.dtype(dtype), buffer=segment.buf)
+
+
+# -- worker side ----------------------------------------------------------------
+
+
+def _open_source(job: dict, segments: list):
+    """Reconstruct the job's morsel source inside a worker."""
+    if job["mode"] == "chunked":
+        from repro.exec.morsel import open_chunked_source
+
+        return open_chunked_source(job["build_dir"], job["probe_dir"])
+    from repro.exec.morsel import ArraySource
+
+    arrays = {}
+    for name, descriptor in job["blocks"].items():
+        segment = _attach(descriptor[0])
+        segments.append(segment)
+        arrays[name] = _view(segment, descriptor[1], descriptor[2])
+    return ArraySource(
+        build_keys=arrays["bk"],
+        build_values=arrays["bv"],
+        build_groups=arrays["bg"],
+        build_hashes=arrays["bh"],
+        probe_keys=arrays["pk"],
+        probe_groups=arrays["pg"],
+        probe_hashes=arrays["ph"],
+        build_offsets=job["build_offsets"],
+        probe_offsets=job["probe_offsets"],
+    )
+
+
+def _claim(ctrl: np.ndarray, workers: int, worker_id: int, lock):
+    """Next morsel index for ``worker_id`` (own range first, then steal).
+
+    Returns ``(index, stolen)`` or ``None`` when every range is drained.
+    """
+    with lock:
+        cursor = int(ctrl[worker_id])
+        if cursor < int(ctrl[workers + worker_id]):
+            ctrl[worker_id] = cursor + 1
+            return cursor, False
+        victim, remaining = -1, 0
+        for v in range(workers):
+            left = int(ctrl[workers + v]) - int(ctrl[v])
+            if left > remaining:
+                victim, remaining = v, left
+        if victim < 0:
+            return None
+        ctrl[workers + victim] -= 1
+        ctrl[2 * workers] += 1
+        return int(ctrl[workers + victim]), True
+
+
+def _run_job(worker_id: int, job: dict, lock) -> dict:
+    from repro import faults, telemetry
+
+    out: dict = {
+        "job_id": job["job_id"],
+        "worker": worker_id,
+        "partials": [],
+        "intervals": [],
+        "busy": 0.0,
+    }
+    segments: list = []
+    plan = job.get("fault_plan")
+    try:
+        before = telemetry.registry.snapshot()
+        if plan is not None:
+            faults.activate(faults.FaultPlan.from_dict(plan))
+        try:
+            source = _open_source(job, segments)
+            control = _attach(job["control"])
+            segments.append(control)
+            workers = job["workers"]
+            morsels = job["morsels"]
+            ctrl = _view(
+                control, 2 * workers + 1 + len(morsels), np.dtype(np.int64).str
+            )
+            die_on = job.get("die_on") or {}
+            epoch = time.perf_counter()
+            while True:
+                claim = _claim(ctrl, workers, worker_id, lock)
+                if claim is None:
+                    break
+                index, stolen = claim
+                if die_on.get(worker_id) == index:
+                    # Crash-test hook: die after claiming, before the
+                    # done flag — exactly the mid-morsel failure the
+                    # parent's recovery scan must cover.
+                    os._exit(CRASH_EXIT_CODE)
+                started = time.perf_counter() - epoch
+                partial = execute_morsel(
+                    source, Morsel(*morsels[index]), job["buckets"]
+                )
+                ended = time.perf_counter() - epoch
+                ctrl[2 * workers + 1 + index] = 1
+                out["partials"].append((index, partial))
+                out["intervals"].append((index, started, ended, stolen))
+                out["busy"] += ended - started
+        finally:
+            if plan is not None:
+                faults.deactivate()
+            for segment in segments:
+                try:
+                    segment.close()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+        out["metrics"] = telemetry.registry.delta_since(before)
+    except BaseException as error:  # noqa: BLE001 - report, don't kill worker
+        out["error"] = repr(error)
+    return out
+
+
+def _worker_main(worker_id: int, jobs, results, lock) -> None:
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        results.put(_run_job(worker_id, job, lock))
+
+
+# -- parent side ----------------------------------------------------------------
+
+
+@dataclass
+class PoolResult:
+    """One job's outcome: mergeable partials plus scheduling telemetry."""
+
+    partials: List[Partial]
+    steals: int = 0
+    busy_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    workers: int = 0
+    recovered: int = 0
+    deaths: int = 0
+    #: (worker, morsel index, start, end, stolen) busy intervals,
+    #: relative to each worker's job start.
+    intervals: List[Tuple[int, int, float, float, bool]] = field(
+        default_factory=list
+    )
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of worker-seconds spent inside morsels."""
+        if self.workers <= 0 or self.wall_seconds <= 0:
+            return 0.0
+        return min(
+            1.0, self.busy_seconds / (self.workers * self.wall_seconds)
+        )
+
+
+class MorselPool:
+    """A persistent pool of morsel workers (one process each)."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError("pool needs at least 1 worker")
+        self.workers = workers
+        methods = get_all_start_methods()
+        self._ctx = get_context("fork" if "fork" in methods else "spawn")
+        self._lock = self._ctx.Lock()
+        self._results = self._ctx.Queue()
+        self._job_queues = [self._ctx.Queue() for _ in range(workers)]
+        self._procs: List[Optional[object]] = [None] * workers
+        self._job_ids = itertools.count(1)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _spawn(self, index: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self._job_queues[index], self._results, self._lock),
+            name=f"morsel-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[index] = proc
+
+    def ensure_started(self) -> int:
+        """Spawn missing or dead workers; returns respawn count."""
+        respawned = 0
+        for index, proc in enumerate(self._procs):
+            if proc is None or not proc.is_alive():
+                if proc is not None:
+                    proc.join(timeout=1.0)
+                    respawned += 1
+                self._spawn(index)
+        return respawned
+
+    def alive(self) -> int:
+        return sum(
+            1 for proc in self._procs if proc is not None and proc.is_alive()
+        )
+
+    def shutdown(self) -> None:
+        for index, proc in enumerate(self._procs):
+            if proc is not None and proc.is_alive():
+                try:
+                    self._job_queues[index].put(None)
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    proc.terminate()
+        self._procs = [None] * self.workers
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        job: dict,
+        morsels: List[Morsel],
+        recover: Callable[[Morsel], Partial],
+        timeout: float = DEFAULT_JOB_TIMEOUT,
+    ) -> PoolResult:
+        """Execute ``morsels`` under ``job``'s payload across the pool.
+
+        ``job`` carries the source description (shared-memory block
+        descriptors or shard directories), ``buckets``, and optional
+        ``fault_plan`` / ``die_on``; this method adds the control block
+        and per-worker ranges. ``recover`` re-executes a morsel inline
+        in the parent when its done flag never appeared (worker death).
+        """
+        if not morsels:
+            return PoolResult(partials=[], workers=0)
+        self.ensure_started()
+        workers = self.workers
+        count = len(morsels)
+        control = ShmBlock(2 * workers + 1 + count, np.dtype(np.int64))
+        ctrl = control.array
+        ctrl[:] = 0
+        # Contiguous equal-count ranges; stealing rebalances the rest.
+        bounds = [round(i * count / workers) for i in range(workers + 1)]
+        for w in range(workers):
+            ctrl[w] = bounds[w]
+            ctrl[workers + w] = bounds[w + 1]
+
+        job = dict(job)
+        job["job_id"] = next(self._job_ids)
+        job["workers"] = workers
+        job["control"] = control.segment.name
+        job["morsels"] = [(m.index, m.lo, m.hi, m.rows) for m in morsels]
+
+        from repro import telemetry
+
+        started = time.time()
+        result = PoolResult(partials=[], workers=workers)
+        try:
+            for index in range(workers):
+                self._job_queues[index].put(job)
+            pending = set(range(workers))
+            indexed: Dict[int, Partial] = {}
+            deadline = started + timeout
+            while pending:
+                try:
+                    reply = self._results.get(timeout=_POLL_SECONDS)
+                except queue.Empty:
+                    for index in list(pending):
+                        proc = self._procs[index]
+                        if proc is None or not proc.is_alive():
+                            pending.discard(index)
+                            result.deaths += 1
+                    if time.time() > deadline:
+                        raise TimeoutError(
+                            f"morsel pool job timed out after {timeout:g}s "
+                            f"({len(pending)} workers pending)"
+                        )
+                    continue
+                if reply.get("job_id") != job["job_id"]:
+                    continue  # stale result from an abandoned job
+                pending.discard(reply["worker"])
+                if reply.get("error") is not None:
+                    result.deaths += 1
+                    telemetry.registry.count("exec.pool.worker_errors")
+                    continue
+                for index, partial in reply["partials"]:
+                    indexed[index] = partial
+                result.busy_seconds += reply["busy"]
+                result.intervals.extend(
+                    (reply["worker"], i, s, e, stolen)
+                    for i, s, e, stolen in reply["intervals"]
+                )
+                telemetry.registry.merge(reply.get("metrics"))
+
+            # Crash recovery: any morsel whose partial never arrived —
+            # its claimer died mid-morsel or errored before reporting —
+            # is re-executed inline (partials merge order-independently,
+            # so a re-run is exact, never a double count).
+            for morsel in morsels:
+                if morsel.index not in indexed:
+                    indexed[morsel.index] = recover(morsel)
+                    result.recovered += 1
+            result.partials = [indexed[m.index] for m in morsels]
+            result.steals = int(ctrl[2 * workers])
+        finally:
+            result.wall_seconds = time.time() - started
+            control.release()
+            if result.deaths:
+                telemetry.registry.count(
+                    "exec.pool.worker_deaths", result.deaths
+                )
+                self.ensure_started()
+        telemetry.registry.count("exec.pool.jobs")
+        telemetry.registry.count("exec.pool.morsels_stolen", result.steals)
+        telemetry.registry.count(
+            "exec.pool.morsels_recovered", result.recovered
+        )
+        telemetry.registry.gauge("exec.pool.occupancy", result.occupancy)
+        return result
+
+
+# -- shared pool ----------------------------------------------------------------
+
+_pool: Optional[MorselPool] = None
+
+
+def get_pool(workers: int) -> MorselPool:
+    """The process-wide pool, resized (restarted) when ``workers`` changes."""
+    global _pool
+    if _pool is not None and _pool.workers != workers:
+        _pool.shutdown()
+        _pool = None
+    if _pool is None:
+        _pool = MorselPool(workers)
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Stop the process-wide pool's workers (safe when none exists)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+
+
+atexit.register(shutdown_pool)

@@ -198,6 +198,23 @@ def build_payload_column(relation: Relation) -> np.ndarray:
     return relation.keys
 
 
+def attach_out_of_core_notes(run: JoinRun) -> None:
+    """Annotate a run with any out-of-core executions its join made.
+
+    The out-of-core executor (:mod:`repro.exec.outofcore`) deposits one
+    summary note per execution into the ambient exec context; operators
+    call this right after their functional phase to drain the mailbox
+    into ``run.notes["out_of_core"]`` (a single dict, or a list when one
+    join fanned out into several executions — the co-processing split
+    joins each side separately).
+    """
+    from repro.exec import context as exec_context
+
+    notes = exec_context.consume_notes()
+    if notes:
+        run.notes["out_of_core"] = notes[0] if len(notes) == 1 else notes
+
+
 def split_gpu_cpu(total: float, gpu_fraction: float) -> Tuple[float, float]:
     """Split an amount of traffic between GPU-resident and spilled parts."""
     if not 0.0 <= gpu_fraction <= 1.0:

@@ -121,7 +121,25 @@ def batched_radix_join(
     Drop-in replacement for the operators' per-partition functional
     loops: ``bits1`` is the first (or only) pass's radix window, ``bits2``
     the second pass's window at offset ``bits1``.
+
+    This is the functional layer's single choke point, so the ambient
+    out-of-core config (:mod:`repro.exec.context`) is consulted here:
+    when a host-memory budget is exceeded (or ``force`` is set), the
+    join runs through :func:`repro.exec.outofcore.out_of_core_join` —
+    spilled radix shards and/or the morsel worker pool — and returns the
+    byte-identical match summary. The reference per-partition loops and
+    :func:`batched_radix_join_arrays` never divert, so cross-checks
+    always compare against the plain in-memory execution.
     """
+    # Deferred import: repro.exec sits above the join layer (it reuses
+    # JoinMatch and the grouped kernels); importing it lazily keeps the
+    # layering acyclic and costs nothing when no config is active.
+    from repro.exec import context as exec_context
+
+    if exec_context.should_go_out_of_core(build, probe):
+        from repro.exec.outofcore import out_of_core_join
+
+        return out_of_core_join(build, probe, bits1, bits2, buckets)
     probe_keys, values = batched_radix_join_arrays(
         build, probe, bits1, bits2, buckets
     )

@@ -361,6 +361,7 @@ class CoProcessingJoin(JoinOperator):
             "requested_cpu_fraction": cpu_fraction,
         }
         run.notes["utilization"] = self._side_utilization(sim)
+        base.attach_out_of_core_notes(run)
         return run
 
     def run(self, workload: Workload) -> JoinRun:

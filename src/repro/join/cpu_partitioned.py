@@ -267,4 +267,5 @@ class CpuPartitionedJoin(JoinOperator):
             uses_gpu=True,
         )
         run.notes["plan_bits"] = plan.bits_per_pass
+        base.attach_out_of_core_notes(run)
         return run

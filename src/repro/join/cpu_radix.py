@@ -170,4 +170,5 @@ class CpuRadixJoin(JoinOperator):
         )
         run.notes["radix_bits"] = bits
         run.notes["passes"] = part_work.passes
+        base.attach_out_of_core_notes(run)
         return run

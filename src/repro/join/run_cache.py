@@ -122,8 +122,14 @@ def run_key(operator, workload) -> Tuple:
     rescaled through ``with_nominal_rows`` never alias their originals.
     The ambient fault plan is part of the key: a run simulated under
     injected faults must never be served for (or poisoned by) a clean
-    run of the same triple.
+    run of the same triple. The ambient out-of-core execution config
+    (:mod:`repro.exec.context`) is part of it for the same reason: an
+    out-of-core run carries different notes (spill bytes, morsel pool
+    stats) and exercises a different code path than the in-memory run
+    of the same triple, so chunk/budget configuration must never alias.
     """
+    from repro.exec import context as exec_context
+
     return (
         type(operator).__qualname__,
         freeze(vars(operator)),
@@ -133,6 +139,7 @@ def run_key(operator, workload) -> Tuple:
         len(workload.build),
         len(workload.probe),
         freeze(faults.active()),
+        freeze(exec_context.active()),
     )
 
 

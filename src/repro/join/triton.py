@@ -611,4 +611,5 @@ class TritonJoin(JoinOperator):
         run.notes["plan_bits"] = plan.bits_per_pass
         run.notes["gpu_fraction"] = cache.gpu_fraction
         run.notes["state_bytes"] = cache.state_bytes
+        base.attach_out_of_core_notes(run)
         return run

@@ -39,7 +39,12 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_metrics,
 )
-from repro.telemetry.metrics import MetricsRegistry, registry
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    process_peak_rss_bytes,
+    registry,
+    update_process_gauges,
+)
 from repro.telemetry.spans import (
     NULL_SPAN,
     absorb_trace,
@@ -86,7 +91,9 @@ __all__ = [
     "metrics",
     "metrics_document",
     "observe",
+    "process_peak_rss_bytes",
     "registry",
+    "update_process_gauges",
     "reset",
     "span",
     "spans",

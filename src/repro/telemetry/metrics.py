@@ -18,6 +18,7 @@ reads directly.
 from __future__ import annotations
 
 import bisect
+import sys as _sys
 from typing import Dict, Optional
 
 #: Timing-histogram bucket upper bounds in seconds (log10 from 1 µs to
@@ -169,3 +170,52 @@ class MetricsRegistry:
 
 #: The process-wide registry every instrumented module writes to.
 registry = MetricsRegistry()
+
+
+# -- process memory gauges -------------------------------------------------------
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+#: ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_SCALE = 1 if _sys.platform == "darwin" else 1024
+
+
+def process_peak_rss_bytes(children: bool = False) -> int:
+    """This process's (or its reaped children's) peak resident set.
+
+    Monotonic over the process lifetime — the high-water mark the kernel
+    tracks, which is exactly what a memory-budget gate wants: a spill
+    run whose peak stayed near the budget proves the budget held.
+    Returns 0 where ``resource`` is unavailable.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX
+        return 0
+    who = (
+        _resource.RUSAGE_CHILDREN if children else _resource.RUSAGE_SELF
+    )
+    return int(_resource.getrusage(who).ru_maxrss * _RU_MAXRSS_SCALE)
+
+
+def update_process_gauges(target: Optional[MetricsRegistry] = None) -> dict:
+    """Refresh the ``process.*`` memory gauges on ``target`` (default:
+    the process-wide registry); returns the values written.
+
+    ``process.peak_rss_bytes`` is this process's high-water mark;
+    ``process.children_peak_rss_bytes`` the largest peak among reaped
+    child processes (the morsel-pool workers). The perf smoke surfaces
+    both per experiment so ``BENCH_history.json`` tracks memory
+    alongside time.
+    """
+    target = target if target is not None else registry
+    values = {
+        "process.peak_rss_bytes": process_peak_rss_bytes(),
+        "process.children_peak_rss_bytes": process_peak_rss_bytes(
+            children=True
+        ),
+    }
+    for name, value in values.items():
+        target.gauge(name, value)
+    return values

@@ -74,6 +74,50 @@ def g_tuples_per_s(tuples: float, seconds: float) -> float:
     return tuples / seconds / G_TUPLES
 
 
+#: Suffix multipliers for :func:`parse_bytes`. Binary (``Ki``/``Mi``/…)
+#: and bare single-letter (``K``/``M``/…) spellings are both powers of
+#: two — CLI memory budgets follow memory-capacity convention, not link
+#: rates.
+_BYTE_SUFFIXES = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+    "T": TIB,
+    "TB": TIB,
+    "TIB": TIB,
+}
+
+
+def parse_bytes(text: str) -> int:
+    """Parse a human byte size like ``"512M"``, ``"1.5GiB"``, ``"4096"``.
+
+    All suffixes are binary multiples (``M`` == ``MiB`` == 2**20); the
+    returned value is an ``int`` byte count. Raises :class:`ValueError`
+    on unknown suffixes or non-positive sizes.
+    """
+    stripped = text.strip()
+    index = len(stripped)
+    while index > 0 and not (stripped[index - 1].isdigit() or stripped[index - 1] == "."):
+        index -= 1
+    number, suffix = stripped[:index], stripped[index:].strip().upper()
+    if not number:
+        raise ValueError(f"no numeric part in byte size {text!r}")
+    if suffix not in _BYTE_SUFFIXES:
+        raise ValueError(f"unknown byte-size suffix {suffix!r} in {text!r}")
+    value = float(number) * _BYTE_SUFFIXES[suffix]
+    if value <= 0:
+        raise ValueError(f"byte size must be positive, got {text!r}")
+    return int(value)
+
+
 def is_power_of_two(n: int) -> bool:
     """True if ``n`` is a positive power of two."""
     return n > 0 and (n & (n - 1)) == 0

@@ -72,3 +72,17 @@ def _no_leaked_fault_plan():
     if faults.active() is not None:
         faults.deactivate()
         raise AssertionError("test left an ambient fault plan active")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_exec_config():
+    """Same guard for the ambient out-of-core execution config."""
+    from repro.exec import context as exec_context
+
+    assert exec_context.active() is None, (
+        "a previous test leaked an execution config"
+    )
+    yield
+    if exec_context.active() is not None:
+        exec_context.deactivate()
+        raise AssertionError("test left an ambient execution config active")

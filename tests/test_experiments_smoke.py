@@ -114,6 +114,16 @@ def test_ablations():
     assert_sane(ALL_EXPERIMENTS["ablations"].run(sizes=(512,), **FAST))
 
 
+def test_ext_outofcore():
+    result = ALL_EXPERIMENTS["ext_outofcore"].run(
+        size_m=512, workers=2, repeats=1, **FAST
+    )
+    assert_sane(result)
+    # Every out-of-core mode must report identity with the reference.
+    identical = result.row("identical to in-memory").values
+    assert all(value == 1.0 for value in identical.values())
+
+
 def test_ext_coprocess():
     result = ALL_EXPERIMENTS["ext_coprocess"].run(
         fractions=(0.0, 0.375, 1.0), size_m=128, **FAST

@@ -1,0 +1,302 @@
+"""Out-of-core execution: morsels, spill, worker pool, operator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import context as exec_context
+from repro.exec.context import ExecutionConfig, should_go_out_of_core
+from repro.exec.morsel import (
+    CHECKSUM_MOD,
+    ArraySource,
+    merge_partials,
+    partition_state,
+    plan_morsels,
+)
+from repro.exec.outofcore import out_of_core_join
+from repro.exec.pool import ShmBlock, get_pool, shutdown_pool
+from repro.hashing.batch import DEFAULT_BUCKETS
+from repro.join import run_cache
+from repro.join.base import JoinMatch
+from repro.join.batched import batched_radix_join
+from repro.join.triton import TritonJoin
+
+BITS1 = 6
+
+
+@pytest.fixture(scope="module")
+def reference(small_workload):
+    """The in-memory join the out-of-core paths must reproduce."""
+    return batched_radix_join(
+        small_workload.build, small_workload.probe, BITS1, 4
+    )
+
+
+def summary(match):
+    return (match.matches, match.key_checksum, match.payload_checksum)
+
+
+def join_with_note(build, probe, config):
+    """Run one out-of-core join and return (match, its summary note)."""
+    exec_context.consume_notes()  # drain anything a prior call left
+    match = out_of_core_join(build, probe, BITS1, config=config)
+    notes = exec_context.consume_notes()
+    assert len(notes) == 1
+    return match, notes[0]
+
+
+class TestExecutionConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(budget_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(morsel_rows=16)
+        with pytest.raises(ConfigurationError):
+            ExecutionConfig(workers=-1)
+
+    def test_ambient_activation_is_scoped(self):
+        assert exec_context.active() is None
+        outer = ExecutionConfig(budget_bytes=1024)
+        inner = ExecutionConfig(budget_bytes=2048)
+        with exec_context.configured(outer):
+            assert exec_context.active() is outer
+            with exec_context.configured(inner):
+                assert exec_context.active() is inner
+            assert exec_context.active() is outer
+        assert exec_context.active() is None
+
+    def test_should_go_out_of_core(self, small_workload):
+        build, probe = small_workload.build, small_workload.probe
+        state = build.materialized_bytes + probe.materialized_bytes
+        assert not should_go_out_of_core(build, probe, None)
+        assert should_go_out_of_core(
+            build, probe, ExecutionConfig(force=True)
+        )
+        assert should_go_out_of_core(
+            build, probe, ExecutionConfig(budget_bytes=state // 2)
+        )
+        assert not should_go_out_of_core(
+            build, probe, ExecutionConfig(budget_bytes=state * 2)
+        )
+
+    def test_notes_mailbox_drains(self):
+        exec_context.record_note({"mode": "memory"})
+        exec_context.record_note({"mode": "spill"})
+        notes = exec_context.consume_notes()
+        assert [note["mode"] for note in notes] == ["memory", "spill"]
+        assert exec_context.consume_notes() == []
+
+
+class TestMorselPlanning:
+    def test_morsels_cover_every_partition_once(self):
+        build = np.array([100, 0, 50, 3000, 10, 0, 20, 40], dtype=np.int64)
+        probe = build * 2
+        morsels = plan_morsels(build, probe, morsel_rows=256)
+        assert [m.index for m in morsels] == list(range(len(morsels)))
+        covered = []
+        for morsel in morsels:
+            assert morsel.lo < morsel.hi
+            covered.extend(range(morsel.lo, morsel.hi))
+        assert covered == list(range(len(build)))
+        total = int((build + probe).sum())
+        assert sum(m.rows for m in morsels) == total
+
+    def test_oversized_partition_closes_its_morsel(self):
+        """Hash skew: a fat partition can't be split, so the greedy
+        packer closes the morsel right after it instead of dragging
+        later partitions into the same giant unit of work."""
+        build = np.array([10, 5000, 10], dtype=np.int64)
+        probe = np.zeros(3, dtype=np.int64)
+        morsels = plan_morsels(build, probe, morsel_rows=100)
+        fat = [m for m in morsels if m.lo <= 1 < m.hi]
+        assert len(fat) == 1
+        assert fat[0].hi == 2
+        assert fat[0].rows >= 5000
+
+    def test_merge_partials_is_exact(self):
+        """Chunk-wise merged checksums equal the full-array result.
+
+        ``JoinMatch.from_arrays`` reduces mod ``2**62``; numpy's int64
+        sums wrap mod ``2**64 ≡ 0 (mod 2**62)``, so splitting the
+        arrays anywhere and merging must be bit-exact, not approximate.
+        """
+        rng = np.random.default_rng(3)
+        keys = rng.integers(1, 2**60, 10_000).astype(np.int64)
+        payloads = rng.integers(1, 2**60, 10_000).astype(np.int64)
+        whole = JoinMatch.from_arrays(keys, payloads)
+        partials = []
+        for lo in range(0, len(keys), 1337):
+            chunk = JoinMatch.from_arrays(
+                keys[lo:lo + 1337], payloads[lo:lo + 1337]
+            )
+            partials.append(
+                (chunk.matches, chunk.key_checksum,
+                 chunk.payload_checksum, 1337)
+            )
+        merged = merge_partials(partials)
+        assert summary(merged) == summary(whole)
+        assert merged.key_checksum < CHECKSUM_MOD
+
+
+class TestOutOfCoreIdentity:
+    def test_serial_in_memory(self, small_workload, reference):
+        match, note = join_with_note(
+            small_workload.build,
+            small_workload.probe,
+            ExecutionConfig(force=True, workers=0),
+        )
+        assert summary(match) == summary(reference)
+        assert note["mode"] == "memory"
+        assert note["morsels"] >= 1
+
+    def test_spill_to_disk(self, small_workload, reference, tmp_path):
+        build, probe = small_workload.build, small_workload.probe
+        state = build.materialized_bytes + probe.materialized_bytes
+        match, note = join_with_note(
+            build,
+            probe,
+            ExecutionConfig(
+                budget_bytes=state // 2,
+                workers=0,
+                morsel_rows=4096,
+                spill_dir=str(tmp_path),
+            ),
+        )
+        assert summary(match) == summary(reference)
+        assert note["mode"] == "spill"
+        assert note["spilled_bytes"] > 0
+        assert note["shards"] >= 2
+        # The spill manager cleaned up after itself.
+        assert list(tmp_path.glob("repro-spill-*")) == []
+
+    def test_morsel_pool(self, small_workload, reference):
+        try:
+            match, note = join_with_note(
+                small_workload.build,
+                small_workload.probe,
+                ExecutionConfig(force=True, workers=2, morsel_rows=4096),
+            )
+            assert summary(match) == summary(reference)
+            assert note["mode"] == "memory"
+            assert note["workers"] == 2
+            assert 0.0 <= note["occupancy"] <= 1.0
+            assert note["worker_deaths"] == 0
+        finally:
+            shutdown_pool()
+
+    def test_empty_probe(self, small_workload):
+        empty = small_workload.probe.take(np.arange(0))
+        match, note = join_with_note(
+            small_workload.build, empty, ExecutionConfig(force=True)
+        )
+        assert summary(match) == (0, 0, 0)
+        assert note["mode"] == "memory"
+
+
+def shm_partition_state(build, probe):
+    """Partition into shared-memory blocks, as ``_memory_join`` does."""
+    blocks = []
+
+    def allocate(name, rows, dtype):
+        block = ShmBlock(rows, dtype)
+        blocks.append((name, block))
+        return block.array
+
+    source = partition_state(build, probe, BITS1, allocate=allocate)
+    return source, blocks
+
+
+class TestCrashRecovery:
+    def test_worker_death_recovers_exactly(self, small_workload, reference):
+        """Kill worker 0 mid-morsel; the parent must re-execute it.
+
+        The done-flag protocol marks a morsel complete only after its
+        partial is computed, so a worker dying between claim and
+        completion leaves a detectable hole the parent fills inline —
+        and because partials merge order-independently, the recovered
+        result is identical, not merely close.
+        """
+        from repro.exec.morsel import execute_morsel
+
+        source, blocks = shm_partition_state(
+            small_workload.build, small_workload.probe
+        )
+        morsels = plan_morsels(
+            np.diff(source.build_offsets),
+            np.diff(source.probe_offsets),
+            4096,
+        )
+        assert len(morsels) > 1
+
+        def job(die_on=None):
+            return {
+                "mode": "shm",
+                "blocks": {
+                    name: block.descriptor() for name, block in blocks
+                },
+                "build_offsets": source.build_offsets,
+                "probe_offsets": source.probe_offsets,
+                "buckets": DEFAULT_BUCKETS,
+                "die_on": die_on,
+            }
+
+        def recover(morsel):
+            return execute_morsel(source, morsel, DEFAULT_BUCKETS)
+
+        try:
+            pool = get_pool(2)
+            result = pool.run(
+                job(die_on={0: morsels[0].index}), morsels, recover
+            )
+            assert result.deaths == 1
+            assert result.recovered >= 1
+            assert summary(merge_partials(result.partials)) == summary(
+                reference
+            )
+
+            # The pool respawned the dead worker: a second, clean job
+            # on the same pool completes with no deaths.
+            healed = pool.run(job(), morsels, recover)
+            assert healed.deaths == 0
+            assert healed.recovered == 0
+            assert summary(merge_partials(healed.partials)) == summary(
+                reference
+            )
+            assert 0.0 <= healed.occupancy <= 1.0
+        finally:
+            for _name, block in blocks:
+                block.release()
+            shutdown_pool()
+
+
+class TestOperatorWiring:
+    def test_triton_join_spills_transparently(self, system, small_workload):
+        operator = TritonJoin(system)
+        clean = operator.run(small_workload)
+        assert "out_of_core" not in clean.notes
+
+        state = (
+            small_workload.build.materialized_bytes
+            + small_workload.probe.materialized_bytes
+        )
+        config = ExecutionConfig(
+            budget_bytes=state // 2, workers=0, morsel_rows=4096
+        )
+        with exec_context.configured(config):
+            budgeted = operator.run(small_workload)
+        note = budgeted.notes["out_of_core"]
+        assert note["mode"] == "spill"
+        assert note["budget_bytes"] == state // 2
+        assert summary(budgeted.match) == summary(clean.match)
+
+    def test_run_cache_key_separates_exec_configs(
+        self, system, small_workload
+    ):
+        operator = TritonJoin(system)
+        plain = run_cache.run_key(operator, small_workload)
+        with exec_context.configured(ExecutionConfig(budget_bytes=1024)):
+            budgeted = run_cache.run_key(operator, small_workload)
+        with exec_context.configured(ExecutionConfig(budget_bytes=2048)):
+            other = run_cache.run_key(operator, small_workload)
+        assert plain != budgeted
+        assert budgeted != other

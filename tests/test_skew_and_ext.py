@@ -95,4 +95,4 @@ class TestExtensionExperimentsSmoke:
         assert bw.rows and failures.rows
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 23
+        assert len(ALL_EXPERIMENTS) == 24

@@ -25,6 +25,29 @@ class TestByteUnits:
         assert units.gb_per_s(75) == 75e9
 
 
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1024", 1024),
+            ("64B", 64),
+            ("600K", 600 * units.KIB),
+            ("1.5M", int(1.5 * units.MIB)),
+            ("2MiB", 2 * units.MIB),
+            ("1G", units.GIB),
+            ("1gb", units.GIB),
+            (" 2 T ", 2 * units.TIB),
+        ],
+    )
+    def test_accepted_spellings(self, text, expected):
+        assert units.parse_bytes(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "G", "1X", "-5M", "0"])
+    def test_rejected_spellings(self, text):
+        with pytest.raises(ValueError):
+            units.parse_bytes(text)
+
+
 class TestThroughput:
     def test_g_tuples_per_s(self):
         assert units.g_tuples_per_s(2e9, 1.0) == pytest.approx(2.0)

@@ -22,7 +22,12 @@ Usage::
     PYTHONPATH=src python tools/bench_diff.py old.json new.json
     PYTHONPATH=src python tools/bench_diff.py --history
     PYTHONPATH=src python tools/bench_diff.py --check-invariants run.json
+    PYTHONPATH=src python tools/bench_diff.py --check-outofcore BENCH_kernels.json
     PYTHONPATH=src python tools/bench_diff.py a.json b.json --fail-regression 1.5
+
+``--check-outofcore`` audits a perf-smoke report's out-of-core gauges
+(checksum identity with the in-memory join, morsel-pool speedup) — the
+CI gate for the out-of-core execution layer.
 """
 
 from __future__ import annotations
@@ -257,6 +262,61 @@ def check_coprocess(document: dict) -> List[str]:
     return problems
 
 
+# -- out-of-core gate -----------------------------------------------------------
+
+_OUTOFCORE_EXPERIMENT = "ext_outofcore"
+_CHECKSUM_GAUGE = "exec.outofcore.checksum_ok"
+_SPEEDUP_GAUGE = "exec.pool.speedup"
+
+
+def check_outofcore(document: dict, min_speedup: float = 1.0) -> List[str]:
+    """Audit a smoke report's out-of-core gauges ([] = clean).
+
+    The report must carry at least one ``ext_outofcore`` entry whose
+    gauges show ``exec.outofcore.checksum_ok == 1`` (every out-of-core
+    mode — spill, serial morsels, morsel pool — produced a match
+    summary byte-identical to the in-memory reference) and
+    ``exec.pool.speedup >= min_speedup`` (the morsel pool at least
+    matches the single-process join at the smoke's fig13-scale
+    arrays). Both gauges are medians over the experiment's internal
+    repeats, so one noisy sample cannot flip the gate.
+    """
+    gauges = document.get("gauges")
+    if not isinstance(gauges, dict):
+        return [
+            "smoke report has no 'gauges' section; regenerate it with "
+            "the current tools/perf_smoke.py"
+        ]
+    labels = sorted(
+        label
+        for label in gauges
+        if label.split("@")[0] == _OUTOFCORE_EXPERIMENT
+    )
+    if not labels:
+        return [
+            f"no {_OUTOFCORE_EXPERIMENT} entry in the smoke report; run "
+            f"tools/perf_smoke.py --experiments {_OUTOFCORE_EXPERIMENT}@4096"
+        ]
+    problems: List[str] = []
+    for label in labels:
+        values = gauges.get(label) or {}
+        checksum_ok = values.get(_CHECKSUM_GAUGE)
+        if checksum_ok != 1.0:
+            problems.append(
+                f"{label}: {_CHECKSUM_GAUGE} is {checksum_ok!r}; an "
+                "out-of-core mode diverged from the in-memory reference"
+            )
+        speedup = values.get(_SPEEDUP_GAUGE)
+        if speedup is None:
+            problems.append(f"{label}: {_SPEEDUP_GAUGE} gauge missing")
+        elif speedup < min_speedup:
+            problems.append(
+                f"{label}: morsel pool speedup {speedup:.3f}x is below "
+                f"the {min_speedup:g}x gate"
+            )
+    return problems
+
+
 # -- history --------------------------------------------------------------------
 
 
@@ -314,6 +374,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "aligned single-backend runs",
     )
     parser.add_argument(
+        "--check-outofcore",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="audit a perf-smoke report's out-of-core gauges: checksum "
+        "identity with the in-memory reference and morsel-pool speedup "
+        ">= --min-pool-speedup; exits 1 on any violation",
+    )
+    parser.add_argument(
+        "--min-pool-speedup",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="with --check-outofcore: minimum exec.pool.speedup "
+        "(default 1.0: the pool must not lose to single-process)",
+    )
+    parser.add_argument(
         "--fail-regression",
         type=float,
         default=None,
@@ -325,6 +402,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check_coprocess and args.check_invariants is None:
         parser.error("--check-coprocess requires --check-invariants PATH")
+
+    if args.check_outofcore is not None:
+        document = _load(args.check_outofcore)
+        if _kind(document) != "smoke":
+            parser.error(
+                f"{args.check_outofcore} is not a perf-smoke report"
+            )
+        problems = check_outofcore(
+            document, min_speedup=args.min_pool_speedup
+        )
+        if problems:
+            print(f"{len(problems)} out-of-core gate violation(s):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        print(
+            "out-of-core gate holds: checksum identity + pool speedup "
+            f">= {args.min_pool_speedup:g}x"
+        )
+        return 0
 
     if args.check_invariants is not None:
         document = _load(args.check_invariants)

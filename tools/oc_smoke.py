@@ -1,0 +1,160 @@
+"""Out-of-core execution smoke: end-to-end identity + leak guards.
+
+Runs a full operator (:class:`repro.join.triton.TritonJoin`) twice on
+the same workload — once clean, once under an ambient
+:class:`repro.exec.ExecutionConfig` whose budget is a small fraction of
+the relations' tuple bytes, so the functional join transparently
+spills to disk shards and streams morsels across the worker pool — and
+asserts:
+
+1. the out-of-core run's match summary (matches, key checksum, payload
+   checksum) equals the clean run's, and ``run.notes["out_of_core"]``
+   records a ``spill``-mode execution;
+2. **no spill residue**: after the run, no ``repro-spill-*`` directory
+   survives under the spill parent (the spill manager must remove its
+   own tempdir even though the join streamed morsels off it);
+3. **no worker residue**: after :func:`repro.exec.shutdown_pool`, no
+   morsel-worker child processes remain alive.
+
+CI runs this as the out-of-core leg next to the perf-smoke gate::
+
+    PYTHONPATH=src python tools/oc_smoke.py
+    PYTHONPATH=src python tools/oc_smoke.py --workers 2 --budget-fraction 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data.generator import generate_workload  # noqa: E402
+from repro.exec import ExecutionConfig, configured, shutdown_pool  # noqa: E402
+from repro.hw.specs import ac922  # noqa: E402
+from repro.join.triton import TritonJoin  # noqa: E402
+
+
+def spill_residue(parent: pathlib.Path) -> list:
+    """Paths of surviving spill directories under ``parent``."""
+    return sorted(str(path) for path in parent.glob("repro-spill-*"))
+
+
+def live_morsel_workers() -> list:
+    """Names of morsel-pool worker processes still alive."""
+    return sorted(
+        child.name
+        for child in multiprocessing.active_children()
+        if child.name.startswith("morsel-worker-")
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="morsel-pool workers for the out-of-core run (default 2)",
+    )
+    parser.add_argument(
+        "--budget-fraction",
+        type=float,
+        default=0.25,
+        help="host-memory budget as a fraction of the relations' tuple "
+        "bytes (default 0.25: well under the state, forcing a spill)",
+    )
+    parser.add_argument(
+        "--build-m",
+        type=float,
+        default=0.05,
+        help="build cardinality in M tuples (default 0.05)",
+    )
+    parser.add_argument(
+        "--probe-m",
+        type=float,
+        default=0.1,
+        help="probe cardinality in M tuples (default 0.1)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    workload = generate_workload(
+        args.build_m, args.probe_m, seed=7, scale_divisor=1
+    )
+    state_bytes = (
+        workload.build.materialized_bytes + workload.probe.materialized_bytes
+    )
+    budget = max(1, int(state_bytes * args.budget_fraction))
+    operator = TritonJoin(ac922())
+
+    clean = operator.run(workload)
+    if "out_of_core" in clean.notes:
+        failures.append("clean run unexpectedly went out-of-core")
+
+    with tempfile.TemporaryDirectory(prefix="oc-smoke-") as spill_parent:
+        parent = pathlib.Path(spill_parent)
+        config = ExecutionConfig(
+            budget_bytes=budget,
+            workers=args.workers,
+            morsel_rows=4096,
+            spill_dir=spill_parent,
+        )
+        with configured(config):
+            budgeted = operator.run(workload)
+
+        note = budgeted.notes.get("out_of_core")
+        if not note:
+            failures.append(
+                "budgeted run carries no out_of_core note — the join "
+                "never left the in-memory path"
+            )
+        else:
+            if note.get("mode") != "spill":
+                failures.append(
+                    f"expected spill mode under a {budget} B budget for "
+                    f"{state_bytes} B of state, got {note.get('mode')!r}"
+                )
+            if note.get("workers") != args.workers:
+                failures.append(
+                    f"note records {note.get('workers')!r} workers, "
+                    f"expected {args.workers}"
+                )
+        for field in ("matches", "key_checksum", "payload_checksum"):
+            clean_value = getattr(clean.match, field)
+            oc_value = getattr(budgeted.match, field)
+            if clean_value != oc_value:
+                failures.append(
+                    f"{field} diverged: clean {clean_value} vs "
+                    f"out-of-core {oc_value}"
+                )
+
+        residue = spill_residue(parent)
+        if residue:
+            failures.append(f"spill directories leaked: {residue}")
+
+    shutdown_pool()
+    workers = live_morsel_workers()
+    if workers:
+        failures.append(f"morsel workers survived shutdown: {workers}")
+
+    if failures:
+        print(f"oc smoke FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  ! {failure}")
+        return 1
+    print(
+        f"oc smoke OK: spill join under {budget} B budget "
+        f"({state_bytes} B state, {args.workers} workers) matched the "
+        f"clean run (matches={clean.match.matches}); no spill or "
+        "worker residue"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

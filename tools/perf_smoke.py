@@ -50,8 +50,21 @@ from repro.join import run_cache  # noqa: E402
 #: Counter namespaces worth recording per experiment: cache behaviour
 #: and which kernel paths actually ran (a silent scipy-less fallback or
 #: a dense-vs-searchsorted flip shows up here before it shows up as a
-#: wall-clock anomaly).
-METRIC_PREFIXES = ("run_cache.", "kernels.scatter.", "batch.probe.")
+#: wall-clock anomaly). ``exec.`` covers the out-of-core layer (spill
+#: bytes, morsels, steals, worker deaths).
+METRIC_PREFIXES = (
+    "run_cache.",
+    "kernels.scatter.",
+    "batch.probe.",
+    "exec.",
+)
+
+#: Gauge namespaces recorded per experiment: the out-of-core gates
+#: (``exec.pool.speedup``, ``exec.outofcore.checksum_ok``) that
+#: ``tools/bench_diff.py --check-outofcore`` reads, plus process
+#: memory (``process.peak_rss_bytes`` is the monotonic high-water
+#: mark, so a later label's value is "peak so far", not per-label).
+GAUGE_PREFIXES = ("exec.", "process.")
 
 #: Scale divisor at which fig17's grouped probes use the dense offsets
 #: table (the build side outgrows the planned slot space).
@@ -64,6 +77,10 @@ SMOKE_RUNS = (
     ("fig16", None),
     ("fig17", None),
     ("fig17", DENSE_PROBE_DIVISOR),
+    # fig13-scale arrays (500 K rows/side): large enough that the
+    # morsel pool's IPC amortizes, which is what its speedup gate
+    # measures.
+    ("ext_outofcore", DENSE_PROBE_DIVISOR),
 )
 DEFAULT_DIVISOR = 16384.0
 
@@ -85,6 +102,15 @@ def _metric_counters(delta: dict) -> dict:
         name: count
         for name, count in sorted(delta.get("counters", {}).items())
         if name.startswith(METRIC_PREFIXES)
+    }
+
+
+def _metric_gauges(delta: dict) -> dict:
+    """The delta's gauges filtered to :data:`GAUGE_PREFIXES`."""
+    return {
+        name: value
+        for name, value in sorted(delta.get("gauges", {}).items())
+        if name.startswith(GAUGE_PREFIXES)
     }
 
 
@@ -122,6 +148,7 @@ def run_smoke(
     spreads = {}
     samples = {}
     metrics = {}
+    gauges = {}
     try:
         for name, override in runs:
             run_divisor = divisor if override is None else override
@@ -134,9 +161,10 @@ def run_smoke(
                 ALL_EXPERIMENTS[name].run(scale_divisor=run_divisor)
                 times.append(round(time.time() - started, 3))
                 if repeat == 0:
-                    metrics[label] = _metric_counters(
-                        telemetry.registry.delta_since(before)
-                    )
+                    telemetry.update_process_gauges()
+                    delta = telemetry.registry.delta_since(before)
+                    metrics[label] = _metric_counters(delta)
+                    gauges[label] = _metric_gauges(delta)
             timings[label] = round(_median(times), 3)
             spreads[label] = round(max(times) - min(times), 3)
             samples[label] = times
@@ -144,6 +172,9 @@ def run_smoke(
         cache_stats = dict(run_cache.stats)
         run_cache.disable()
         run_cache.clear()
+        from repro.exec import shutdown_pool
+
+        shutdown_pool()
     return {
         "divisor": divisor,
         "python": platform.python_version(),
@@ -154,6 +185,19 @@ def run_smoke(
         "total_seconds": round(sum(timings.values()), 3),
         "run_cache": cache_stats,
         "metrics": metrics,
+        "gauges": gauges,
+        "memory": {
+            label: {
+                name: values[name]
+                for name in (
+                    "process.peak_rss_bytes",
+                    "process.children_peak_rss_bytes",
+                    "exec.spill.tempdir_bytes",
+                )
+                if name in values
+            }
+            for label, values in gauges.items()
+        },
     }
 
 
@@ -185,6 +229,7 @@ def append_history(
             "experiments": dict(report["experiments"]),
             "spread": dict(report.get("spread", {})),
             "total_seconds": report["total_seconds"],
+            "memory": dict(report.get("memory", {})),
         }
     )
     document = {"entries": entries[-limit:]}
