@@ -49,6 +49,16 @@ after every experiment and merged here. Note that with the run cache
 on, a figure that replays a memoized (operator, workload) run does not
 re-simulate it, so the explanation appears only under the experiment
 that ran it first.
+
+``--events out.jsonl`` turns on the flight recorder
+(:mod:`repro.telemetry.events`) and writes the structured lifecycle
+event stream as JSONL; ``--prom out.prom`` exports the final metrics
+registry in Prometheus text format and ``--prom-port N`` additionally
+serves exactly one scrape of it over HTTP; ``--live`` paints a fleet
+dashboard to stderr (falling back to plain ``[live]`` lines on
+non-TTY streams). All compose with ``--jobs``: worker events are
+drained per experiment and absorbed here, identically to the metrics
+delta contract. See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -118,10 +128,14 @@ def _render_one(name: str, sizes, divisor) -> "tuple[str, list]":
     if divisor is not None and "scale_divisor" in signature.parameters:
         kwargs["scale_divisor"] = divisor
     started = time.time()
+    telemetry.emit_event("experiment.start", experiment=name)
     with telemetry.span(f"experiment:{name}", divisor=divisor):
         result = module.run(**kwargs)
     elapsed = time.time() - started
     telemetry.registry.observe("bench.experiment_seconds", elapsed)
+    telemetry.emit_event(
+        "experiment.end", experiment=name, seconds=elapsed
+    )
     tables = result if isinstance(result, tuple) else (result,)
     chunks = []
     for table in tables:
@@ -167,18 +181,20 @@ def _worker(
     fault_plan=None,
     collect_explanations: bool = False,
     exec_config=None,
+    record_events: bool = False,
 ):
     """Process-pool entry point.
 
     Returns ``(name, output, seconds, metrics delta, trace snapshot,
-    explanation dicts)``. Metrics are reported as a delta against the
-    snapshot taken before the experiment, and the span trace and
-    explanations are drained after it — a pool process reused for
-    several experiments never reports the same work twice (summing
-    cumulative per-worker stats would). ``fault_plan`` is the parent's
-    ``--faults`` plan as a dict, and ``exec_config`` the parent's
-    out-of-core :class:`ExecutionConfig` as a dict (both are ambient
-    per-process state, so each worker re-activates them).
+    explanation dicts, flight-recorder events)``. Metrics are reported
+    as a delta against the snapshot taken before the experiment, and
+    the span trace, explanations, and recorder events are drained after
+    it — a pool process reused for several experiments never reports
+    the same work twice (summing cumulative per-worker stats would).
+    ``fault_plan`` is the parent's ``--faults`` plan as a dict, and
+    ``exec_config`` the parent's out-of-core :class:`ExecutionConfig`
+    as a dict (both are ambient per-process state, so each worker
+    re-activates them).
     """
     if use_cache:
         run_cache.enable()
@@ -187,6 +203,8 @@ def _worker(
     if collect_explanations:
         telemetry.enable()  # span labels name the explanations
         explain_mod.enable_collection()
+    if record_events:
+        telemetry.events.enable()
     if fault_plan is not None:
         faults.activate(faults.FaultPlan.from_dict(fault_plan))
     if exec_config is not None:
@@ -205,7 +223,8 @@ def _worker(
     telemetry.update_process_gauges()
     delta = telemetry.registry.delta_since(before)
     snapshot = telemetry.trace_snapshot(drain=True) if trace else None
-    return name, output, seconds, delta, snapshot, explanations
+    events = telemetry.events.drain() if record_events else None
+    return name, output, seconds, delta, snapshot, explanations, events
 
 
 def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
@@ -240,12 +259,23 @@ def _timing_table(seconds_by_name, workers=1) -> ExperimentTable:
     return table
 
 
-def _run_all(sizes, divisor, jobs: int, explained=None, memory_budget=None) -> None:
+def _run_all(
+    sizes,
+    divisor,
+    jobs: int,
+    explained=None,
+    memory_budget=None,
+    dashboard=None,
+) -> None:
     if jobs <= 1:
-        timings = [
-            (name, _run_one(name, sizes, divisor, explained=explained))
-            for name in ALL_EXPERIMENTS
-        ]
+        timings = []
+        for name in ALL_EXPERIMENTS:
+            if dashboard is not None:
+                dashboard.mark_running(name)
+            seconds = _run_one(name, sizes, divisor, explained=explained)
+            timings.append((name, seconds))
+            if dashboard is not None:
+                dashboard.mark_done(name, seconds)
         print(_timing_table(timings).format())
         return
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -254,6 +284,7 @@ def _run_all(sizes, divisor, jobs: int, explained=None, memory_budget=None) -> N
     use_cache = run_cache.enabled()
     trace = telemetry.enabled()
     collect = explain_mod.collecting()
+    record_events = telemetry.events.enabled()
     plan = faults.active()
     plan_dict = plan.to_dict() if plan is not None else None
     config = exec_context.active()
@@ -299,34 +330,55 @@ def _run_all(sizes, divisor, jobs: int, explained=None, memory_budget=None) -> N
                     plan_dict,
                     collect,
                     config_dict,
+                    record_events,
                 )
                 running[future] = name
                 in_flight += need
                 queued.pop(index)
+                if dashboard is not None:
+                    dashboard.mark_running(name)
 
         admit()
         printed = 0
         while running:
-            done, _ = wait(set(running), return_when=FIRST_COMPLETED)
+            # A finite wait keeps the dashboard's clocks moving while
+            # the fleet is busy; without one the paint would only
+            # refresh on experiment completion.
+            done, _ = wait(
+                set(running),
+                return_when=FIRST_COMPLETED,
+                timeout=1.0 if dashboard is not None else None,
+            )
             for future in done:
                 finished = running.pop(future)
                 in_flight -= budgets[finished]
                 results[finished] = future.result()
+                if dashboard is not None:
+                    dashboard.mark_done(finished, results[finished][2])
             admit()
             # Print the contiguous prefix now available — output stays
             # in deterministic experiment order regardless of completion
             # (and of the admission scheduler's reorderings).
             while printed < len(names) and names[printed] in results:
-                name, output, seconds, delta, snapshot, explanations = (
-                    results.pop(names[printed])
-                )
+                (
+                    name,
+                    output,
+                    seconds,
+                    delta,
+                    snapshot,
+                    explanations,
+                    events,
+                ) = results.pop(names[printed])
                 print(output)
                 timings_by_name[name] = seconds
                 telemetry.registry.merge(delta)
                 telemetry.absorb_trace(snapshot, label=f"worker: {name}")
+                telemetry.events.absorb(events)
                 if explained is not None and explanations:
                     explained.setdefault(name, []).extend(explanations)
                 printed += 1
+            if dashboard is not None:
+                dashboard.tick()
     timings = [(name, timings_by_name[name]) for name in names]
     table = _timing_table(timings, workers=jobs)
     if memory_budget is not None:
@@ -436,6 +488,38 @@ def main(argv=None) -> int:
         help="parent directory for spill shards (default: system tmp); "
         "the spill manager creates and removes its own subdirectory",
     )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="turn on the flight recorder and write the structured "
+        "event stream (experiment/run lifecycle, spills, morsel "
+        "dispatch/steal/recovery, worker death/respawn/stall, faults, "
+        "ladder fallbacks) as JSONL — see docs/observability.md",
+    )
+    parser.add_argument(
+        "--prom",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry in Prometheus text exposition "
+        "format (counters as _total, timings as _bucket/_sum/_count)",
+    )
+    parser.add_argument(
+        "--prom-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="after the run, serve exactly one Prometheus scrape of "
+        "the final registry on PORT (0 = ephemeral), then exit",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="paint a live fleet dashboard to stderr (per-experiment "
+        "status, ETA, pool occupancy, spill bytes, fault tallies); "
+        "stdout tables are unaffected, and non-TTY streams get plain "
+        "'[live]' lines instead of ANSI redraws",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -501,6 +585,18 @@ def main(argv=None) -> int:
         # without --trace.
         telemetry.enable()
         explain_mod.enable_collection()
+    if args.events or args.live:
+        telemetry.events.enable()
+    dashboard = None
+    if args.live and args.experiment != "list":
+        from repro.bench.live import LiveDashboard
+
+        dash_names = (
+            list(ALL_EXPERIMENTS)
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        dashboard = LiveDashboard(dash_names, jobs=args.jobs)
     faults.activate(fault_plan)
     exec_context.activate(exec_config)
     try:
@@ -511,6 +607,7 @@ def main(argv=None) -> int:
                 args.jobs,
                 explained=explained,
                 memory_budget=memory_budget,
+                dashboard=dashboard,
             )
             return 0
 
@@ -524,15 +621,41 @@ def main(argv=None) -> int:
         if args.profile:
             _profile_one(args.experiment, sizes, args.divisor)
         else:
-            _run_one(args.experiment, sizes, args.divisor, explained=explained)
+            if dashboard is not None:
+                dashboard.mark_running(args.experiment)
+            seconds = _run_one(
+                args.experiment, sizes, args.divisor, explained=explained
+            )
+            if dashboard is not None:
+                dashboard.mark_done(args.experiment, seconds)
         return 0
     finally:
+        if dashboard is not None:
+            dashboard.close()
         # Write artifacts before run_cache.clear(): clearing the cache
         # also resets its registry counters.
         if args.trace:
             telemetry.write_chrome_trace(args.trace)
         if args.metrics:
             telemetry.write_metrics(args.metrics)
+        if args.events:
+            written = telemetry.events.write_jsonl(args.events)
+            print(
+                f"[events: {written} -> {args.events}]", file=sys.stderr
+            )
+        if args.prom:
+            telemetry.prometheus.write_prometheus(args.prom)
+        if args.prom_port is not None:
+            server = telemetry.prometheus.serve_once(port=args.prom_port)
+            print(
+                f"[prometheus: serving one scrape on "
+                f"port {server.server_address[1]}]",
+                file=sys.stderr,
+            )
+            try:
+                server.handle_request()
+            finally:
+                server.server_close()
         if args.explain:
             with open(args.explain, "w") as handle:
                 json.dump(
@@ -549,6 +672,8 @@ def main(argv=None) -> int:
         run_cache.clear()
         telemetry.disable()
         telemetry.spans.reset()
+        telemetry.events.disable()
+        telemetry.events.reset()
         explain_mod.disable_collection()
         explain_mod.drain()
 

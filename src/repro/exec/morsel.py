@@ -24,6 +24,7 @@ which is the margin that pays for the worker pool's IPC.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Tuple
 
@@ -270,7 +271,11 @@ def run_serial(
     """Execute every morsel in-process, in order."""
     partials = []
     for morsel in morsels:
+        started = time.perf_counter()
         partials.append(execute_morsel(source, morsel, buckets))
+        telemetry.registry.observe(
+            "exec.morsel_seconds", time.perf_counter() - started
+        )
         telemetry.registry.count("exec.morsels")
         telemetry.registry.count("exec.morsel_rows", partials[-1][3])
     return partials

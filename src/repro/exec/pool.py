@@ -144,13 +144,15 @@ def _open_source(job: dict, segments: list):
 def _claim(ctrl: np.ndarray, workers: int, worker_id: int, lock):
     """Next morsel index for ``worker_id`` (own range first, then steal).
 
-    Returns ``(index, stolen)`` or ``None`` when every range is drained.
+    Returns ``(index, stolen, victim)`` — ``victim`` is ``-1`` for a
+    claim from the worker's own range — or ``None`` when every range is
+    drained.
     """
     with lock:
         cursor = int(ctrl[worker_id])
         if cursor < int(ctrl[workers + worker_id]):
             ctrl[worker_id] = cursor + 1
-            return cursor, False
+            return cursor, False, -1
         victim, remaining = -1, 0
         for v in range(workers):
             left = int(ctrl[workers + v]) - int(ctrl[v])
@@ -160,11 +162,12 @@ def _claim(ctrl: np.ndarray, workers: int, worker_id: int, lock):
             return None
         ctrl[workers + victim] -= 1
         ctrl[2 * workers] += 1
-        return int(ctrl[workers + victim]), True
+        return int(ctrl[workers + victim]), True, victim
 
 
 def _run_job(worker_id: int, job: dict, lock) -> dict:
     from repro import faults, telemetry
+    from repro.telemetry import events as _events
 
     out: dict = {
         "job_id": job["job_id"],
@@ -175,10 +178,13 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
     }
     segments: list = []
     plan = job.get("fault_plan")
+    record_events = bool(job.get("record_events"))
     try:
         before = telemetry.registry.snapshot()
         if plan is not None:
             faults.activate(faults.FaultPlan.from_dict(plan))
+        if record_events:
+            _events.enable()
         try:
             source = _open_source(job, segments)
             control = _attach(job["control"])
@@ -189,17 +195,37 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
                 control, 2 * workers + 1 + len(morsels), np.dtype(np.int64).str
             )
             die_on = job.get("die_on") or {}
+            sleep_on = job.get("sleep_on") or {}
             epoch = time.perf_counter()
             while True:
                 claim = _claim(ctrl, workers, worker_id, lock)
                 if claim is None:
                     break
-                index, stolen = claim
+                index, stolen, victim = claim
                 if die_on.get(worker_id) == index:
                     # Crash-test hook: die after claiming, before the
                     # done flag — exactly the mid-morsel failure the
                     # parent's recovery scan must cover.
                     os._exit(CRASH_EXIT_CODE)
+                _events.emit(
+                    "morsel.dispatched",
+                    worker=worker_id,
+                    morsel=index,
+                    stolen=stolen,
+                )
+                if stolen:
+                    _events.emit(
+                        "morsel.stolen",
+                        worker=worker_id,
+                        morsel=index,
+                        victim=victim,
+                    )
+                pause = sleep_on.get(worker_id)
+                if pause is not None and pause[0] == index:
+                    # Stall-test hook: hold the morsel (claimed, not
+                    # done) long enough for the parent's watchdog to
+                    # flag this worker as silent.
+                    time.sleep(pause[1])
                 started = time.perf_counter() - epoch
                 partial = execute_morsel(
                     source, Morsel(*morsels[index]), job["buckets"]
@@ -209,6 +235,9 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
                 out["partials"].append((index, partial))
                 out["intervals"].append((index, started, ended, stolen))
                 out["busy"] += ended - started
+                telemetry.registry.observe(
+                    "exec.morsel_seconds", ended - started
+                )
         finally:
             if plan is not None:
                 faults.deactivate()
@@ -220,6 +249,10 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
         out["metrics"] = telemetry.registry.delta_since(before)
     except BaseException as error:  # noqa: BLE001 - report, don't kill worker
         out["error"] = repr(error)
+    finally:
+        if record_events:
+            out["events"] = _events.drain()
+            _events.disable()
     return out
 
 
@@ -233,6 +266,52 @@ def _worker_main(worker_id: int, jobs, results, lock) -> None:
 
 # -- parent side ----------------------------------------------------------------
 
+#: A worker is flagged as stalled when the shared control block has not
+#: changed for this many seconds while that worker still owes a result.
+DEFAULT_STALL_SECONDS = 30.0
+
+
+class _StallWatchdog:
+    """Flags pool workers that go silent past a threshold.
+
+    The only progress signal the parent can see without new IPC is the
+    shared control block itself: every claim moves a cursor, every
+    completion sets a done flag. The watchdog fingerprints the block's
+    bytes each poll; when the fingerprint has not changed for
+    ``stall_after`` seconds, every still-pending *alive* worker is
+    flagged once (``worker.stalled``). Any progress resets the flags, so
+    a worker that merely ran a long morsel and then resumed gets flagged
+    at most once per silent stretch. This unifies with done-flag crash
+    recovery: a stall is the soft sibling of a death — the parent warns
+    rather than re-executes, because the worker may still deliver.
+    """
+
+    def __init__(self, stall_after: float) -> None:
+        self.stall_after = stall_after
+        self._fingerprint: Optional[bytes] = None
+        self._since: float = 0.0
+        self._flagged: set = set()
+
+    def observe(
+        self, fingerprint: bytes, now: float, pending
+    ) -> List[Tuple[int, float]]:
+        """Returns newly-stalled ``(worker, silent_seconds)`` pairs."""
+        if fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            self._since = now
+            self._flagged.clear()
+            return []
+        silent = now - self._since
+        if silent < self.stall_after:
+            return []
+        fresh = [
+            (worker, silent)
+            for worker in sorted(pending)
+            if worker not in self._flagged
+        ]
+        self._flagged.update(worker for worker, _ in fresh)
+        return fresh
+
 
 @dataclass
 class PoolResult:
@@ -245,6 +324,7 @@ class PoolResult:
     workers: int = 0
     recovered: int = 0
     deaths: int = 0
+    stalls: int = 0
     #: (worker, morsel index, start, end, stolen) busy intervals,
     #: relative to each worker's job start.
     intervals: List[Tuple[int, int, float, float, bool]] = field(
@@ -290,12 +370,15 @@ class MorselPool:
 
     def ensure_started(self) -> int:
         """Spawn missing or dead workers; returns respawn count."""
+        from repro.telemetry import events as _events
+
         respawned = 0
         for index, proc in enumerate(self._procs):
             if proc is None or not proc.is_alive():
                 if proc is not None:
                     proc.join(timeout=1.0)
                     respawned += 1
+                    _events.emit("worker.respawn", worker=index)
                 self._spawn(index)
         return respawned
 
@@ -326,14 +409,17 @@ class MorselPool:
         morsels: List[Morsel],
         recover: Callable[[Morsel], Partial],
         timeout: float = DEFAULT_JOB_TIMEOUT,
+        stall_after: float = DEFAULT_STALL_SECONDS,
     ) -> PoolResult:
         """Execute ``morsels`` under ``job``'s payload across the pool.
 
         ``job`` carries the source description (shared-memory block
         descriptors or shard directories), ``buckets``, and optional
-        ``fault_plan`` / ``die_on``; this method adds the control block
-        and per-worker ranges. ``recover`` re-executes a morsel inline
-        in the parent when its done flag never appeared (worker death).
+        ``fault_plan`` / ``die_on`` / ``sleep_on``; this method adds the
+        control block and per-worker ranges. ``recover`` re-executes a
+        morsel inline in the parent when its done flag never appeared
+        (worker death). ``stall_after`` is the silent-seconds threshold
+        past which a still-pending worker is flagged ``worker.stalled``.
         """
         if not morsels:
             return PoolResult(partials=[], workers=0)
@@ -349,16 +435,28 @@ class MorselPool:
             ctrl[w] = bounds[w]
             ctrl[workers + w] = bounds[w + 1]
 
+        from repro import telemetry
+        from repro.telemetry import events as _events
+
         job = dict(job)
         job["job_id"] = next(self._job_ids)
         job["workers"] = workers
         job["control"] = control.segment.name
         job["morsels"] = [(m.index, m.lo, m.hi, m.rows) for m in morsels]
+        # The recorder flag rides in the job payload so every pool
+        # entry point (out-of-core runner, direct tests) inherits the
+        # parent's recorder state without threading a parameter.
+        job["record_events"] = _events.enabled()
 
-        from repro import telemetry
-
+        _events.emit(
+            "pool.job.start",
+            job=job["job_id"],
+            workers=workers,
+            morsels=count,
+        )
         started = time.time()
         result = PoolResult(partials=[], workers=workers)
+        watchdog = _StallWatchdog(stall_after)
         try:
             for index in range(workers):
                 self._job_queues[index].put(job)
@@ -369,12 +467,24 @@ class MorselPool:
                 try:
                     reply = self._results.get(timeout=_POLL_SECONDS)
                 except queue.Empty:
+                    now = time.time()
                     for index in list(pending):
                         proc = self._procs[index]
                         if proc is None or not proc.is_alive():
                             pending.discard(index)
                             result.deaths += 1
-                    if time.time() > deadline:
+                            _events.emit("worker.death", worker=index)
+                    for worker, silent in watchdog.observe(
+                        ctrl.tobytes(), now, pending
+                    ):
+                        result.stalls += 1
+                        telemetry.registry.count("exec.pool.worker_stalls")
+                        _events.emit(
+                            "worker.stalled",
+                            worker=worker,
+                            silent_seconds=round(silent, 3),
+                        )
+                    if now > deadline:
                         raise TimeoutError(
                             f"morsel pool job timed out after {timeout:g}s "
                             f"({len(pending)} workers pending)"
@@ -383,9 +493,11 @@ class MorselPool:
                 if reply.get("job_id") != job["job_id"]:
                     continue  # stale result from an abandoned job
                 pending.discard(reply["worker"])
+                _events.absorb(reply.get("events"))
                 if reply.get("error") is not None:
                     result.deaths += 1
                     telemetry.registry.count("exec.pool.worker_errors")
+                    _events.emit("worker.death", worker=reply["worker"])
                     continue
                 for index, partial in reply["partials"]:
                     indexed[index] = partial
@@ -404,6 +516,7 @@ class MorselPool:
                 if morsel.index not in indexed:
                     indexed[morsel.index] = recover(morsel)
                     result.recovered += 1
+                    _events.emit("morsel.recovered", morsel=morsel.index)
             result.partials = [indexed[m.index] for m in morsels]
             result.steals = int(ctrl[2 * workers])
         finally:
@@ -414,6 +527,11 @@ class MorselPool:
                     "exec.pool.worker_deaths", result.deaths
                 )
                 self.ensure_started()
+            _events.emit(
+                "pool.job.end",
+                job=job["job_id"],
+                seconds=result.wall_seconds,
+            )
         telemetry.registry.count("exec.pool.jobs")
         telemetry.registry.count("exec.pool.morsels_stolen", result.steals)
         telemetry.registry.count(

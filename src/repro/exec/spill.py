@@ -97,12 +97,17 @@ class SpillManager:
                 bits=bits,
             )
         self._spilled.append(chunked)
-        telemetry.registry.count(
-            "exec.spill.bytes_written", chunked.bytes_on_disk()
-        )
+        shard_bytes = chunked.bytes_on_disk()
+        telemetry.registry.count("exec.spill.bytes_written", shard_bytes)
         telemetry.registry.count("exec.spill.shards", chunked.shards)
         telemetry.registry.gauge(
             "exec.spill.tempdir_bytes", self.tempdir_bytes()
+        )
+        telemetry.emit_event(
+            "spill.shard_written",
+            relation=relation.name,
+            shards=chunked.shards,
+            bytes=shard_bytes,
         )
         return chunked
 

@@ -392,4 +392,10 @@ def effective_gpu_memory(
     from repro import telemetry  # deferred: telemetry is a peer layer
 
     telemetry.registry.count("faults.capacity_shrink")
+    telemetry.emit_event(
+        "fault.injected",
+        kind="capacity_shrink",
+        target="gpu_memory",
+        detail=f"capacity x{plan.gpu_memory_factor:g}",
+    )
     return capacity_bytes * plan.gpu_memory_factor

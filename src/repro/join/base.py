@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import functools
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
@@ -90,25 +91,57 @@ class JoinRun:
 
 
 def _traced_run(run_method):
-    """Wrap an operator's ``run`` in a telemetry span (outermost layer).
+    """Wrap an operator's ``run`` in telemetry (outermost layer).
 
     Sits outside the run-cache wrapper so cache hits still appear as
-    spans (annotated ``run_cache=hit`` by the cache). Disabled telemetry
-    costs one flag check per run call.
+    spans (annotated ``run_cache=hit`` by the cache) and as flight-
+    recorder events (``run.end`` with ``cache_hit=true``). Per-run
+    latency always lands in the ``join.run_seconds`` timing histogram —
+    the registry is always on, and one observation per *run* (not per
+    kernel) is what the percentile reports are built from. With both
+    spans and the recorder disabled the wrapper costs two flag checks
+    and a clock read per run call.
     """
+    from repro.telemetry import events as _events
 
     @functools.wraps(run_method)
     def wrapper(self, workload):
-        if not telemetry.enabled():
-            return run_method(self, workload)
+        events_on = _events.enabled()
+        if not telemetry.enabled() and not events_on:
+            started = time.perf_counter()
+            result = run_method(self, workload)
+            telemetry.registry.observe(
+                "join.run_seconds", time.perf_counter() - started
+            )
+            return result
         name = getattr(self, "name", type(self).__name__)
-        with telemetry.span(
-            f"run:{name}",
-            operator=type(self).__name__,
-            build_rows=workload.build.nominal_rows,
-            probe_rows=workload.probe.nominal_rows,
-        ):
-            return run_method(self, workload)
+        if events_on:
+            _events.emit("run.start", operator=name)
+        # A cache hit is visible as the hits counter moving while the
+        # wrapped call runs — the cache layer sits just inside this one.
+        hits_before = telemetry.registry.counter("run_cache.hits")
+        started = time.perf_counter()
+        try:
+            with telemetry.span(
+                f"run:{name}",
+                operator=type(self).__name__,
+                build_rows=workload.build.nominal_rows,
+                probe_rows=workload.probe.nominal_rows,
+            ):
+                return run_method(self, workload)
+        finally:
+            seconds = time.perf_counter() - started
+            telemetry.registry.observe("join.run_seconds", seconds)
+            if events_on:
+                _events.emit(
+                    "run.end",
+                    operator=name,
+                    seconds=seconds,
+                    cache_hit=(
+                        telemetry.registry.counter("run_cache.hits")
+                        > hits_before
+                    ),
+                )
 
     wrapper.__wrapped_by_run_cache__ = True
     return wrapper

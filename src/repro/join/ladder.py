@@ -157,6 +157,11 @@ class DegradationLadder:
             except _FALLTHROUGH as error:
                 failures[rung.name] = f"{type(error).__name__}: {error}"
                 telemetry.registry.count("faults.ladder.fallbacks")
+                telemetry.emit_event(
+                    "ladder.fallback",
+                    rung=rung.name,
+                    error=f"{type(error).__name__}: {error}",
+                )
                 if (
                     isinstance(error, TaskFailedError)
                     and error.gpu

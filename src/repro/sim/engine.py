@@ -430,6 +430,10 @@ class SimEngine:
             def fail(kind: str, detail: str) -> TaskFailedError:
                 events.append(FaultEvent(now, kind, task.name, detail))
                 telemetry.registry.count(f"faults.{kind}")
+                telemetry.emit_event(
+                    "fault.injected", kind=kind, target=task.name,
+                    detail=detail,
+                )
                 return TaskFailedError(
                     f"task {task.name!r} {detail} at t={now:.6f}s",
                     task_name=task.name,
@@ -475,6 +479,10 @@ class SimEngine:
             )
             telemetry.registry.count("faults.task_transient")
             telemetry.registry.count("faults.retries")
+            telemetry.emit_event(
+                "fault.injected", kind="task_transient", target=task.name,
+                detail=f"attempt {attempt + 1} failed; backoff {backoff:g}s",
+            )
             task.remaining_fraction = 1.0
             task.start_time = None
             task.end_time = None
@@ -579,6 +587,11 @@ class SimEngine:
                 )
             )
             telemetry.registry.count("faults.bandwidth_drop")
+            telemetry.emit_event(
+                "fault.injected", kind="bandwidth_drop",
+                target=fault.resource,
+                detail=f"capacity x{fault.factor:g}",
+            )
             if math.isfinite(fault.end_s) and fault.end_s <= now:
                 events.append(
                     FaultEvent(

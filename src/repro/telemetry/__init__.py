@@ -30,7 +30,12 @@ then open ``trace.json`` at https://ui.perfetto.dev. See
 ``docs/observability.md``.
 """
 
-from repro.telemetry import export, metrics, spans
+from repro.telemetry import events, export, histogram, metrics, prometheus, spans
+from repro.telemetry.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    validate_events,
+)
 from repro.telemetry.export import (
     chrome_trace_document,
     format_span_tree,
@@ -39,11 +44,17 @@ from repro.telemetry.export import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.telemetry.histogram import Histogram
 from repro.telemetry.metrics import (
     MetricsRegistry,
     process_peak_rss_bytes,
     registry,
     update_process_gauges,
+)
+from repro.telemetry.prometheus import (
+    prometheus_document,
+    validate_prometheus,
+    write_prometheus,
 )
 from repro.telemetry.spans import (
     NULL_SPAN,
@@ -65,14 +76,22 @@ count = registry.count
 gauge = registry.gauge
 observe = registry.observe
 
+#: Convenience alias onto the flight recorder (no-op while the
+#: recorder is disabled, like spans — see repro.telemetry.events).
+emit_event = events.emit
+
 
 def reset() -> None:
-    """Drop all recorded spans, virtual tracks, and metrics."""
+    """Drop all recorded spans, virtual tracks, metrics, and events."""
     spans.reset()
     registry.reset()
+    events.reset()
 
 
 __all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "absorb_trace",
@@ -83,15 +102,20 @@ __all__ = [
     "count",
     "current_path",
     "disable",
+    "emit_event",
     "enable",
     "enabled",
+    "events",
     "export",
     "format_span_tree",
     "gauge",
+    "histogram",
     "metrics",
     "metrics_document",
     "observe",
     "process_peak_rss_bytes",
+    "prometheus",
+    "prometheus_document",
     "registry",
     "update_process_gauges",
     "reset",
@@ -100,6 +124,9 @@ __all__ = [
     "trace_snapshot",
     "traced",
     "validate_chrome_trace",
+    "validate_events",
+    "validate_prometheus",
     "write_chrome_trace",
     "write_metrics",
+    "write_prometheus",
 ]

@@ -1,0 +1,292 @@
+"""The flight recorder: a versioned, append-only structured event stream.
+
+Spans answer "how long did this take"; the metrics registry answers
+"how many / how much". The flight recorder answers **"what happened,
+when, in which process"** — the discrete lifecycle facts a fleet
+coordinator watches live and a post-mortem replays: experiment and
+operator-run boundaries, spill shards hitting disk, morsels dispatched
+and stolen, workers dying, respawning, stalling, faults firing, the
+degradation ladder falling a rung.
+
+Design mirrors the span layer:
+
+- **off by default** — :func:`emit` is one module-flag check when
+  disabled, so the emission sites live permanently in the harness,
+  operators, fault injector, and pool without a perf tax;
+- **drain/absorb across processes** — a worker :func:`drain`\\ s its
+  buffer after each unit of work and ships the plain-dict list with its
+  result; the parent :func:`absorb`\\ s it. A reused pool process never
+  re-reports an event (the identical contract as
+  ``telemetry.trace_snapshot(drain=True)`` and
+  ``registry.delta_since``);
+- **versioned schema** — every event envelope carries
+  ``v`` (:data:`EVENT_SCHEMA_VERSION`), ``type``, ``ts`` (Unix wall
+  clock, so events from many processes order globally), ``pid``, and a
+  per-process ``seq``; :data:`EVENT_TYPES` names each type's required
+  payload fields and :func:`validate_events` is the structural gate CI
+  runs over emitted logs;
+- **JSONL sink** — :func:`write_jsonl` / :func:`read_jsonl`, one event
+  per line sorted by ``(ts, pid, seq)``; ``python -m repro.bench ...
+  --events out.jsonl`` is the CLI surface and ``tools/bench_diff.py``
+  diffs two logs per event type.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Bumped whenever an event type's payload fields change shape.
+EVENT_SCHEMA_VERSION = 1
+
+#: Every known event type and its required payload fields. The envelope
+#: fields (``v``/``type``/``ts``/``pid``/``seq``) are implicit; extra
+#: payload fields are allowed (the schema names the floor, not the
+#: ceiling).
+EVENT_TYPES: Dict[str, tuple] = {
+    # bench harness
+    "experiment.start": ("experiment",),
+    "experiment.end": ("experiment", "seconds"),
+    # join operators (emitted by the run wrapper in repro.join.base)
+    "run.start": ("operator",),
+    "run.end": ("operator", "seconds", "cache_hit"),
+    # out-of-core exec layer
+    "spill.shard_written": ("relation", "shards", "bytes"),
+    "morsel.dispatched": ("worker", "morsel", "stolen"),
+    "morsel.stolen": ("worker", "morsel", "victim"),
+    "morsel.recovered": ("morsel",),
+    "pool.job.start": ("job", "workers", "morsels"),
+    "pool.job.end": ("job", "seconds"),
+    "worker.death": ("worker",),
+    "worker.respawn": ("worker",),
+    "worker.stalled": ("worker", "silent_seconds"),
+    # fault injection + degradation ladder
+    "fault.injected": ("kind", "target"),
+    "ladder.fallback": ("rung", "error"),
+}
+
+#: Event types rendered as instants on the Chrome-trace export (the
+#: rest are either already visible as spans or too dense to pin).
+INSTANT_EVENT_TYPES = frozenset(
+    {
+        "fault.injected",
+        "worker.death",
+        "worker.respawn",
+        "worker.stalled",
+        "ladder.fallback",
+        "morsel.recovered",
+    }
+)
+
+_enabled = False
+_events: List[dict] = []
+_seq = 0
+
+
+def _clear_after_fork() -> None:
+    """Drop the buffer in forked children.
+
+    A forked worker inherits the parent's buffered events — with the
+    *parent's* pid on them. If the child then drained, the parent would
+    absorb copies of its own events (duplicate ``(pid, seq)`` pairs,
+    exactly what :func:`validate_events` rejects). The per-process
+    ``seq`` counter is deliberately kept: the child emits under its own
+    pid, so continuing the inherited sequence stays unique and
+    monotonic.
+    """
+    _events.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_clear_after_fork)
+
+
+def enable() -> None:
+    """Turn the recorder on (events buffer in-process until drained)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop buffered events and restart the per-process sequence."""
+    global _seq
+    _events.clear()
+    _seq = 0
+
+
+def emit(event_type: str, **fields) -> Optional[dict]:
+    """Record one event; no-op (returning ``None``) while disabled.
+
+    Unknown types and missing required fields raise immediately — an
+    emission site that drifts from :data:`EVENT_TYPES` is a bug the
+    tests should see, not a malformed line in a log someone tails at
+    3am.
+    """
+    if not _enabled:
+        return None
+    required = EVENT_TYPES.get(event_type)
+    if required is None:
+        raise ValueError(f"unknown event type {event_type!r}")
+    missing = [name for name in required if name not in fields]
+    if missing:
+        raise ValueError(f"event {event_type!r} missing fields {missing}")
+    global _seq
+    event = {
+        "v": EVENT_SCHEMA_VERSION,
+        "type": event_type,
+        "ts": time.time(),
+        "pid": os.getpid(),
+        "seq": _seq,
+    }
+    event.update(fields)
+    _seq += 1
+    _events.append(event)
+    return event
+
+
+def events() -> List[dict]:
+    """A copy of the buffered events (emission order)."""
+    return list(_events)
+
+
+def drain() -> List[dict]:
+    """Remove and return the buffered events — the worker-side half of
+    the cross-process contract (see the module docstring)."""
+    drained = list(_events)
+    _events.clear()
+    return drained
+
+
+def absorb(foreign: Optional[Iterable[dict]]) -> int:
+    """Fold a worker's drained events into this process's buffer.
+
+    Absorbed events keep their origin ``pid``/``seq``/``ts`` — the
+    parent is a carrier, not an editor. Returns how many were absorbed.
+    """
+    if not foreign:
+        return 0
+    absorbed = list(foreign)
+    _events.extend(absorbed)
+    return len(absorbed)
+
+
+# -- JSONL sink -----------------------------------------------------------------
+
+
+def sorted_events(records: Optional[Sequence[dict]] = None) -> List[dict]:
+    """Events ordered by ``(ts, pid, seq)`` — the global timeline."""
+    records = _events if records is None else records
+    return sorted(
+        records,
+        key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("seq", 0)),
+    )
+
+
+def write_jsonl(path, records: Optional[Sequence[dict]] = None) -> int:
+    """Write events (default: the buffer) to ``path``, one per line.
+
+    Lines are sorted by ``(ts, pid, seq)`` so a multi-process run reads
+    as one chronological log. Returns the number of lines written.
+    """
+    ordered = sorted_events(records)
+    with open(path, "w") as handle:
+        for event in ordered:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return len(ordered)
+
+
+def read_jsonl(path) -> List[dict]:
+    """Parse a JSONL event log back into a list of event dicts."""
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: not JSON: {exc}"
+                ) from exc
+            records.append(record)
+    return records
+
+
+# -- validation -----------------------------------------------------------------
+
+_ENVELOPE_FIELDS = ("v", "type", "ts", "pid", "seq")
+
+
+def validate_events(records: Sequence[dict]) -> List[str]:
+    """Structural problems in an event list ([] = schema-valid).
+
+    Checks the envelope (version match, known type, numeric ``ts``,
+    integer ``pid``/``seq``), each type's required payload fields, and
+    that no ``(pid, seq)`` pair repeats (a duplicate means a worker's
+    buffer was absorbed twice — exactly the double-count the drain
+    contract exists to prevent).
+    """
+    problems: List[str] = []
+    seen: set = set()
+    for i, event in enumerate(records):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        missing = [f for f in _ENVELOPE_FIELDS if f not in event]
+        if missing:
+            problems.append(f"event {i} missing envelope fields {missing}")
+            continue
+        if event["v"] != EVENT_SCHEMA_VERSION:
+            problems.append(
+                f"event {i} has schema version {event['v']!r}; "
+                f"expected {EVENT_SCHEMA_VERSION}"
+            )
+        event_type = event["type"]
+        required = EVENT_TYPES.get(event_type)
+        if required is None:
+            problems.append(f"event {i} has unknown type {event_type!r}")
+            continue
+        absent = [name for name in required if name not in event]
+        if absent:
+            problems.append(
+                f"event {i} ({event_type}) missing fields {absent}"
+            )
+        ts = event["ts"]
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} ({event_type}) has bad ts {ts!r}")
+        for field in ("pid", "seq"):
+            value = event[field]
+            if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"event {i} ({event_type}) has bad {field} {value!r}"
+                )
+        key = (event["pid"], event["seq"])
+        if key in seen:
+            problems.append(
+                f"event {i} ({event_type}) repeats (pid, seq) {key} — "
+                "a worker buffer was absorbed twice"
+            )
+        seen.add(key)
+    return problems
+
+
+def counts_by_type(records: Sequence[dict]) -> Dict[str, int]:
+    """``{event type: count}`` over a list of events (for reports)."""
+    tally: Dict[str, int] = {}
+    for event in records:
+        event_type = event.get("type", "?")
+        tally[event_type] = tally.get(event_type, 0) + 1
+    return dict(sorted(tally.items()))

@@ -151,6 +151,53 @@ def sim_track_events(
     return events
 
 
+def recorder_instant_events(
+    wall_epoch: Optional[float] = None,
+) -> List[dict]:
+    """Flight-recorder events rendered as Chrome-trace instants.
+
+    Events whose type is in
+    :data:`repro.telemetry.events.INSTANT_EVENT_TYPES` (faults, worker
+    deaths/respawns/stalls, ladder fallbacks, morsel recoveries) become
+    process-scoped instant events (``ph: "i"``) on the emitting
+    process's track — a worker death shows up as a pin on that pool
+    worker's pid, next to the host spans. Recorder timestamps are wall
+    clock; ``wall_epoch`` (the collector's, normally) anchors them to
+    the trace timeline. Without an epoch the earliest instant is t=0.
+    """
+    from repro.telemetry import events as _events
+
+    records = [
+        e
+        for e in _events.events()
+        if e.get("type") in _events.INSTANT_EVENT_TYPES
+    ]
+    if not records:
+        return []
+    if wall_epoch is None:
+        wall_epoch = min(e["ts"] for e in records)
+    rendered = []
+    for event in records:
+        args = {
+            key: value
+            for key, value in event.items()
+            if key not in ("v", "type", "ts", "pid", "seq")
+        }
+        rendered.append(
+            {
+                "name": event["type"],
+                "cat": "recorder",
+                "ph": "i",
+                "s": "p",
+                "ts": _us(max(event["ts"] - wall_epoch, 0.0)),
+                "pid": event["pid"],
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return rendered
+
+
 def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> List[dict]:
     """All trace events for the current collector state."""
     collector = collector or _spans.collector()
@@ -182,6 +229,7 @@ def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> Lis
             )
         )
         sim_index += 1
+    events.extend(recorder_instant_events(collector.wall_epoch))
     return events
 
 
@@ -281,8 +329,34 @@ def _counter_problems(i: int, event: dict) -> List[str]:
             )
     return problems
 
+def _instant_problems(i: int, event: dict) -> List[str]:
+    """Problems with one instant (``ph: "i"``) event.
+
+    Instants are the pins on the timeline — injected faults, worker
+    deaths, stalls, ladder fallbacks. Each needs a name, a pid, a
+    non-negative timestamp, and a valid scope (``s`` in g/p/t) so
+    Perfetto renders it instead of silently dropping it.
+    """
+    name = event.get("name")
+    missing = [key for key in _INSTANT_REQUIRED_KEYS if key not in event]
+    if missing:
+        return [f"instant event {i} ({name!r}) missing {missing}"]
+    problems: List[str] = []
+    if event["ts"] < 0:
+        problems.append(f"instant event {i} ({name!r}) has negative ts")
+    scope = event.get("s", "t")
+    if scope not in _INSTANT_SCOPES:
+        problems.append(
+            f"instant event {i} ({name!r}) has invalid scope {scope!r}"
+        )
+    return problems
+
+
 _REQUIRED_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
 _COUNTER_REQUIRED_KEYS = ("ph", "ts", "pid", "name", "args")
+_INSTANT_REQUIRED_KEYS = ("ph", "ts", "pid", "name")
+#: Valid instant scopes: global, process, thread.
+_INSTANT_SCOPES = ("g", "p", "t")
 #: Slack for float µs round-tripping when checking containment.
 _NEST_EPSILON_US = 0.01
 
@@ -292,7 +366,9 @@ def validate_chrome_trace(document) -> List[str]:
 
     Checks the object form, the required keys on every complete event,
     non-negative timestamps/durations, counter (``ph: "C"``) events with
-    finite non-negative numeric samples, and — for host spans, which are
+    finite non-negative numeric samples, instant (``ph: "i"``) events
+    with a name, pid, non-negative timestamp, and valid scope, and —
+    for host spans, which are
     recorded with strict stack discipline — proper nesting per
     ``(pid, tid)`` (simulated tracks legitimately overlap: concurrent
     kernels share a phase thread only when sequential, but concurrent
@@ -311,6 +387,9 @@ def validate_chrome_trace(document) -> List[str]:
             continue
         if event.get("ph") == "C":
             problems.extend(_counter_problems(i, event))
+            continue
+        if event.get("ph") == "i":
+            problems.extend(_instant_problems(i, event))
             continue
         if event.get("ph") != "X":
             continue

@@ -21,9 +21,13 @@ import bisect
 import sys as _sys
 from typing import Dict, Optional
 
-#: Timing-histogram bucket upper bounds in seconds (log10 from 1 µs to
-#: 100 s); the last bucket is unbounded.
-BUCKET_BOUNDS = tuple(10.0 ** e for e in range(-6, 3))
+#: Timing-histogram bucket upper bounds in seconds — the shared
+#: geometric bounds from :mod:`repro.telemetry.histogram` (4 buckets
+#: per decade, 1 µs to 100 s); the last bucket is unbounded. One set of
+#: bounds everywhere is what lets registry timings, worker deltas, and
+#: percentile reports merge bucket-for-bucket.
+from repro.telemetry.histogram import BOUNDS as BUCKET_BOUNDS
+from repro.telemetry.histogram import Histogram
 
 
 def _new_timing() -> dict:
@@ -81,6 +85,20 @@ class MetricsRegistry:
             if name.startswith(prefix)
         }
 
+    def timing_histogram(self, name: str) -> Optional[Histogram]:
+        """Timing ``name`` as a queryable :class:`Histogram` (or None)."""
+        timing = self._timings.get(name)
+        if timing is None:
+            return None
+        return Histogram.from_timing(timing)
+
+    def timing_quantiles(self, name: str) -> Optional[Dict[str, float]]:
+        """p50/p90/p99 estimates for timing ``name`` (None if absent)."""
+        histogram = self.timing_histogram(name)
+        if histogram is None or histogram.count == 0:
+            return None
+        return histogram.percentiles()
+
     def snapshot(self) -> dict:
         """JSON-serializable copy of the whole registry."""
         return {
@@ -133,12 +151,22 @@ class MetricsRegistry:
     # -- maintenance -----------------------------------------------------------
 
     def merge(self, snapshot: Optional[dict]) -> None:
-        """Fold a snapshot (or delta) from another process into this one."""
+        """Fold a snapshot (or delta) from another process into this one.
+
+        Counters and timing histograms add. Gauges are last-write-wins
+        — **except peak gauges** (any name containing ``peak``), which
+        merge via ``max``: a high-water mark like
+        ``process.children_peak_rss_bytes`` must survive worker deltas
+        arriving in any order, and the biggest worker finishing first
+        would otherwise be clobbered by every smaller one after it.
+        """
         if not snapshot:
             return
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
         for name, value in snapshot.get("gauges", {}).items():
+            if "peak" in name and name in self._gauges:
+                value = max(float(value), self._gauges[name])
             self.gauge(name, value)
         for name, other in snapshot.get("timings", {}).items():
             timing = self._timings.get(name)

@@ -1,0 +1,248 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+Renders the whole registry — counters, gauges, timing histograms — in
+the Prometheus exposition format (version 0.0.4), the lingua franca a
+latency SLO is scraped in. Naming follows the official conventions:
+
+- dotted registry names flatten to underscores under a ``repro_``
+  namespace prefix (``run_cache.hits`` → ``repro_run_cache_hits_total``);
+- counters get the ``_total`` suffix;
+- timing histograms render the canonical triplet: **cumulative**
+  ``<name>_bucket{le="..."}`` series over the shared geometric bounds
+  (plus the mandatory ``le="+Inf"``), ``<name>_sum`` (total seconds),
+  and ``<name>_count`` — so ``histogram_quantile(0.99, ...)`` works on
+  ``repro_bench_experiment_seconds_bucket`` out of the box.
+
+Surfaces: ``python -m repro.bench ... --prom out.prom`` writes a
+scrape-shaped file; ``--prom-port N`` additionally serves **one** scrape
+over HTTP after the run (:func:`serve_once` — a one-shot handler, not a
+daemon: the bench is a batch process, the scrape is for piping into
+``promtool`` or a pushgateway). ``python -m repro.telemetry.prometheus
+out.prom`` validates a written file — the CI gate.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.telemetry import metrics as _metrics
+
+#: The exposition content type (text format 0.0.4).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Metric-name namespace prefix for everything this package exports.
+NAME_PREFIX = "repro_"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+(?P<value>\S+)$"
+)
+
+
+def metric_name(name: str, suffix: str = "") -> str:
+    """Flatten a dotted registry name into a Prometheus metric name."""
+    flattened = _INVALID_CHARS.sub("_", name)
+    return f"{NAME_PREFIX}{flattened}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:.10g}"
+
+
+def prometheus_document(
+    registry: Optional[_metrics.MetricsRegistry] = None,
+) -> str:
+    """The registry rendered as one exposition-format document."""
+    registry = registry if registry is not None else _metrics.registry
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    for name, value in sorted(snapshot["counters"].items()):
+        metric = metric_name(name, "_total")
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, timing in sorted(snapshot["timings"].items()):
+        metric = metric_name(name)
+        lines.append(f"# HELP {metric} repro timing histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = timing["buckets"]
+        for bound, count in zip(_metrics.BUCKET_BOUNDS, buckets):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {timing["count"]}')
+        lines.append(
+            f"{metric}_sum {_format_value(float(timing['total_seconds']))}"
+        )
+        lines.append(f"{metric}_count {timing['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(
+    path, registry: Optional[_metrics.MetricsRegistry] = None
+) -> str:
+    """Write the exposition document to ``path``; returns the text."""
+    document = prometheus_document(registry)
+    with open(path, "w") as handle:
+        handle.write(document)
+    return document
+
+
+# -- parsing + validation -------------------------------------------------------
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Samples from an exposition document: ``{'name{labels}': value}``.
+
+    A deliberately small parser — enough to round-trip what this module
+    writes and to let tests (and the CI gate) assert on series without a
+    prometheus client dependency. Malformed sample lines raise.
+    """
+    samples: Dict[str, float] = {}
+    for line_number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {line_number}: not a sample line: {raw!r}"
+            )
+        key = match.group("name") + (match.group("labels") or "")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {line_number}: bad sample value: {raw!r}"
+            ) from exc
+        samples[key] = value
+    return samples
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Structural problems in an exposition document ([] = valid).
+
+    Beyond parsing, audits every histogram: ``_bucket`` series must be
+    cumulative (non-decreasing in ``le`` order), must end in an
+    ``le="+Inf"`` bucket equal to ``_count``, and ``_sum``/``_count``
+    must both be present — the invariants ``histogram_quantile`` relies
+    on.
+    """
+    try:
+        samples = parse_prometheus(text)
+    except ValueError as exc:
+        return [str(exc)]
+    problems: List[str] = []
+    histograms: Dict[str, List] = {}
+    bucket_re = re.compile(r'^(?P<base>.+)_bucket\{le="(?P<le>[^"]+)"\}$')
+    for key, value in samples.items():
+        match = bucket_re.match(key)
+        if match:
+            le = match.group("le")
+            bound = float("inf") if le == "+Inf" else float(le)
+            histograms.setdefault(match.group("base"), []).append(
+                (bound, value)
+            )
+    for base, buckets in sorted(histograms.items()):
+        buckets.sort(key=lambda pair: pair[0])
+        previous = 0.0
+        for bound, value in buckets:
+            if value < previous:
+                problems.append(
+                    f"{base}: bucket le={bound:g} not cumulative "
+                    f"({value:g} < {previous:g})"
+                )
+            previous = value
+        if buckets[-1][0] != float("inf"):
+            problems.append(f"{base}: no le=\"+Inf\" bucket")
+        count = samples.get(f"{base}_count")
+        if count is None:
+            problems.append(f"{base}: missing _count series")
+        elif buckets[-1][0] == float("inf") and buckets[-1][1] != count:
+            problems.append(
+                f"{base}: +Inf bucket {buckets[-1][1]:g} != _count {count:g}"
+            )
+        if f"{base}_sum" not in samples:
+            problems.append(f"{base}: missing _sum series")
+    return problems
+
+
+# -- one-shot HTTP handler ------------------------------------------------------
+
+
+def serve_once(
+    registry: Optional[_metrics.MetricsRegistry] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+):
+    """A bound HTTP server whose ``handle_request()`` serves one scrape.
+
+    Returns the server (``server.server_address`` is the bound
+    ``(host, port)``); the caller decides when to block —
+    ``server.handle_request()`` serves exactly one GET of the current
+    registry state and returns, and ``server.server_close()`` releases
+    the socket. One-shot by design: the bench is a batch process, so
+    "handler" here means "let one scraper in before exit", not a
+    long-lived endpoint.
+    """
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            body = prometheus_document(registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # pragma: no cover - quiet
+            pass
+
+    return HTTPServer((host, port), _Handler)
+
+
+def main(argv=None) -> int:
+    """Validate exposition files: ``python -m repro.telemetry.prometheus f.prom``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.prometheus",
+        description="Validate Prometheus exposition files.",
+    )
+    parser.add_argument("paths", nargs="+", help="exposition files to check")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.paths:
+        with open(path) as handle:
+            text = handle.read()
+        problems = validate_prometheus(text)
+        if problems:
+            failed = True
+            print(f"{path}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  ! {problem}")
+        else:
+            samples = parse_prometheus(text)
+            print(f"{path}: valid ({len(samples)} samples)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

@@ -106,6 +106,11 @@ class SpanCollector:
 
     def __init__(self) -> None:
         self.epoch: Optional[float] = None
+        #: Wall-clock (``time.time``) instant of the trace epoch, set
+        #: together with ``epoch``. Flight-recorder events carry wall
+        #: timestamps, so the exporter needs this to pin them onto the
+        #: perf_counter-relative span timeline.
+        self.wall_epoch: Optional[float] = None
         self.spans: List[Span] = []
         self.stack: List[Span] = []
         self.virtual_tracks: List[dict] = []
@@ -116,6 +121,7 @@ class SpanCollector:
     def start(self, name: str, attrs: Dict[str, Any]) -> Span:
         if self.epoch is None:
             self.epoch = time.perf_counter()
+            self.wall_epoch = time.time()
         parent = self.stack[-1].span_id if self.stack else None
         span = Span(
             name=name,
@@ -170,6 +176,7 @@ class SpanCollector:
 
     def reset(self) -> None:
         self.epoch = None
+        self.wall_epoch = None
         self.spans.clear()
         self.stack.clear()
         self.virtual_tracks.clear()

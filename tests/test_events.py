@@ -1,0 +1,452 @@
+"""Flight recorder: schema, drain/absorb, pool lifecycle events, CLI.
+
+Covers the full event path: in-process emission and validation, the
+JSONL sink round-trip, the morsel pool's dispatch/steal/death/respawn/
+recovery/stall events (with the deterministic ``die_on`` / ``sleep_on``
+hooks), and the bench CLI surface (``--events`` / ``--prom`` /
+``--live``) including the multi-process ``--jobs`` drain contract with
+reused pool workers.
+"""
+
+import json
+import os
+import re
+
+import numpy as np
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.exec.morsel import (
+    execute_morsel,
+    merge_partials,
+    plan_morsels,
+)
+from repro.exec.pool import (
+    _StallWatchdog,
+    get_pool,
+    shutdown_pool,
+)
+from repro.hashing.batch import DEFAULT_BUCKETS
+from repro.telemetry import events
+from tests.test_outofcore import shm_partition_state, summary
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    """Every test starts and ends with a disabled, empty recorder."""
+    events.disable()
+    events.reset()
+    yield
+    events.disable()
+    events.reset()
+
+
+class TestEmit:
+    def test_disabled_recorder_is_a_noop(self):
+        assert events.emit("experiment.start", experiment="x") is None
+        assert events.events() == []
+
+    def test_envelope_fields(self):
+        events.enable()
+        event = events.emit("experiment.start", experiment="fig13")
+        assert event["v"] == events.EVENT_SCHEMA_VERSION
+        assert event["type"] == "experiment.start"
+        assert event["pid"] == os.getpid()
+        assert event["seq"] == 0
+        assert event["ts"] > 0
+        assert event["experiment"] == "fig13"
+        second = events.emit("experiment.end", experiment="fig13", seconds=1.0)
+        assert second["seq"] == 1
+
+    def test_unknown_type_raises(self):
+        events.enable()
+        with pytest.raises(ValueError, match="unknown event type"):
+            events.emit("no.such.event")
+
+    def test_missing_required_fields_raise(self):
+        events.enable()
+        with pytest.raises(ValueError, match="missing fields"):
+            events.emit("run.end", operator="x")
+
+    def test_every_emission_site_type_is_known(self):
+        # The sites wired through the codebase must stay in the schema.
+        for required in (
+            "experiment.start", "experiment.end", "run.start", "run.end",
+            "spill.shard_written", "morsel.dispatched", "morsel.stolen",
+            "morsel.recovered", "pool.job.start", "pool.job.end",
+            "worker.death", "worker.respawn", "worker.stalled",
+            "fault.injected", "ladder.fallback",
+        ):
+            assert required in events.EVENT_TYPES
+
+
+class TestDrainAbsorb:
+    def test_drain_empties_the_buffer(self):
+        events.enable()
+        events.emit("experiment.start", experiment="a")
+        drained = events.drain()
+        assert len(drained) == 1
+        assert events.events() == []
+
+    def test_absorb_keeps_foreign_identity(self):
+        events.enable()
+        foreign = [
+            {
+                "v": events.EVENT_SCHEMA_VERSION,
+                "type": "worker.death",
+                "ts": 123.0,
+                "pid": 99999,
+                "seq": 0,
+                "worker": 1,
+            }
+        ]
+        assert events.absorb(foreign) == 1
+        assert events.absorb(None) == 0
+        assert events.events()[0]["pid"] == 99999
+
+    def test_double_absorb_is_caught_by_validation(self):
+        events.enable()
+        events.emit("experiment.start", experiment="a")
+        drained = events.drain()
+        events.absorb(drained)
+        events.absorb(drained)
+        problems = events.validate_events(events.events())
+        assert any("absorbed twice" in p for p in problems)
+
+
+class TestValidation:
+    def test_valid_stream_has_no_problems(self):
+        events.enable()
+        events.emit("experiment.start", experiment="a")
+        events.emit("run.start", operator="op")
+        events.emit("run.end", operator="op", seconds=0.1, cache_hit=False)
+        events.emit("experiment.end", experiment="a", seconds=0.2)
+        assert events.validate_events(events.events()) == []
+
+    def test_bad_envelope_is_reported(self):
+        problems = events.validate_events(
+            [
+                {"type": "worker.death"},
+                {"v": 999, "type": "worker.death", "ts": 1.0,
+                 "pid": 1, "seq": 0, "worker": 0},
+                {"v": 1, "type": "worker.death", "ts": -5,
+                 "pid": 1, "seq": 1, "worker": 0},
+                {"v": 1, "type": "worker.death", "ts": 1.0,
+                 "pid": True, "seq": 2, "worker": 0},
+                "not an object",
+            ]
+        )
+        assert len(problems) >= 5
+
+    def test_missing_payload_field_is_reported(self):
+        problems = events.validate_events(
+            [{"v": 1, "type": "run.end", "ts": 1.0, "pid": 1, "seq": 0,
+              "operator": "x"}]
+        )
+        assert any("missing fields" in p for p in problems)
+
+
+class TestJsonlSink:
+    def test_round_trip_preserves_events_sorted(self, tmp_path):
+        events.enable()
+        events.emit("experiment.start", experiment="a")
+        events.emit("experiment.end", experiment="a", seconds=0.5)
+        # An absorbed foreign event with an earlier timestamp sorts first.
+        events.absorb(
+            [{"v": 1, "type": "worker.death", "ts": 0.5, "pid": 7,
+              "seq": 0, "worker": 2}]
+        )
+        path = tmp_path / "events.jsonl"
+        written = events.write_jsonl(path)
+        assert written == 3
+        records = events.read_jsonl(path)
+        assert [r["type"] for r in records] == [
+            "worker.death", "experiment.start", "experiment.end",
+        ]
+        assert events.validate_events(records) == []
+
+    def test_read_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="2: not JSON"):
+            events.read_jsonl(path)
+
+    def test_counts_by_type(self):
+        events.enable()
+        events.emit("run.start", operator="a")
+        events.emit("run.start", operator="b")
+        events.emit("experiment.start", experiment="x")
+        assert events.counts_by_type(events.events()) == {
+            "experiment.start": 1,
+            "run.start": 2,
+        }
+
+
+class TestStallWatchdog:
+    def test_flags_each_pending_worker_once(self):
+        watchdog = _StallWatchdog(stall_after=1.0)
+        assert watchdog.observe(b"state0", 0.0, {0, 1}) == []
+        assert watchdog.observe(b"state0", 0.5, {0, 1}) == []
+        flagged = watchdog.observe(b"state0", 1.5, {0, 1})
+        assert [worker for worker, _ in flagged] == [0, 1]
+        assert all(silent >= 1.0 for _, silent in flagged)
+        # Already flagged: silence continues but no re-flagging.
+        assert watchdog.observe(b"state0", 2.5, {0, 1}) == []
+
+    def test_progress_resets_the_clock_and_flags(self):
+        watchdog = _StallWatchdog(stall_after=1.0)
+        watchdog.observe(b"a", 0.0, {0})
+        assert watchdog.observe(b"a", 1.5, {0}) == [(0, 1.5)]
+        # The control block moved: stall over, flag set cleared.
+        assert watchdog.observe(b"b", 2.0, {0}) == []
+        assert watchdog.observe(b"b", 2.5, {0}) == []
+        assert watchdog.observe(b"b", 3.5, {0}) == [(0, 1.5)]
+
+
+def _pool_job(source, blocks, **extra):
+    job = {
+        "mode": "shm",
+        "blocks": {name: block.descriptor() for name, block in blocks},
+        "build_offsets": source.build_offsets,
+        "probe_offsets": source.probe_offsets,
+        "buckets": DEFAULT_BUCKETS,
+    }
+    job.update(extra)
+    return job
+
+
+class TestPoolEvents:
+    def test_steal_death_recovery_and_respawn_events(self, small_workload):
+        """Two faulted pool jobs must leave a full lifecycle trail.
+
+        Job 1 parks worker 0 on its first morsel (``sleep_on``), so
+        worker 1 drains its own range and then *steals* the rest of
+        worker 0's — a deterministic steal. Job 2 kills worker 0 on its
+        first claim (``die_on``) — a deterministic death, inline
+        recovery, and respawn. Both joins must still merge to the exact
+        in-memory reference, and the combined event stream must be
+        schema-valid with every lifecycle type present.
+        """
+        from repro.join.batched import batched_radix_join
+
+        reference = batched_radix_join(
+            small_workload.build, small_workload.probe, 6, 4
+        )
+        source, blocks = shm_partition_state(
+            small_workload.build, small_workload.probe
+        )
+        morsels = plan_morsels(
+            np.diff(source.build_offsets),
+            np.diff(source.probe_offsets),
+            2048,
+        )
+        assert len(morsels) >= 4
+
+        def recover(morsel):
+            return execute_morsel(source, morsel, DEFAULT_BUCKETS)
+
+        events.enable()
+        try:
+            pool = get_pool(2)
+            # Job 1: worker 0 parks on its first morsel; worker 1
+            # finishes its own range and steals from worker 0's.
+            stolen_run = pool.run(
+                _pool_job(
+                    source, blocks,
+                    sleep_on={0: (morsels[0].index, 1.0)},
+                ),
+                morsels,
+                recover,
+            )
+            assert stolen_run.steals >= 1
+            assert summary(merge_partials(stolen_run.partials)) == summary(
+                reference
+            )
+            # Job 2: worker 0 dies on its first claim; the parent must
+            # recover the hole inline and respawn the worker.
+            died_run = pool.run(
+                _pool_job(source, blocks, die_on={0: morsels[0].index}),
+                morsels,
+                recover,
+            )
+            assert died_run.deaths == 1
+            assert died_run.recovered >= 1
+            assert summary(merge_partials(died_run.partials)) == summary(
+                reference
+            )
+        finally:
+            for _name, block in blocks:
+                block.release()
+            shutdown_pool()
+
+        recorded = events.events()
+        assert events.validate_events(recorded) == []
+        counts = events.counts_by_type(recorded)
+        assert counts["pool.job.start"] == 2
+        assert counts["pool.job.end"] == 2
+        assert counts["morsel.stolen"] >= 1
+        assert counts["worker.death"] >= 1
+        assert counts["worker.respawn"] >= 1
+        assert counts["morsel.recovered"] >= 1
+        # Dispatches come from the worker processes (foreign pids),
+        # the lifecycle events from the parent: the drain/absorb
+        # contract carried both into one stream.
+        dispatch_pids = {
+            e["pid"] for e in recorded if e["type"] == "morsel.dispatched"
+        }
+        assert dispatch_pids and os.getpid() not in dispatch_pids
+        stolen = [e for e in recorded if e["type"] == "morsel.stolen"]
+        assert all(e["victim"] in (0, 1) for e in stolen)
+
+    def test_watchdog_flags_parked_worker(self, small_workload):
+        source, blocks = shm_partition_state(
+            small_workload.build, small_workload.probe
+        )
+        morsels = plan_morsels(
+            np.diff(source.build_offsets),
+            np.diff(source.probe_offsets),
+            2048,
+        )
+
+        def recover(morsel):
+            return execute_morsel(source, morsel, DEFAULT_BUCKETS)
+
+        events.enable()
+        try:
+            pool = get_pool(2)
+            result = pool.run(
+                _pool_job(
+                    source, blocks,
+                    # Park worker 0 well past the stall threshold.
+                    # Worker 1 drains and steals everything else within
+                    # a poll or two, after which the control block goes
+                    # still — the silence the watchdog must flag.
+                    sleep_on={0: (morsels[0].index, 1.6)},
+                ),
+                morsels,
+                recover,
+                stall_after=0.5,
+            )
+            assert result.stalls >= 1
+            assert result.deaths == 0
+        finally:
+            for _name, block in blocks:
+                block.release()
+            shutdown_pool()
+        stalled = [
+            e for e in events.events() if e["type"] == "worker.stalled"
+        ]
+        assert stalled
+        assert all(e["silent_seconds"] >= 0.5 for e in stalled)
+        assert events.validate_events(events.events()) == []
+
+
+SMALL_ARGS = ["--sizes", "128", "--divisor", "1048576"]
+
+
+class TestBenchCli:
+    def test_events_flag_writes_schema_valid_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        assert bench_main(["fig14", *SMALL_ARGS, "--events", str(path)]) == 0
+        records = events.read_jsonl(path)
+        assert events.validate_events(records) == []
+        counts = events.counts_by_type(records)
+        assert counts["experiment.start"] == 1
+        assert counts["experiment.end"] == 1
+        assert counts["run.start"] == counts["run.end"] >= 1
+        ends = [r for r in records if r["type"] == "run.end"]
+        assert all(isinstance(r["cache_hit"], bool) for r in ends)
+        # The CLI's finally block left the recorder off and empty.
+        assert not events.enabled()
+        assert events.events() == []
+
+    def test_jobs_round_trip_with_reused_workers(self, tmp_path, monkeypatch):
+        """4 experiments over 2 workers: every worker is reused, and the
+        merged log must still be schema-valid with no duplicate
+        (pid, seq) pairs — the drain-once contract across processes."""
+        import repro.bench.__main__ as bench_mod
+
+        names = ["fig01", "fig04", "fig14", "fig15"]
+        monkeypatch.setattr(
+            bench_mod,
+            "ALL_EXPERIMENTS",
+            {name: bench_mod.ALL_EXPERIMENTS[name] for name in names},
+        )
+        path = tmp_path / "events.jsonl"
+        assert (
+            bench_main(
+                ["all", "--jobs", "2", *SMALL_ARGS, "--events", str(path)]
+            )
+            == 0
+        )
+        records = events.read_jsonl(path)
+        assert events.validate_events(records) == []
+        counts = events.counts_by_type(records)
+        assert counts["experiment.start"] == len(names)
+        assert counts["experiment.end"] == len(names)
+        pids = {r["pid"] for r in records}
+        assert 1 < len(pids) <= 2
+
+    def test_prom_flag_writes_valid_exposition(self, tmp_path):
+        from repro.telemetry import prometheus
+
+        path = tmp_path / "out.prom"
+        assert bench_main(["fig14", *SMALL_ARGS, "--prom", str(path)]) == 0
+        text = path.read_text()
+        assert prometheus.validate_prometheus(text) == []
+        samples = prometheus.parse_prometheus(text)
+        assert samples["repro_bench_experiment_seconds_count"] >= 1
+        assert any(
+            key.startswith("repro_bench_experiment_seconds_bucket")
+            for key in samples
+        )
+
+    def test_live_does_not_corrupt_stdout_in_non_tty(self, capsys):
+        """Non-TTY ``--live``: stdout must be byte-identical to a run
+        without the flag (modulo the wall-clock suffix line), and the
+        dashboard's plain lines must all land on stderr."""
+        def normalized(argv):
+            assert bench_main(argv) == 0
+            captured = capsys.readouterr()
+            out = re.sub(
+                r"\[fig14: [0-9.]+s\]", "[fig14: Xs]", captured.out
+            )
+            return out, captured.err
+
+        plain_out, plain_err = normalized(["fig14", *SMALL_ARGS])
+        live_out, live_err = normalized(["fig14", *SMALL_ARGS, "--live"])
+        assert live_out == plain_out
+        assert "[live]" not in live_out
+        assert "[live] start fig14" in live_err
+        assert "[live] done  fig14" in live_err
+        assert "\x1b[" not in live_err  # no ANSI on a non-TTY stream
+        assert "[live]" not in plain_err
+
+    def test_events_and_trace_compose(self, tmp_path):
+        """--events + --trace: recorder instants land in the Chrome
+        trace and the trace still validates."""
+        from repro.telemetry.export import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        assert (
+            bench_main(
+                [
+                    "ext_robustness", *SMALL_ARGS,
+                    "--trace", str(trace_path),
+                    "--events", str(events_path),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(document) == []
+        instants = [
+            e
+            for e in document["traceEvents"]
+            if e.get("ph") == "i" and e.get("cat") == "recorder"
+        ]
+        assert instants, "recorder instants missing from the trace"
+        # ext_robustness injects faults, so their instants must be there.
+        assert any(e["name"] == "fault.injected" for e in instants)
+        assert all(e["s"] == "p" and e["ts"] >= 0 for e in instants)

@@ -356,7 +356,7 @@ class TestBenchCli:
     def test_worker_returns_explanations(self):
         # The process-pool entry point, exercised in-process: the
         # parent's merge path consumes exactly this tuple shape.
-        name, _, _, _, _, explanations = _worker(
+        name, _, _, _, _, explanations, _ = _worker(
             "fig14", (128,), 1048576.0, False, False, None, True
         )
         assert name == "fig14"

@@ -1,0 +1,144 @@
+"""Mergeable histogram properties: shard merge exactness + quantile accuracy.
+
+The two properties the fleet aggregation story rests on:
+
+1. merging per-worker shards is *exactly* the histogram of the
+   concatenated samples (bucket addition commutes and associates), and
+2. a quantile estimate always lands within the exact value's bucket —
+   one geometric bucket (a factor of ``10**(1/BUCKETS_PER_DECADE)``)
+   is the error bound.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.histogram import (
+    BOUNDS,
+    BUCKETS_PER_DECADE,
+    Histogram,
+)
+
+#: One bucket's geometric width — the documented quantile error bound.
+BUCKET_FACTOR = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+
+samples = st.lists(
+    st.floats(min_value=1e-6, max_value=99.0, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+def exact_quantile(values, q):
+    """The rank-based quantile the estimator approximates."""
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
+    return ordered[rank - 1]
+
+
+class TestMergeIsConcatenation:
+    @given(shards=st.lists(samples, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_shards_equals_histogram_of_concatenation(self, shards):
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(Histogram().observe_many(shard))
+        flat = Histogram().observe_many(
+            [value for shard in shards for value in shard]
+        )
+        assert merged.buckets == flat.buckets
+        assert merged.count == flat.count
+        assert merged.total == pytest.approx(flat.total)
+        assert merged.min == flat.min
+        assert merged.max == flat.max
+        assert merged.percentiles() == flat.percentiles()
+
+    @given(a=samples, b=samples, c=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        def histogram(values):
+            return Histogram().observe_many(values)
+
+        left = histogram(a).merge(histogram(b)).merge(histogram(c))
+        right = histogram(a).merge(histogram(b).merge(histogram(c)))
+        assert left.buckets == right.buckets
+        assert left.count == right.count
+        assert left.min == right.min and left.max == right.max
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            Histogram().merge(Histogram(bounds=(1.0, 10.0)))
+
+
+class TestQuantileAccuracy:
+    @given(values=samples, q=st.sampled_from([0.5, 0.9, 0.99]))
+    @settings(max_examples=120, deadline=None)
+    def test_estimate_within_one_bucket_of_exact(self, values, q):
+        histogram = Histogram().observe_many(values)
+        exact = exact_quantile(values, q)
+        estimate = histogram.quantile(q)
+        # Same-bucket guarantee: the estimate is at most one geometric
+        # bucket away from the exact rank value (1e-9 absolute slack
+        # for float rounding at the bucket edges).
+        assert estimate <= exact * BUCKET_FACTOR + 1e-9
+        assert estimate >= exact / BUCKET_FACTOR - 1e-9
+        # And never outside the observed range.
+        assert min(values) - 1e-12 <= estimate <= max(values) + 1e-12
+
+    def test_single_sample_is_exact(self):
+        histogram = Histogram().observe_many([0.0421])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(0.0421)
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.mean == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram().quantile(1.5)
+
+    def test_overflow_bucket_clamps_to_max(self):
+        histogram = Histogram().observe_many([150.0, 200.0, 250.0])
+        assert histogram.quantile(0.99) <= 250.0
+
+    @given(values=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_quantiles_are_monotonic(self, values):
+        histogram = Histogram().observe_many(values)
+        p50, p90, p99 = (
+            histogram.quantile(0.5),
+            histogram.quantile(0.9),
+            histogram.quantile(0.99),
+        )
+        assert p50 <= p90 <= p99
+
+
+class TestSerialization:
+    @given(values=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_dict_round_trip(self, values):
+        histogram = Histogram().observe_many(values)
+        clone = Histogram.from_dict(histogram.to_dict())
+        assert clone.buckets == histogram.buckets
+        assert clone.count == histogram.count
+        assert clone.percentiles() == histogram.percentiles()
+
+    @given(values=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_timing_round_trip(self, values):
+        histogram = Histogram().observe_many(values)
+        clone = Histogram.from_timing(histogram.to_timing())
+        assert clone.buckets == histogram.buckets
+        assert clone.percentiles() == histogram.percentiles()
+
+    def test_from_timing_rejects_wrong_bucket_count(self):
+        with pytest.raises(ValueError, match="buckets"):
+            Histogram.from_timing({"count": 1, "buckets": [1, 2, 3]})
+
+    def test_bounds_are_geometric(self):
+        for lo, hi in zip(BOUNDS, BOUNDS[1:]):
+            assert hi / lo == pytest.approx(BUCKET_FACTOR)

@@ -548,3 +548,105 @@ class TestCounterValidation:
     def test_negative_counter_ts_rejected(self):
         problems = validate_chrome_trace(self._doc(self._counter(ts=-1.0)))
         assert any("negative ts" in p for p in problems)
+
+
+class TestPeakGaugeMerge:
+    def test_peak_gauges_merge_via_max(self):
+        """Out-of-order worker deltas must not regress a peak gauge.
+
+        ``process.peak_rss_bytes`` is a high-water mark: if the worker
+        that peaked higher reports *first*, last-write-wins merging
+        would let the later, smaller delta overwrite the fleet peak.
+        """
+        reg = MetricsRegistry()
+        high = MetricsRegistry()
+        high.gauge("process.peak_rss_bytes", 900.0)
+        low = MetricsRegistry()
+        low.gauge("process.peak_rss_bytes", 400.0)
+        # The higher peak arrives first — deliberately out of order.
+        reg.merge(high.snapshot())
+        reg.merge(low.snapshot())
+        assert reg.snapshot()["gauges"]["process.peak_rss_bytes"] == 900.0
+
+    def test_non_peak_gauges_keep_last_write_wins(self):
+        reg = MetricsRegistry()
+        first = MetricsRegistry()
+        first.gauge("exec.pool.occupancy", 0.9)
+        second = MetricsRegistry()
+        second.gauge("exec.pool.occupancy", 0.3)
+        reg.merge(first.snapshot())
+        reg.merge(second.snapshot())
+        # A point-in-time gauge reports the latest observation.
+        assert reg.snapshot()["gauges"]["exec.pool.occupancy"] == 0.3
+
+    def test_timing_quantiles_from_registry(self):
+        reg = MetricsRegistry()
+        for seconds in (0.01, 0.02, 0.02, 0.5):
+            reg.observe("bench.experiment_seconds", seconds)
+        quantiles = reg.timing_quantiles("bench.experiment_seconds")
+        assert set(quantiles) == {"p50", "p90", "p99"}
+        assert quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+        assert reg.timing_quantiles("no.such.timing") is None
+
+
+class TestInstantValidation:
+    def _doc(self, event):
+        anchor = {
+            "ph": "X", "name": "a", "cat": "host",
+            "ts": 0, "dur": 1, "pid": 1, "tid": 0,
+        }
+        return {"traceEvents": [event, anchor]}
+
+    def _instant(self, **overrides):
+        event = {
+            "name": "fault.injected",
+            "cat": "recorder",
+            "ph": "i",
+            "s": "p",
+            "ts": 10.0,
+            "pid": 1,
+            "tid": 0,
+        }
+        event.update(overrides)
+        return event
+
+    def test_valid_instant_passes(self):
+        assert validate_chrome_trace(self._doc(self._instant())) == []
+
+    def test_missing_keys_flagged(self):
+        problems = validate_chrome_trace(
+            self._doc({"ph": "i", "name": "x"})
+        )
+        assert any("missing" in p for p in problems)
+
+    def test_negative_ts_flagged(self):
+        problems = validate_chrome_trace(self._doc(self._instant(ts=-1.0)))
+        assert any("negative ts" in p for p in problems)
+
+    def test_bad_scope_flagged(self):
+        problems = validate_chrome_trace(self._doc(self._instant(s="z")))
+        assert any("scope" in p for p in problems)
+
+    def test_recorder_instants_render_from_events(self):
+        from repro.telemetry import events
+        from repro.telemetry.export import recorder_instant_events
+
+        telemetry.enable()
+        events.enable()
+        try:
+            with telemetry.span("experiment:x"):
+                events.emit("fault.injected", kind="k", target="t")
+                events.emit("run.start", operator="op")  # not an instant
+            instants = recorder_instant_events(
+                telemetry.spans.collector().wall_epoch
+            )
+        finally:
+            events.disable()
+            events.reset()
+        assert [e["name"] for e in instants] == ["fault.injected"]
+        instant = instants[0]
+        assert instant["ph"] == "i"
+        assert instant["cat"] == "recorder"
+        assert instant["s"] == "p"
+        assert instant["ts"] >= 0
+        assert instant["args"]["kind"] == "k"

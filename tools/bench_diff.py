@@ -1,6 +1,6 @@
 """Diff two benchmark artifacts and name what moved.
 
-Three input shapes, auto-detected:
+Four input shapes, auto-detected:
 
 - **explain documents** (``python -m repro.bench ... --explain out.json``,
   ``{"experiments": {name: [explained run, ...]}}``) — runs are matched
@@ -9,6 +9,9 @@ Three input shapes, auto-detected:
   *and their bounding resource*, not just the totals;
 - **perf-smoke reports** (``BENCH_kernels.json``) — per-experiment
   wall-clock deltas;
+- **flight-recorder event logs** (``python -m repro.bench ... --events
+  out.jsonl``, one JSON event per line) — per-event-type count deltas
+  plus p50/p90/p99 deltas over each type's ``seconds`` field;
 - **the perf trajectory** (``--history``: ``BENCH_history.json``
   appended by ``tools/perf_smoke.py``) — diffs the last two entries.
 
@@ -20,14 +23,19 @@ the makespan) and exits non-zero on any violation — the CI gate.
 Usage::
 
     PYTHONPATH=src python tools/bench_diff.py old.json new.json
+    PYTHONPATH=src python tools/bench_diff.py old.jsonl new.jsonl
     PYTHONPATH=src python tools/bench_diff.py --history
     PYTHONPATH=src python tools/bench_diff.py --check-invariants run.json
     PYTHONPATH=src python tools/bench_diff.py --check-outofcore BENCH_kernels.json
+    PYTHONPATH=src python tools/bench_diff.py --check-events events.jsonl
     PYTHONPATH=src python tools/bench_diff.py a.json b.json --fail-regression 1.5
 
 ``--check-outofcore`` audits a perf-smoke report's out-of-core gauges
 (checksum identity with the in-memory join, morsel-pool speedup) — the
-CI gate for the out-of-core execution layer.
+CI gate for the out-of-core execution layer. ``--check-events``
+validates an event log against the flight-recorder schema
+(:func:`repro.telemetry.events.validate_events`) — the CI gate for the
+observability layer.
 """
 
 from __future__ import annotations
@@ -42,8 +50,23 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import explain  # noqa: E402
+from repro.telemetry import events as events_mod  # noqa: E402
+from repro.telemetry.histogram import Histogram  # noqa: E402
 
 DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.json"
+
+
+def _is_event_log(path: pathlib.Path) -> bool:
+    return path.suffix == ".jsonl"
+
+
+def _load_events(path: pathlib.Path) -> List[dict]:
+    try:
+        return events_mod.read_jsonl(path)
+    except OSError as exc:
+        raise SystemExit(f"bench_diff: cannot read {path}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"bench_diff: {exc}")
 
 
 def _load(path: pathlib.Path) -> dict:
@@ -180,6 +203,80 @@ def _explain_factor(a: dict, b: dict) -> float:
     if old_total <= 0:
         return 0.0
     return new_total / old_total
+
+
+# -- flight-recorder event-log diffs --------------------------------------------
+
+
+def _seconds_percentiles(records: List[dict]) -> Dict[str, Dict[str, float]]:
+    """{event type: p50/p90/p99 of its ``seconds`` field} for one log."""
+    by_type: Dict[str, Histogram] = {}
+    for event in records:
+        seconds = event.get("seconds")
+        if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+            continue
+        histogram = by_type.setdefault(event.get("type", "?"), Histogram())
+        histogram.observe(float(seconds))
+    return {
+        name: histogram.percentiles()
+        for name, histogram in by_type.items()
+        if histogram.count
+    }
+
+
+def diff_events(
+    a: List[dict], b: List[dict], label_a: str, label_b: str
+) -> List[str]:
+    """Count + percentile deltas per event type between two logs."""
+    counts_a = events_mod.counts_by_type(a)
+    counts_b = events_mod.counts_by_type(b)
+    lines = [f"event diff: {label_a} ({len(a)} events)  ->  "
+             f"{label_b} ({len(b)} events)"]
+    for name in sorted(set(counts_a) | set(counts_b)):
+        old, new = counts_a.get(name, 0), counts_b.get(name, 0)
+        delta = new - old
+        sign = "+" if delta >= 0 else "-"
+        lines.append(
+            f"  {name:>22} {old:6d} -> {new:6d}  {sign}{abs(delta)}"
+        )
+    pct_a = _seconds_percentiles(a)
+    pct_b = _seconds_percentiles(b)
+    shared = sorted(set(pct_a) & set(pct_b))
+    if shared:
+        lines.append("  seconds percentiles (old -> new):")
+        for name in shared:
+            for quantile in ("p50", "p90", "p99"):
+                old = pct_a[name][quantile]
+                new = pct_b[name][quantile]
+                delta = new - old
+                sign = "+" if delta >= 0 else "-"
+                factor = f" ({new / old:.2f}x)" if old > 0 else ""
+                lines.append(
+                    f"    {name:>20} {quantile} {old:10.6f}s -> "
+                    f"{new:10.6f}s  {sign}{abs(delta):.6f}s{factor}"
+                )
+    return lines
+
+
+def _events_factor(a: List[dict], b: List[dict]) -> float:
+    """New/old total of ``experiment.end`` seconds (0 = not comparable)."""
+    def total(records):
+        return sum(
+            float(e.get("seconds", 0.0))
+            for e in records
+            if e.get("type") == "experiment.end"
+            and isinstance(e.get("seconds"), (int, float))
+        )
+
+    old_total = total(a)
+    if old_total <= 0:
+        return 0.0
+    return total(b) / old_total
+
+
+def check_events(records: List[dict]) -> List[str]:
+    """Schema problems in a flight-recorder log ([] = clean)."""
+    return events_mod.validate_events(records)
 
 
 # -- invariant audit ------------------------------------------------------------
@@ -383,6 +480,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         ">= --min-pool-speedup; exits 1 on any violation",
     )
     parser.add_argument(
+        "--check-events",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="validate a flight-recorder JSONL event log against the "
+        "event schema; exits 1 on any violation",
+    )
+    parser.add_argument(
         "--min-pool-speedup",
         type=float,
         default=1.0,
@@ -402,6 +507,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.check_coprocess and args.check_invariants is None:
         parser.error("--check-coprocess requires --check-invariants PATH")
+
+    if args.check_events is not None:
+        records = _load_events(args.check_events)
+        problems = check_events(records)
+        if problems:
+            print(
+                f"{len(problems)} event-schema violation(s) in "
+                f"{len(records)} event(s):"
+            )
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        counts = events_mod.counts_by_type(records)
+        summary = ", ".join(f"{k} x{v}" for k, v in counts.items())
+        print(
+            f"event schema holds over {len(records)} event(s)"
+            + (f": {summary}" if summary else "")
+        )
+        return 0
 
     if args.check_outofcore is not None:
         document = _load(args.check_outofcore)
@@ -456,6 +580,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         if len(args.paths) != 2:
             parser.error("expected exactly two report paths (or --history)")
         path_a, path_b = args.paths
+        if _is_event_log(path_a) != _is_event_log(path_b):
+            parser.error(
+                "cannot diff an event log against a JSON report"
+            )
+        if _is_event_log(path_a):
+            events_a = _load_events(path_a)
+            events_b = _load_events(path_b)
+            print(
+                "\n".join(
+                    diff_events(events_a, events_b, str(path_a), str(path_b))
+                )
+            )
+            factor = _events_factor(events_a, events_b)
+            if (
+                args.fail_regression is not None
+                and factor > args.fail_regression
+            ):
+                print(
+                    f"bench_diff FAILED: {factor:.2f}x the baseline's "
+                    f"experiment seconds (> {args.fail_regression:g}x "
+                    "allowed)",
+                    file=sys.stderr,
+                )
+                return 1
+            return 0
         a, b = _load(path_a), _load(path_b)
         kind_a, kind_b = _kind(a), _kind(b)
         if kind_a != kind_b:

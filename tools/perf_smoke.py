@@ -46,6 +46,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro import telemetry  # noqa: E402
 from repro.bench.experiments import ALL_EXPERIMENTS  # noqa: E402
 from repro.join import run_cache  # noqa: E402
+from repro.telemetry.histogram import Histogram  # noqa: E402
 
 #: Counter namespaces worth recording per experiment: cache behaviour
 #: and which kernel paths actually ran (a silent scipy-less fallback or
@@ -65,6 +66,15 @@ METRIC_PREFIXES = (
 #: memory (``process.peak_rss_bytes`` is the monotonic high-water
 #: mark, so a later label's value is "peak so far", not per-label).
 GAUGE_PREFIXES = ("exec.", "process.")
+
+#: Timing histograms whose p50/p90/p99 the report records per label
+#: (``repro.telemetry.histogram`` estimates, accurate to one log
+#: bucket) — the latency-shape complement to the median wall-clock.
+PERCENTILE_TIMINGS = (
+    "bench.experiment_seconds",
+    "join.run_seconds",
+    "exec.morsel_seconds",
+)
 
 #: Scale divisor at which fig17's grouped probes use the dense offsets
 #: table (the build side outgrows the planned slot space).
@@ -114,6 +124,21 @@ def _metric_gauges(delta: dict) -> dict:
     }
 
 
+def _timing_percentiles(delta: dict) -> dict:
+    """p50/p90/p99 per :data:`PERCENTILE_TIMINGS` timing in the delta."""
+    out = {}
+    for name in PERCENTILE_TIMINGS:
+        timing = delta.get("timings", {}).get(name)
+        if not timing or not timing.get("count"):
+            continue
+        histogram = Histogram.from_timing(timing)
+        out[name] = {
+            quantile: round(value, 6)
+            for quantile, value in histogram.percentiles().items()
+        }
+    return out
+
+
 def _median(samples):
     """The middle sample (mean of the middle two for even counts)."""
     ordered = sorted(samples)
@@ -149,6 +174,7 @@ def run_smoke(
     samples = {}
     metrics = {}
     gauges = {}
+    percentiles = {}
     try:
         for name, override in runs:
             run_divisor = divisor if override is None else override
@@ -165,6 +191,9 @@ def run_smoke(
                     delta = telemetry.registry.delta_since(before)
                     metrics[label] = _metric_counters(delta)
                     gauges[label] = _metric_gauges(delta)
+                    quantiles = _timing_percentiles(delta)
+                    if quantiles:
+                        percentiles[label] = quantiles
             timings[label] = round(_median(times), 3)
             spreads[label] = round(max(times) - min(times), 3)
             samples[label] = times
@@ -186,6 +215,7 @@ def run_smoke(
         "run_cache": cache_stats,
         "metrics": metrics,
         "gauges": gauges,
+        "percentiles": percentiles,
         "memory": {
             label: {
                 name: values[name]
