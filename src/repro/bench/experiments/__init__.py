@@ -30,6 +30,7 @@ from repro.bench.experiments import (
     ext_outofcore,
     ext_scaling,
     ext_robustness,
+    ext_service,
     ext_sort,
 )
 
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS = {
     "ext_outofcore": ext_outofcore,
     "ext_scaling": ext_scaling,
     "ext_robustness": ext_robustness,
+    "ext_service": ext_service,
     "ext_sort": ext_sort,
 }
 

@@ -88,3 +88,25 @@ class DegradationError(ReproError):
     def __init__(self, message: str, failures=None) -> None:
         super().__init__(message)
         self.failures = dict(failures or {})
+
+
+class AdmissionError(ReproError):
+    """The join service refused a query at admission control.
+
+    Raised (from :meth:`repro.service.QueryHandle.result`) when a
+    query's estimated memory footprint exceeds the service's budget, or
+    its pending queue is full. The query never executed.
+    """
+
+
+class QueryCancelled(ReproError):
+    """The query was cancelled before it produced a result."""
+
+
+class QueryTimeout(ReproError):
+    """The query exceeded its deadline and was abandoned.
+
+    Cooperative: the executing plan checks its deadline between
+    operator pulls, so a timed-out query stops at the next pipeline
+    step and frees its worker slot.
+    """

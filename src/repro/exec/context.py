@@ -19,6 +19,7 @@ after its functional phase to annotate ``run.notes["out_of_core"]``.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import List, Optional
@@ -76,15 +77,27 @@ class ExecutionConfig:
 
 _active: Optional[ExecutionConfig] = None
 
-#: Notes deposited by the out-of-core executor, consumed by operators.
-_notes: List[dict] = []
+#: Per-thread state: the config override (see :func:`thread_scoped`)
+#: and the notes mailbox. Notes are *always* thread-local — a deposit
+#: and its pickup happen on the thread that ran the operator, and
+#: keeping mailboxes separate stops two concurrent service queries from
+#: consuming each other's out-of-core summaries.
+_MISSING = object()
+_local = threading.local()
+
+
+def _notes_list() -> List[dict]:
+    notes = getattr(_local, "notes", None)
+    if notes is None:
+        notes = _local.notes = []
+    return notes
 
 
 def activate(config: Optional[ExecutionConfig]) -> None:
     """Make ``config`` the ambient execution config (``None`` clears it)."""
     global _active
     _active = config
-    _notes.clear()
+    _notes_list().clear()
 
 
 def deactivate() -> None:
@@ -92,7 +105,15 @@ def deactivate() -> None:
 
 
 def active() -> Optional[ExecutionConfig]:
-    """The ambient execution config, or ``None``."""
+    """The ambient execution config, or ``None``.
+
+    A :func:`thread_scoped` override on the current thread wins over
+    the process-global config (the join service's per-request
+    isolation); everything else sees the process-global one.
+    """
+    override = getattr(_local, "override", _MISSING)
+    if override is not _MISSING:
+        return override
     return _active
 
 
@@ -105,6 +126,29 @@ def configured(config: Optional[ExecutionConfig]):
         yield config
     finally:
         activate(previous)
+
+
+@contextmanager
+def thread_scoped(config: Optional[ExecutionConfig]):
+    """Activate ``config`` for the *current thread only*.
+
+    The thread-local sibling of :func:`configured`: concurrent service
+    queries each run their own out-of-core config (or explicitly
+    ``None`` to shield against a process-global one) without touching
+    what other threads see. Blocks nest; the previous override is
+    restored on exit. The thread's notes mailbox is cleared on entry,
+    like :func:`activate` does.
+    """
+    previous = getattr(_local, "override", _MISSING)
+    _local.override = config
+    _notes_list().clear()
+    try:
+        yield config
+    finally:
+        if previous is _MISSING:
+            del _local.override
+        else:
+            _local.override = previous
 
 
 def should_go_out_of_core(build, probe, config=None) -> bool:
@@ -129,7 +173,7 @@ def should_go_out_of_core(build, probe, config=None) -> bool:
 
 def record_note(note: dict) -> None:
     """Deposit one out-of-core run summary for the triggering operator."""
-    _notes.append(note)
+    _notes_list().append(note)
 
 
 def consume_notes() -> List[dict]:
@@ -138,8 +182,10 @@ def consume_notes() -> List[dict]:
     Operators call this right after their functional phase; a join that
     fanned out into several out-of-core executions (the co-processing
     operator joins each side separately) receives one note per
-    execution, in execution order.
+    execution, in execution order. The mailbox is per-thread, so
+    concurrent service queries never see each other's notes.
     """
-    drained = list(_notes)
-    _notes.clear()
+    notes = _notes_list()
+    drained = list(notes)
+    notes.clear()
     return drained

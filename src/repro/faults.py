@@ -37,6 +37,7 @@ import hashlib
 import json
 import math
 import re
+import threading as _threading
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -355,6 +356,12 @@ DEFAULT_RETRY_POLICY = RetryPolicy()
 
 _active: Optional[FaultPlan] = None
 
+#: Per-thread overrides (see :func:`thread_scoped`). A sentinel marks
+#: "no override" so a thread can explicitly override to ``None`` (run
+#: clean while the process-global plan is set).
+_MISSING = object()
+_local = _threading.local()
+
 
 def activate(plan: Optional[FaultPlan]) -> None:
     """Make ``plan`` the ambient fault plan (``None`` clears it)."""
@@ -367,8 +374,39 @@ def deactivate() -> None:
 
 
 def active() -> Optional[FaultPlan]:
-    """The ambient fault plan, or ``None``."""
+    """The ambient fault plan, or ``None``.
+
+    A :func:`thread_scoped` override on the current thread wins over
+    the process-global plan — the isolation the concurrent join service
+    relies on to run per-request fault plans side by side.
+    """
+    override = getattr(_local, "override", _MISSING)
+    if override is not _MISSING:
+        return override
     return _active
+
+
+@contextmanager
+def thread_scoped(plan: Optional[FaultPlan]):
+    """Activate ``plan`` for the *current thread only*.
+
+    :func:`activate` mutates process-global state, which two concurrent
+    service queries with different fault plans would trample. Inside
+    this block, :func:`active` (and everything that consults it — the
+    engine, capacity planning, run-cache keys) sees ``plan`` on this
+    thread while other threads keep seeing the process-global plan.
+    ``None`` explicitly shields the thread from a global plan. Blocks
+    nest; the previous override is restored on exit.
+    """
+    previous = getattr(_local, "override", _MISSING)
+    _local.override = plan
+    try:
+        yield plan
+    finally:
+        if previous is _MISSING:
+            del _local.override
+        else:
+            _local.override = previous
 
 
 @contextmanager
@@ -386,7 +424,7 @@ def effective_gpu_memory(
     capacity_bytes: float, plan: Optional[FaultPlan] = None
 ) -> float:
     """GPU memory capacity after the (ambient) plan's capacity fault."""
-    plan = plan if plan is not None else _active
+    plan = plan if plan is not None else active()
     if plan is None or plan.gpu_memory_factor >= 1.0:
         return capacity_bytes
     from repro import telemetry  # deferred: telemetry is a peer layer

@@ -1,0 +1,499 @@
+"""The concurrent join service: admission, scheduling, isolation.
+
+:class:`JoinService` runs compiled :mod:`repro.service.plan` queries on
+a pool of worker threads with the semantics a shared join server needs:
+
+- **Deterministic admission control.** A query's memory footprint is
+  estimated from its spec alone (:func:`repro.service.plan.
+  estimate_query_bytes`); a query whose estimate exceeds the service
+  budget is rejected at submission — a pure function of (spec, budget),
+  never of timing, so the same submission stream always produces the
+  same admitted/rejected split and the same event counts.
+- **Concurrency headroom.** Admitted queries start only when the sum of
+  *running* estimates plus theirs fits the budget; over-budget
+  contenders wait (they are never rejected), so load spikes degrade to
+  queueing, not errors.
+- **Priority scheduling.** The run queue is a max-heap on
+  ``(priority, submission order)`` — ties run in submission order, so
+  single-worker execution is fully deterministic.
+- **Cooperative cancellation and timeouts.** The plan executor calls a
+  checkpoint between operator pulls; :meth:`QueryHandle.cancel` and
+  per-query deadlines take effect at the next checkpoint (a
+  ``timeout=0`` query deterministically times out at its first stage).
+- **Per-query isolation.** Each query executes under its own
+  :func:`repro.faults.thread_scoped` fault plan, :func:`repro.exec.
+  context.thread_scoped` out-of-core config, :func:`repro.telemetry.
+  events.context` tag (``query=<id>`` on every event it emits, however
+  deep), and a :meth:`repro.telemetry.metrics.MetricsRegistry.scoped`
+  registry whose snapshot lands on the handle — concurrent queries
+  never read each other's counters, notes, faults, or events.
+
+One caveat is enforced rather than documented: the span tracer and the
+explain collector keep *module-global* stacks, so explain-enabled
+queries take an exclusive lock (normal queries share it) and their
+traces stay coherent under concurrency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro import faults
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    QueryCancelled,
+    QueryTimeout,
+)
+from repro.exec import context as exec_context
+from repro.service import plan as plan_module
+from repro.telemetry import events, registry
+
+#: Handle states, in lifecycle order.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+REJECTED = "rejected"
+CANCELLED = "cancelled"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+
+class QueryHandle:
+    """One submitted query: status, result, cancellation."""
+
+    def __init__(
+        self, query_id: str, spec: dict, priority: int, timeout: Optional[float]
+    ) -> None:
+        self.id = query_id
+        self.spec = spec
+        self.priority = priority
+        self.timeout = timeout
+        self.status = PENDING
+        self.estimate_bytes = 0
+        #: Per-query metrics snapshot (set when the query finishes).
+        self.metrics: Optional[dict] = None
+        #: Simulated seconds + wall seconds (set on success).
+        self.result_value = None
+        self.error: Optional[BaseException] = None
+        self.wall_seconds = 0.0
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+
+    def cancel(self) -> bool:
+        """Request cancellation; True if the query had not finished yet.
+
+        Queued queries are dropped before they start; running queries
+        stop at their next checkpoint. Finished queries are unaffected.
+        """
+        if self._done.is_set():
+            return False
+        self._cancel.set()
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None):
+        """The query's :class:`~repro.service.plan.QueryResult`.
+
+        Blocks until the query finishes (or ``timeout`` elapses —
+        raising :class:`TimeoutError` without affecting the query).
+        Re-raises the query's failure: :class:`~repro.errors.
+        AdmissionError` for rejections, :class:`~repro.errors.
+        QueryCancelled`, :class:`~repro.errors.QueryTimeout`, or the
+        original execution error.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"query {self.id} still {self.status}")
+        if self.error is not None:
+            raise self.error
+        return self.result_value
+
+
+class _RequestQueue:
+    """Priority queue: highest priority first, FIFO within a priority."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+
+    def push(self, handle: QueryHandle) -> None:
+        heapq.heappush(
+            self._heap, (-handle.priority, next(self._counter), handle)
+        )
+
+    def pop(self) -> Optional[QueryHandle]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class JoinService:
+    """A thread-pool query scheduler over the plan layer.
+
+    Usable as a context manager; :meth:`shutdown` drains workers. The
+    optional ``stage_hook`` is a test seam: called as ``(handle, stage
+    label)`` from every query checkpoint, it lets a test hold one query
+    at a known stage while another runs — the deterministic way to
+    construct overlap.
+    """
+
+    def __init__(
+        self,
+        system=None,
+        workers: int = 2,
+        memory_budget_bytes: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        use_run_cache: bool = False,
+        stage_hook: Optional[Callable[[QueryHandle, str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if memory_budget_bytes is not None and memory_budget_bytes <= 0:
+            raise ConfigurationError("memory_budget_bytes must be positive")
+        if queue_limit is not None and queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        from repro import ac922
+
+        self.system = system if system is not None else ac922()
+        self.memory_budget_bytes = memory_budget_bytes
+        self.queue_limit = queue_limit
+        self.stage_hook = stage_hook
+        if use_run_cache:
+            from repro.join import run_cache
+
+            run_cache.enable()
+        self._queue = _RequestQueue()
+        self._requests: dict = {}
+        self._lock = threading.Lock()
+        self._work_available = threading.Condition(self._lock)
+        self._headroom = threading.Condition(self._lock)
+        self._running_bytes = 0
+        self._submitted = 0
+        self._rejected = 0
+        self._finished = 0
+        self._shutdown = False
+        # Explain queries need the module-global span/explain stacks to
+        # themselves: normal queries hold this as readers, explain
+        # queries as the single writer.
+        self._explain_lock = _ReadWriteLock()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"join-service-{i}",
+                args=(i,),
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: dict,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        fault_plan=None,
+        exec_config=None,
+        explain: bool = False,
+    ) -> QueryHandle:
+        """Validate, admit (or reject), and enqueue one query.
+
+        Admission is deterministic: the spec's estimated memory
+        footprint against the service budget, plus the queue-depth
+        limit when one is configured. Rejected handles resolve
+        immediately; their :meth:`~QueryHandle.result` raises
+        :class:`~repro.errors.AdmissionError`.
+        """
+        if self._shutdown:
+            raise ConfigurationError("service is shut down")
+        estimate = plan_module.estimate_query_bytes(spec)
+        compiled = plan_module.compile_plan(spec)
+        with self._lock:
+            self._submitted += 1
+            query_id = f"q{self._submitted:06d}"
+        handle = QueryHandle(query_id, spec, priority, timeout)
+        handle.estimate_bytes = estimate
+        handle._plan = compiled
+        handle._fault_plan = fault_plan
+        handle._exec_config = exec_config
+        handle._explain = explain
+        events.emit(
+            "query.submitted", query=query_id, plan=compiled.name,
+            priority=priority, estimate_bytes=estimate,
+        )
+
+        reason = None
+        if (
+            self.memory_budget_bytes is not None
+            and estimate > self.memory_budget_bytes
+        ):
+            reason = (
+                f"estimate {estimate} B exceeds budget "
+                f"{self.memory_budget_bytes} B"
+            )
+        elif (
+            self.queue_limit is not None
+            and len(self._queue) >= self.queue_limit
+        ):
+            reason = f"queue full ({self.queue_limit} pending)"
+        if reason is not None:
+            handle.status = REJECTED
+            handle.error = AdmissionError(f"query {query_id}: {reason}")
+            with self._lock:
+                self._rejected += 1
+            events.emit("query.rejected", query=query_id, reason=reason)
+            handle._done.set()
+            return handle
+
+        events.emit("query.admitted", query=query_id)
+        with self._lock:
+            self._requests[query_id] = handle
+            self._queue.push(handle)
+            self._work_available.notify()
+        return handle
+
+    def run(self, spec: dict, **kwargs):
+        """Submit and wait — the serial convenience path."""
+        return self.submit(spec, **kwargs).result()
+
+    # -- worker side -----------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._shutdown:
+                    self._work_available.wait()
+                if self._shutdown and not self._queue:
+                    return
+                handle = self._queue.pop()
+                if handle is None:
+                    continue
+                # Headroom gate: wait (never reject) until the running
+                # footprint plus this query fits the budget. A query
+                # bigger than... cannot reach here: submission rejected it.
+                if self.memory_budget_bytes is not None:
+                    while (
+                        self._running_bytes + handle.estimate_bytes
+                        > self.memory_budget_bytes
+                        and self._running_bytes > 0
+                        and not handle.cancelled
+                    ):
+                        self._headroom.wait()
+                self._running_bytes += handle.estimate_bytes
+            try:
+                self._execute(handle, index)
+            finally:
+                with self._lock:
+                    self._running_bytes -= handle.estimate_bytes
+                    self._finished += 1
+                    self._requests.pop(handle.id, None)
+                    self._headroom.notify_all()
+
+    def _execute(self, handle: QueryHandle, worker: int) -> None:
+        if handle.cancelled:
+            handle.status = CANCELLED
+            handle.error = QueryCancelled(
+                f"query {handle.id} cancelled before start"
+            )
+            events.emit(
+                "query.finished", query=handle.id, seconds=0.0,
+                status=CANCELLED,
+            )
+            handle._done.set()
+            return
+
+        handle.status = RUNNING
+        events.emit("query.started", query=handle.id, worker=worker)
+        started = time.perf_counter()
+        deadline = (
+            None if handle.timeout is None else started + handle.timeout
+        )
+
+        def checkpoint(stage: str) -> None:
+            if self.stage_hook is not None:
+                self.stage_hook(handle, stage)
+            if handle.cancelled:
+                raise QueryCancelled(
+                    f"query {handle.id} cancelled at {stage}"
+                )
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise QueryTimeout(
+                    f"query {handle.id} exceeded {handle.timeout}s "
+                    f"at {stage}"
+                )
+
+        status = DONE
+        scope = None
+        explain_ctx = (
+            self._explain_lock.write if handle._explain
+            else self._explain_lock.read
+        )
+        try:
+            with explain_ctx(), events.context(query=handle.id), \
+                    registry.scoped() as scope, \
+                    faults.thread_scoped(handle._fault_plan), \
+                    exec_context.thread_scoped(handle._exec_config):
+                if handle._explain:
+                    result = self._execute_explained(handle, checkpoint)
+                else:
+                    result = handle._plan.execute(
+                        system=self.system, checkpoint=checkpoint
+                    )
+            handle.result_value = result
+        except QueryCancelled as exc:
+            status, handle.error = CANCELLED, exc
+        except QueryTimeout as exc:
+            status, handle.error = TIMEOUT, exc
+        except BaseException as exc:  # noqa: BLE001 - reported via handle
+            status, handle.error = ERROR, exc
+        handle.wall_seconds = time.perf_counter() - started
+        handle.metrics = scope.snapshot() if scope is not None else None
+        handle.status = status
+        events.emit(
+            "query.finished", query=handle.id,
+            seconds=handle.wall_seconds, status=status,
+        )
+        handle._done.set()
+
+    def _execute_explained(self, handle: QueryHandle, checkpoint):
+        """Run one query with span tracing + explain collection on.
+
+        Only ever called under the exclusive half of the explain lock —
+        the tracer's span stack and the explain collector are module
+        globals, unusable from two queries at once.
+        """
+        from repro import explain as explain_module
+        from repro import telemetry
+
+        tracing_was_on = telemetry.enabled()
+        telemetry.enable()
+        explain_module.enable_collection()
+        try:
+            result = handle._plan.execute(
+                system=self.system, checkpoint=checkpoint
+            )
+            explained = explain_module.drain()
+            if explained:
+                result.stages.append(
+                    {
+                        "stage": "explain",
+                        "operator": "explain",
+                        "text": explain_module.format_explanation(
+                            explained[-1]
+                        ),
+                    }
+                )
+            return result
+        finally:
+            explain_module.disable_collection()
+            if not tracing_was_on:
+                telemetry.disable()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self._submitted,
+                "rejected": self._rejected,
+                "finished": self._finished,
+                "queued": len(self._queue),
+                "running_bytes": self._running_bytes,
+                "workers": len(self._workers),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued queries."""
+        with self._lock:
+            self._shutdown = True
+            self._work_available.notify_all()
+            self._headroom.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join()
+
+    def __enter__(self) -> "JoinService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+
+class _ReadWriteLock:
+    """Writer-preferring RW lock (tiny, threading-only).
+
+    Normal queries run concurrently as readers; an explain query takes
+    the write side and runs alone. Writers are preferred so an explain
+    query is not starved by a steady reader stream.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def read(self):
+        return _LockContext(self._acquire_read, self._release_read)
+
+    def write(self):
+        return _LockContext(self._acquire_write, self._release_write)
+
+    def _acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def _release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def _acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def _release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class _LockContext:
+    def __init__(self, acquire, release) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self):
+        self._acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._release()

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
 #: Bumped whenever an event type's payload fields change shape.
@@ -65,6 +67,12 @@ EVENT_TYPES: Dict[str, tuple] = {
     # fault injection + degradation ladder
     "fault.injected": ("kind", "target"),
     "ladder.fallback": ("rung", "error"),
+    # concurrent join service (repro.service)
+    "query.submitted": ("query", "plan"),
+    "query.admitted": ("query",),
+    "query.rejected": ("query", "reason"),
+    "query.started": ("query", "worker"),
+    "query.finished": ("query", "seconds", "status"),
 }
 
 #: Event types rendered as instants on the Chrome-trace export (the
@@ -77,12 +85,50 @@ INSTANT_EVENT_TYPES = frozenset(
         "worker.stalled",
         "ladder.fallback",
         "morsel.recovered",
+        "query.rejected",
     }
 )
 
 _enabled = False
 _events: List[dict] = []
 _seq = 0
+
+#: Guards the buffer and the per-process ``seq`` counter. The join
+#: service emits from several worker threads at once; without the lock
+#: two threads could draw the same ``seq`` (a duplicate ``(pid, seq)``
+#: pair — exactly what :func:`validate_events` rejects).
+_lock = threading.Lock()
+
+#: Thread-local ambient fields merged into every event a thread emits
+#: while a :func:`context` block is open. The join service tags each
+#: query's execution with ``query=<id>`` so operator-level events
+#: (``run.start``/``run.end``, spills, morsels) emitted deep inside the
+#: plan carry their query id — concurrent queries stay separable in one
+#: merged event log.
+_context = threading.local()
+
+
+@contextmanager
+def context(**fields):
+    """Merge ``fields`` into every event this thread emits inside the block.
+
+    Nested contexts stack (inner fields win on collision); explicit
+    :func:`emit` fields always win over ambient ones. Context fields
+    count toward a type's required payload fields, so a service can open
+    ``context(query=...)`` once instead of threading the id to every
+    emission site.
+    """
+    previous = getattr(_context, "fields", None)
+    _context.fields = {**(previous or {}), **fields}
+    try:
+        yield
+    finally:
+        _context.fields = previous
+
+
+def context_fields() -> dict:
+    """This thread's ambient event fields ({} outside any context)."""
+    return dict(getattr(_context, "fields", None) or {})
 
 
 def _clear_after_fork() -> None:
@@ -121,8 +167,9 @@ def enabled() -> bool:
 def reset() -> None:
     """Drop buffered events and restart the per-process sequence."""
     global _seq
-    _events.clear()
-    _seq = 0
+    with _lock:
+        _events.clear()
+        _seq = 0
 
 
 def emit(event_type: str, **fields) -> Optional[dict]:
@@ -131,13 +178,17 @@ def emit(event_type: str, **fields) -> Optional[dict]:
     Unknown types and missing required fields raise immediately — an
     emission site that drifts from :data:`EVENT_TYPES` is a bug the
     tests should see, not a malformed line in a log someone tails at
-    3am.
+    3am. Ambient :func:`context` fields merge in underneath the
+    explicit ones.
     """
     if not _enabled:
         return None
     required = EVENT_TYPES.get(event_type)
     if required is None:
         raise ValueError(f"unknown event type {event_type!r}")
+    ambient = getattr(_context, "fields", None)
+    if ambient:
+        fields = {**ambient, **fields}
     missing = [name for name in required if name not in fields]
     if missing:
         raise ValueError(f"event {event_type!r} missing fields {missing}")
@@ -147,24 +198,27 @@ def emit(event_type: str, **fields) -> Optional[dict]:
         "type": event_type,
         "ts": time.time(),
         "pid": os.getpid(),
-        "seq": _seq,
     }
     event.update(fields)
-    _seq += 1
-    _events.append(event)
+    with _lock:
+        event["seq"] = _seq
+        _seq += 1
+        _events.append(event)
     return event
 
 
 def events() -> List[dict]:
     """A copy of the buffered events (emission order)."""
-    return list(_events)
+    with _lock:
+        return list(_events)
 
 
 def drain() -> List[dict]:
     """Remove and return the buffered events — the worker-side half of
     the cross-process contract (see the module docstring)."""
-    drained = list(_events)
-    _events.clear()
+    with _lock:
+        drained = list(_events)
+        _events.clear()
     return drained
 
 
@@ -177,7 +231,8 @@ def absorb(foreign: Optional[Iterable[dict]]) -> int:
     if not foreign:
         return 0
     absorbed = list(foreign)
-    _events.extend(absorbed)
+    with _lock:
+        _events.extend(absorbed)
     return len(absorbed)
 
 
@@ -281,6 +336,21 @@ def validate_events(records: Sequence[dict]) -> List[str]:
             )
         seen.add(key)
     return problems
+
+
+def by_query(records: Sequence[dict]) -> Dict[str, List[dict]]:
+    """Group events by their ``query`` tag (untagged events under "").
+
+    The join service tags every event emitted inside a query's
+    execution (see :func:`context`), so a merged log from overlapping
+    queries splits back into clean per-query slices — the contract
+    ``tools/bench_diff.py`` event diffs rely on to avoid conflating
+    interleaved runs.
+    """
+    grouped: Dict[str, List[dict]] = {}
+    for event in records:
+        grouped.setdefault(str(event.get("query", "")), []).append(event)
+    return grouped
 
 
 def counts_by_type(records: Sequence[dict]) -> Dict[str, int]:

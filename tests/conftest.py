@@ -1,8 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the order-shuffle plugin.
+
+``--shuffle-seed N`` reorders the collected tests with a seeded
+shuffle (module groups are shuffled, then the tests inside each
+module) — our stand-in for pytest-randomly, which this environment
+cannot install. CI runs one shuffled leg per build; to reproduce a
+shuffled failure locally, rerun with the seed printed in the pytest
+header. Order-dependence is a bug: the autouse guards below fail the
+*offending* test when it leaks ambient state to its neighbours.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import random
+import threading
 
 import pytest
 
@@ -11,6 +22,45 @@ from repro.data.generator import generate_workload
 from repro.hw.cpu import CpuModel
 from repro.hw.gpu import GpuModel
 from repro.hw.specs import ac922, xeon_system
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--shuffle-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shuffle test order with this seed (catches order-dependent "
+        "tests; the header prints the seed for reproduction)",
+    )
+
+
+def pytest_report_header(config):
+    seed = config.getoption("--shuffle-seed")
+    if seed is not None:
+        return f"shuffle: test order randomized with --shuffle-seed {seed}"
+    return None
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = config.getoption("--shuffle-seed")
+    if seed is None:
+        return
+    rng = random.Random(seed)
+    # Shuffle module order, and test order within each module, but keep
+    # each module's tests contiguous: module-scoped fixtures still set
+    # up once, and a failure reads as "this module, shuffled".
+    by_module = {}
+    for item in items:
+        by_module.setdefault(item.module.__name__, []).append(item)
+    modules = list(by_module)
+    rng.shuffle(modules)
+    shuffled = []
+    for module in modules:
+        group = by_module[module]
+        rng.shuffle(group)
+        shuffled.extend(group)
+    items[:] = shuffled
 
 
 @pytest.fixture(scope="session")
@@ -86,3 +136,35 @@ def _no_leaked_exec_config():
     if exec_context.active() is not None:
         exec_context.deactivate()
         raise AssertionError("test left an ambient execution config active")
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_service_state():
+    """No live join-service workers or ambient event context between tests.
+
+    A service whose test forgot ``shutdown()`` would keep daemon worker
+    threads alive into every later test; an unexited ``events.context``
+    would silently tag other tests' events. Both are exactly the kind of
+    leak only a shuffled run surfaces — so guard them on every run.
+    """
+    from repro.telemetry import events
+
+    def service_threads():
+        return [
+            thread.name
+            for thread in threading.enumerate()
+            if thread.name.startswith("join-service-")
+        ]
+
+    assert service_threads() == [], (
+        "a previous test leaked join-service worker threads"
+    )
+    assert events.context_fields() == {}, (
+        "a previous test leaked an events.context"
+    )
+    yield
+    leaked = service_threads()
+    assert leaked == [], f"test left join-service threads alive: {leaked}"
+    assert events.context_fields() == {}, (
+        "test left an events.context open"
+    )

@@ -1,0 +1,225 @@
+"""Property tests for the query layer and the service's hygiene.
+
+Three invariant families, Hypothesis-driven:
+
+- **Spec round-trip + functional reference.** Any generated plan spec
+  survives a JSON round trip with an identical result checksum, and the
+  plan's join match equals a numpy reference computed directly from the
+  generated arrays (the plan layer adds structure, never rows).
+- **Deterministic admission.** A query is rejected iff its spec-derived
+  estimate exceeds the budget — a pure function of (spec, budget),
+  regardless of worker count, submission order, or cancellation.
+- **No leaks under any interleaving.** Whatever mix of submissions,
+  priorities, and cancellations runs, shutdown leaves no service
+  threads, no ambient fault plan or exec config, no thread-local event
+  context, and no run-cache entries (the conftest guards then re-check
+  the ambient ones after every test).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import faults, reference_join
+from repro.data.generator import generate_pk_fk
+from repro.exec import context as exec_context
+from repro.join import run_cache
+from repro.service import (
+    JoinService,
+    estimate_query_bytes,
+    execute_plan,
+    validate_spec,
+)
+from repro.telemetry import events
+
+SCALE = 65536
+
+
+@st.composite
+def plan_specs(draw):
+    """A valid plan spec plus the probe-row mask it implies."""
+    workload = {
+        "build_m_tuples": draw(st.sampled_from([16, 32, 64])),
+        "probe_m_tuples": draw(st.sampled_from([16, 64, 128])),
+        "scale_divisor": SCALE,
+        "seed": draw(st.integers(min_value=0, max_value=50)),
+    }
+    probe = {"op": "scan", "relation": "probe"}
+    shape = draw(
+        st.sampled_from(["plain", "filter", "partition", "batches"])
+    )
+    mask_fields = None
+    if shape == "filter":
+        predicate = draw(
+            st.sampled_from(["semijoin", "modulo", "key_range"])
+        )
+        node = {"op": "filter", "predicate": predicate, "input": probe}
+        if predicate == "modulo":
+            node["divisor"] = draw(st.integers(min_value=2, max_value=8))
+            node["remainder"] = draw(
+                st.integers(min_value=0, max_value=node["divisor"] - 1)
+            )
+        elif predicate == "key_range":
+            node["lo"] = draw(st.integers(min_value=0, max_value=100))
+            node["hi"] = node["lo"] + draw(
+                st.integers(min_value=1, max_value=20000)
+            )
+        mask_fields = node
+        probe = node
+    elif shape == "partition":
+        probe = {
+            "op": "partition",
+            "bits": draw(st.integers(min_value=1, max_value=8)),
+            "input": probe,
+        }
+    elif shape == "batches":
+        probe = {
+            "op": "scan",
+            "relation": "probe",
+            "batches": draw(st.integers(min_value=2, max_value=6)),
+        }
+    root = {
+        "op": "join",
+        "algorithm": draw(
+            st.sampled_from(["triton", "cpu-radix", "bloom-triton"])
+        ),
+        "build": {"op": "scan", "relation": "build"},
+        "probe": probe,
+    }
+    if draw(st.booleans()):
+        root = {
+            "op": "groupby",
+            "function": draw(st.sampled_from(["sum", "count"])),
+            "input": root,
+        }
+    return {"name": "prop", "workload": workload, "root": root}, mask_fields
+
+
+def probe_mask(build, probe, mask_fields):
+    if mask_fields is None:
+        return np.ones(len(probe), dtype=bool)
+    predicate = mask_fields["predicate"]
+    if predicate == "semijoin":
+        return np.isin(probe.keys, build.keys)
+    if predicate == "key_range":
+        return (probe.keys >= mask_fields["lo"]) & (
+            probe.keys < mask_fields["hi"]
+        )
+    return probe.keys % mask_fields["divisor"] == mask_fields["remainder"]
+
+
+@given(plan_specs())
+@settings(max_examples=12, deadline=None)
+def test_round_trip_and_functional_reference(system, drawn):
+    spec, mask_fields = drawn
+    result = execute_plan(spec, system=system)
+    round_tripped = execute_plan(
+        json.loads(json.dumps(spec)), system=system
+    )
+    assert round_tripped.checksum == result.checksum
+    assert round_tripped.seconds == result.seconds
+
+    config = validate_spec(spec)
+    build, probe = generate_pk_fk(config)
+    mask = probe_mask(build, probe, mask_fields)
+    expected = reference_join(build, probe.take(np.nonzero(mask)[0]))
+    assert result.match == expected
+
+
+def _small(seed):
+    return {
+        "name": "small",
+        "workload": {
+            "build_m_tuples": 32,
+            "probe_m_tuples": 32,
+            "scale_divisor": SCALE,
+            "seed": seed,
+        },
+        "root": {
+            "op": "join",
+            "build": {"op": "scan", "relation": "build"},
+            "probe": {"op": "scan", "relation": "probe"},
+        },
+    }
+
+
+def _big(seed):
+    big = _small(seed)
+    big["name"] = "big"
+    big["workload"]["build_m_tuples"] = 2048
+    big["workload"]["probe_m_tuples"] = 2048
+    return big
+
+
+def _service_threads():
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("join-service-")
+    ]
+
+
+@given(
+    actions=st.lists(
+        st.tuples(
+            st.booleans(),  # big (over budget) or small
+            st.integers(min_value=0, max_value=3),  # priority
+            st.booleans(),  # cancel right after submit
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    workers=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=20),
+)
+@settings(max_examples=12, deadline=None)
+def test_interleavings_admit_deterministically_and_never_leak(
+    system, actions, workers, seed
+):
+    small, big = _small(seed), _big(seed)
+    budget = estimate_query_bytes(small) * 2
+    assert estimate_query_bytes(big) > budget
+
+    service = JoinService(
+        system=system, workers=workers, memory_budget_bytes=budget
+    )
+    handles = []
+    try:
+        for is_big, priority, cancel in actions:
+            spec = big if is_big else small
+            handle = service.submit(spec, priority=priority)
+            if cancel:
+                handle.cancel()
+            handles.append((is_big, cancel, handle))
+    finally:
+        service.shutdown(wait=True)
+
+    for is_big, cancel, handle in handles:
+        assert handle.done()
+        # Admission is a pure function of (spec, budget): over-budget
+        # specs are always rejected, in-budget ones never are.
+        if is_big:
+            assert handle.status == "rejected"
+        elif cancel:
+            # The cancel raced the worker; either way it resolved.
+            assert handle.status in ("done", "cancelled")
+        else:
+            assert handle.status == "done"
+        if handle.status == "done":
+            assert handle.result().match is not None
+            assert handle.metrics is not None
+
+    # Nothing leaked: threads joined, ambient state clean, cache empty.
+    assert _service_threads() == []
+    assert faults.active() is None
+    assert exec_context.active() is None
+    assert events.context_fields() == {}
+    assert run_cache.size() == 0
+    stats = service.stats()
+    assert stats["submitted"] == len(actions)
+    assert stats["rejected"] == sum(1 for a in actions if a[0])

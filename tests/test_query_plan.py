@@ -1,0 +1,332 @@
+"""The Volcano plan layer: validation, semantics, byte-identity.
+
+The headline claim is the last class: executing ``analytics_spec()``
+through the plan layer reproduces ``examples/analytics_query.py``'s
+direct operator calls byte for byte — same match summary, same
+aggregate, same simulated seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import generate_workload, reference_join
+from repro.aggregate import (
+    AggregateFunction,
+    TritonAggregation,
+    reference_aggregate,
+)
+from repro.data.generator import generate_pk_fk
+from repro.errors import PlanError
+from repro.join.filters import BloomFilteredTritonJoin
+from repro.join.triton import TritonJoin
+from repro.service.plan import (
+    analytics_spec,
+    compile_plan,
+    estimate_query_bytes,
+    execute_plan,
+    validate_spec,
+)
+
+SCALE = 65536
+
+
+def spec(root, name="q", **workload):
+    base = {
+        "build_m_tuples": 64,
+        "probe_m_tuples": 64,
+        "scale_divisor": SCALE,
+        "seed": 3,
+    }
+    base.update(workload)
+    return {"name": name, "workload": base, "root": root}
+
+
+def scan(relation, **extra):
+    return {"op": "scan", "relation": relation, **extra}
+
+
+def join(build=None, probe=None, **extra):
+    return {
+        "op": "join",
+        "build": build or scan("build"),
+        "probe": probe or scan("probe"),
+        **extra,
+    }
+
+
+class TestValidation:
+    def test_accepts_minimal_join(self):
+        config = validate_spec(spec(join()))
+        assert config.build_m_tuples == 64
+
+    @pytest.mark.parametrize(
+        "broken, fragment",
+        [
+            ("not a dict", "plan spec must be an object"),
+            ({"workload": {}, "root": join(), "bogus": 1}, "bogus"),
+            (
+                {"workload": {"build_m_tuples": 1, "probe_m_tuples": 1}},
+                "missing required field 'root'",
+            ),
+            (spec({"op": "mystery"}), "root: unknown op 'mystery'"),
+            (spec({"op": "scan", "relation": "fact"}), "root.relation"),
+            (spec(join(algorithm="hashzilla")), "root.algorithm"),
+            (spec(join(extra_knob=1)), "unknown fields ['extra_knob']"),
+            (
+                spec({"op": "scan", "relation": "build"}),
+                "must contain a join node",
+            ),
+            (
+                spec({"op": "filter", "predicate": "semijoin"}),
+                "requires an 'input' node",
+            ),
+        ],
+    )
+    def test_rejects_with_path_in_message(self, broken, fragment):
+        with pytest.raises(PlanError, match="(?s)" + fragment.replace(
+            "[", "\\["
+        ).replace("]", "\\]").replace("'", ".")):
+            validate_spec(broken)
+
+    def test_workload_errors_name_the_field(self):
+        with pytest.raises(PlanError, match="workload"):
+            validate_spec(
+                {"workload": {"no_such_field": 1}, "root": join()}
+            )
+
+    def test_bool_is_not_an_integer(self):
+        bad = spec(
+            {
+                "op": "partition",
+                "bits": True,
+                "input": scan("probe"),
+            }
+        )
+        bad["root"] = join(probe=bad["root"])
+        with pytest.raises(PlanError, match="bits"):
+            validate_spec(bad)
+
+    def test_key_range_requires_ordered_bounds(self):
+        bad = join(
+            probe={
+                "op": "filter",
+                "predicate": "key_range",
+                "lo": 10,
+                "hi": 5,
+                "input": scan("probe"),
+            }
+        )
+        with pytest.raises(PlanError, match="lo < hi"):
+            validate_spec(spec(bad))
+
+    def test_aggregate_mode_needs_capable_algorithm(self):
+        with pytest.raises(PlanError, match="aggregate"):
+            validate_spec(spec(join(algorithm="cpu-radix", aggregate=True)))
+
+    def test_cpu_fraction_only_for_coprocess(self):
+        with pytest.raises(PlanError, match="cpu_fraction"):
+            validate_spec(spec(join(algorithm="triton", cpu_fraction=0.5)))
+
+    def test_describe_renders_the_tree(self):
+        plan = compile_plan(spec(join(algorithm="bloom-triton")))
+        text = plan.describe()
+        assert "Join(bloom-triton)" in text
+        assert "Scan(build)" in text
+        assert "Scan(probe)" in text
+
+
+class TestSemantics:
+    def test_plain_join_matches_direct_operator(self, system):
+        plan_spec = spec(join())
+        result = execute_plan(plan_spec, system=system)
+        workload = generate_workload(64, 64, scale_divisor=SCALE, seed=3)
+        direct = TritonJoin(system).run(workload)
+        assert result.match == direct.match
+        assert result.seconds == pytest.approx(direct.seconds, rel=1e-12)
+        assert result.match == reference_join(workload.build, workload.probe)
+
+    def test_filter_predicates_match_numpy_reference(self, system):
+        build, probe = generate_pk_fk(
+            compile_plan(spec(join())).config
+        )
+        cases = {
+            "modulo": (
+                {"predicate": "modulo", "divisor": 4, "remainder": 1},
+                probe.keys % 4 == 1,
+            ),
+            "key_range": (
+                {"predicate": "key_range", "lo": 10, "hi": 5000},
+                (probe.keys >= 10) & (probe.keys < 5000),
+            ),
+            "semijoin": (
+                {"predicate": "semijoin"},
+                np.isin(probe.keys, build.keys),
+            ),
+        }
+        for name, (fields, mask) in cases.items():
+            result = execute_plan(
+                spec(
+                    join(
+                        probe={
+                            "op": "filter",
+                            "input": scan("probe"),
+                            **fields,
+                        }
+                    )
+                ),
+                system=system,
+            )
+            expected = reference_join(
+                build, probe.take(np.nonzero(mask)[0])
+            )
+            assert result.match == expected, name
+
+    def test_filter_selectivity_scales_nominal_rows(self, system):
+        result = execute_plan(
+            spec(
+                join(
+                    probe={
+                        "op": "filter",
+                        "predicate": "semijoin",
+                        "selectivity": 0.25,
+                        "input": scan("probe"),
+                    }
+                )
+            ),
+            system=system,
+        )
+        # The join stage saw a probe input whose nominal cardinality was
+        # scaled, which changes the simulated cost but not the result.
+        unscaled = execute_plan(spec(join()), system=system)
+        assert result.seconds < unscaled.seconds
+
+    def test_partition_preserves_rows(self, system):
+        partitioned = execute_plan(
+            spec(
+                join(
+                    probe={
+                        "op": "partition",
+                        "bits": 4,
+                        "input": scan("probe"),
+                    }
+                )
+            ),
+            system=system,
+        )
+        plain = execute_plan(spec(join()), system=system)
+        # The partition permutes rows; the join result is unchanged.
+        assert partitioned.match == plain.match
+        assert any(
+            stage["operator"] == "partition_relation"
+            for stage in partitioned.stages
+        )
+
+    def test_multi_batch_scan_joins_identically(self, system):
+        batched = execute_plan(
+            spec(join(probe=scan("probe", batches=5))), system=system
+        )
+        plain = execute_plan(spec(join()), system=system)
+        assert batched.match == plain.match
+        # Nominal cardinality was distributed exactly across batches, so
+        # the merged input costs the same as the unbatched scan.
+        assert batched.seconds == pytest.approx(plain.seconds, rel=1e-9)
+
+    def test_groupby_matches_direct_aggregation(self, system):
+        plan_spec = spec(
+            {"op": "groupby", "function": "sum", "input": join()},
+            probe_m_tuples=128,
+        )
+        result = execute_plan(plan_spec, system=system)
+        workload = generate_workload(64, 128, scale_divisor=SCALE, seed=3)
+        surviving = workload.probe.take(
+            np.nonzero(
+                np.isin(workload.probe.keys, workload.build.keys)
+            )[0]
+        ).with_nominal_rows(
+            int(
+                workload.probe.nominal_rows
+                * workload.config.probe_hit_rate
+            )
+        )
+        direct = TritonAggregation(system, AggregateFunction.SUM).run(
+            surviving, groups_nominal=workload.build.nominal_rows
+        )
+        assert result.aggregate == direct.result
+        assert result.aggregate == reference_aggregate(surviving)
+
+    def test_checkpoint_sees_every_stage(self, system):
+        stages = []
+        execute_plan(
+            spec({"op": "groupby", "function": "count", "input": join()}),
+            system=system,
+            checkpoint=stages.append,
+        )
+        assert "Scan(build)" in stages
+        assert "Scan(probe)" in stages
+        assert "Join(triton)" in stages
+        assert "GroupBy(count)" in stages
+
+    def test_estimate_matches_materialized_bytes(self):
+        plan_spec = spec(join(), payload_columns=2)
+        config = validate_spec(plan_spec)
+        build, probe = generate_pk_fk(config)
+        assert estimate_query_bytes(plan_spec) == (
+            build.materialized_bytes + probe.materialized_bytes
+        )
+
+
+class TestResultSurface:
+    def test_checksum_is_stable_and_json_safe(self, system):
+        first = execute_plan(spec(join()), system=system)
+        second = execute_plan(spec(join()), system=system)
+        assert first.checksum == second.checksum
+        round_tripped = json.loads(json.dumps(first.to_dict()))
+        assert round_tripped["checksum"] == first.checksum
+
+    def test_spec_json_round_trip_executes_identically(self, system):
+        original = spec(
+            {"op": "groupby", "function": "sum", "input": join()},
+        )
+        round_tripped = json.loads(json.dumps(original))
+        assert (
+            execute_plan(original, system=system).checksum
+            == execute_plan(round_tripped, system=system).checksum
+        )
+
+    def test_table_has_stage_columns(self, system):
+        table = execute_plan(spec(join()), system=system).table()
+        text = table.format()
+        assert "Join(triton)" in text
+        assert "total" in text
+
+
+class TestAnalyticsByteIdentity:
+    """The acceptance criterion: plan path == example's direct path."""
+
+    def test_plan_reproduces_example_exactly(self, system):
+        result = execute_plan(analytics_spec(), system=system)
+
+        workload = generate_workload(
+            256, 2048, probe_hit_rate=0.25, scale_divisor=16384, seed=71
+        )
+        join_op = BloomFilteredTritonJoin(system)
+        join_op.inner.aggregate = True
+        join_run = join_op.run(workload)
+        surviving = workload.probe.take(
+            np.nonzero(
+                np.isin(workload.probe.keys, workload.build.keys)
+            )[0]
+        ).with_nominal_rows(int(workload.probe.nominal_rows * 0.25))
+        agg_run = TritonAggregation(system, AggregateFunction.SUM).run(
+            surviving, groups_nominal=workload.build.nominal_rows
+        )
+
+        assert result.match == join_run.match
+        assert result.aggregate == agg_run.result
+        assert result.seconds == pytest.approx(
+            join_run.seconds + agg_run.seconds, rel=1e-12
+        )

@@ -1,0 +1,380 @@
+"""The concurrent join service: admission, scheduling, isolation.
+
+Concurrency is constructed, never raced: the ``stage_hook`` seam holds
+queries at known checkpoints, so every overlap these tests assert on is
+deterministic. The last class is the regression for the conflation bug
+class the service was built to prevent — two overlapping queries whose
+metrics snapshots and event streams must not bleed into each other.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    PlanError,
+    QueryCancelled,
+    QueryTimeout,
+)
+from repro.service import JoinService, estimate_query_bytes, execute_plan
+from repro.service.loadgen import run_load
+from repro.telemetry import events
+
+SCALE = 65536
+
+
+def spec(name="q", algorithm="triton", **workload):
+    base = {
+        "build_m_tuples": 64,
+        "probe_m_tuples": 64,
+        "scale_divisor": SCALE,
+        "seed": 3,
+    }
+    base.update(workload)
+    return {
+        "name": name,
+        "workload": base,
+        "root": {
+            "op": "join",
+            "algorithm": algorithm,
+            "build": {"op": "scan", "relation": "build"},
+            "probe": {"op": "scan", "relation": "probe"},
+        },
+    }
+
+
+@pytest.fixture(autouse=True)
+def _clean_event_state():
+    """Each test owns the flight recorder; leave it off and empty."""
+    events.disable()
+    events.reset()
+    yield
+    events.disable()
+    events.reset()
+
+
+class Blocker:
+    """stage_hook that parks every query at its first checkpoint.
+
+    ``arrived`` signals that some query reached the gate (i.e. a worker
+    is now provably occupied), which is how tests serialize "submit the
+    rest only once the head query holds the worker". ``release()`` lets
+    the parked query — and every later one — run to completion.
+    """
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.arrived = threading.Event()
+        self._seen = set()
+
+    def __call__(self, handle, stage):
+        if handle.id not in self._seen:
+            self._seen.add(handle.id)
+            self.arrived.set()
+            assert self.gate.wait(30), f"{handle.id} never released"
+
+    def release(self):
+        self.gate.set()
+
+
+class TestSerialPath:
+    def test_single_query_byte_identical_to_direct_path(self, system):
+        plan_spec = spec()
+        direct = execute_plan(plan_spec, system=system)
+        with JoinService(system=system, workers=1) as service:
+            served = service.run(plan_spec)
+        assert served.checksum == direct.checksum
+        assert served.match == direct.match
+        assert served.seconds == pytest.approx(direct.seconds, rel=1e-12)
+
+    def test_invalid_spec_raises_at_submit(self, system):
+        with JoinService(system=system, workers=1) as service:
+            with pytest.raises(PlanError):
+                service.submit({"workload": {}, "root": {"op": "nope"}})
+            assert service.stats()["submitted"] == 0
+
+    def test_submit_after_shutdown_refused(self, system):
+        service = JoinService(system=system, workers=1)
+        service.shutdown(wait=True)
+        with pytest.raises(ConfigurationError):
+            service.submit(spec())
+
+    def test_handle_result_timeout_leaves_query_alive(self, system):
+        blocker = Blocker()
+        with JoinService(
+            system=system, workers=1, stage_hook=blocker
+        ) as service:
+            handle = service.submit(spec())
+            assert blocker.arrived.wait(30)
+            with pytest.raises(TimeoutError):
+                handle.result(timeout=0.01)
+            assert not handle.done()
+            blocker.release()
+            assert handle.result(timeout=30).match is not None
+            assert handle.status == "done"
+
+
+class TestAdmission:
+    def test_oversized_query_rejected_deterministically(self, system):
+        small = spec()
+        big = spec(name="big", build_m_tuples=4096, probe_m_tuples=4096)
+        budget = estimate_query_bytes(small) + 1
+        events.enable()
+        with JoinService(
+            system=system, workers=1, memory_budget_bytes=budget
+        ) as service:
+            rejected = service.submit(big)
+            accepted = service.submit(small)
+            assert rejected.done()
+            assert rejected.status == "rejected"
+            with pytest.raises(AdmissionError, match="exceeds budget"):
+                rejected.result()
+            assert accepted.result(timeout=30).match is not None
+            stats = service.stats()
+        assert stats["rejected"] == 1
+        types = events.counts_by_type(events.events())
+        assert types["query.rejected"] == 1
+        assert types["query.admitted"] == 1
+
+    def test_queue_limit_rejects_excess(self, system):
+        blocker = Blocker()
+        with JoinService(
+            system=system, workers=1, queue_limit=1, stage_hook=blocker
+        ) as service:
+            head = service.submit(spec(name="head"))
+            assert blocker.arrived.wait(30)
+            # The worker holds `head`, so these stack up in the queue:
+            # the first fills it, the second must be refused.
+            queued = service.submit(spec(name="queued"))
+            overflow = service.submit(spec(name="overflow"))
+            assert overflow.status == "rejected"
+            with pytest.raises(AdmissionError, match="queue full"):
+                overflow.result()
+            blocker.release()
+            head.result(timeout=30)
+            queued.result(timeout=30)
+
+    def test_headroom_serializes_but_never_rejects(self, system):
+        one = spec(name="one", seed=5)
+        two = spec(name="two", seed=9)
+        # Budget fits one query but not two: the second admitted query
+        # must wait for headroom, not be rejected.
+        budget = int(estimate_query_bytes(one) * 1.5)
+        events.enable()
+        with JoinService(
+            system=system, workers=2, memory_budget_bytes=budget
+        ) as service:
+            handles = [service.submit(one), service.submit(two)]
+            for handle in handles:
+                assert handle.result(timeout=30).match is not None
+        lifecycle = [
+            event["type"]
+            for event in events.sorted_events()
+            if event["type"] in ("query.started", "query.finished")
+        ]
+        # Strictly serialized: start, finish, start, finish.
+        assert lifecycle == [
+            "query.started", "query.finished",
+            "query.started", "query.finished",
+        ]
+        counts = events.counts_by_type(events.events())
+        assert counts.get("query.rejected", 0) == 0
+
+
+class TestPriorityAndCancellation:
+    def test_priority_order_fifo_within_ties(self, system):
+        blocker = Blocker()
+        events.enable()
+        with JoinService(
+            system=system, workers=1, stage_hook=blocker
+        ) as service:
+            head = service.submit(spec(name="head"))
+            assert blocker.arrived.wait(30)
+            low = service.submit(spec(name="low"), priority=0)
+            high_a = service.submit(spec(name="high-a"), priority=5)
+            high_b = service.submit(spec(name="high-b"), priority=5)
+            blocker.release()
+            for handle in (head, low, high_a, high_b):
+                handle.result(timeout=30)
+        started = [
+            event["query"]
+            for event in events.sorted_events()
+            if event["type"] == "query.started"
+        ]
+        # `head` ran first (it held the only worker); then priority
+        # order, FIFO within the tied pair, the low-priority query last.
+        assert started == [head.id, high_a.id, high_b.id, low.id]
+
+    def test_cancel_queued_query_never_starts(self, system):
+        blocker = Blocker()
+        events.enable()
+        with JoinService(
+            system=system, workers=1, stage_hook=blocker
+        ) as service:
+            head = service.submit(spec(name="head"))
+            assert blocker.arrived.wait(30)
+            doomed = service.submit(spec(name="doomed"))
+            assert doomed.cancel()
+            blocker.release()
+            head.result(timeout=30)
+            with pytest.raises(QueryCancelled):
+                doomed.result(timeout=30)
+        assert doomed.status == "cancelled"
+        started = [
+            event["query"]
+            for event in events.events()
+            if event["type"] == "query.started"
+        ]
+        assert doomed.id not in started
+        finished = {
+            event["query"]: event["status"]
+            for event in events.events()
+            if event["type"] == "query.finished"
+        }
+        assert finished[doomed.id] == "cancelled"
+
+    def test_cancel_running_query_stops_at_checkpoint(self, system):
+        def cancel_self(handle, stage):
+            handle.cancel()
+
+        with JoinService(
+            system=system, workers=1, stage_hook=cancel_self
+        ) as service:
+            handle = service.submit(spec())
+            with pytest.raises(QueryCancelled, match="cancelled at"):
+                handle.result(timeout=30)
+        assert handle.status == "cancelled"
+
+    def test_zero_timeout_deterministically_times_out(self, system):
+        with JoinService(system=system, workers=1) as service:
+            handle = service.submit(spec(), timeout=0.0)
+            with pytest.raises(QueryTimeout, match="exceeded 0.0s"):
+                handle.result(timeout=30)
+        assert handle.status == "timeout"
+
+    def test_cancel_after_done_is_a_noop(self, system):
+        with JoinService(system=system, workers=1) as service:
+            handle = service.submit(spec())
+            handle.result(timeout=30)
+            assert not handle.cancel()
+            assert handle.status == "done"
+
+
+class TestIsolationAndObservability:
+    def test_events_tagged_with_query_id(self, system):
+        events.enable()
+        with JoinService(system=system, workers=1) as service:
+            handle = service.submit(spec())
+            handle.result(timeout=30)
+        grouped = events.by_query(events.events())
+        assert set(grouped) == {handle.id}
+        types = events.counts_by_type(grouped[handle.id])
+        assert types["query.submitted"] == 1
+        assert types["query.started"] == 1
+        assert types["query.finished"] == 1
+        assert types["run.start"] >= 1
+        assert events.validate_events(events.events()) == []
+
+    def test_explain_query_carries_explanation(self, system):
+        with JoinService(system=system, workers=2) as service:
+            result = service.run(spec(), explain=True)
+        explains = [
+            stage for stage in result.stages
+            if stage.get("stage") == "explain"
+        ]
+        assert len(explains) == 1
+        assert explains[0]["text"].strip()
+
+    def test_per_query_fault_plan_does_not_leak(self, system):
+        plan = faults.FaultPlan(
+            bandwidth=(
+                faults.BandwidthFault(resource="nvlink_*", factor=0.25),
+            )
+        )
+        with JoinService(system=system, workers=1) as service:
+            clean = service.run(spec())
+            faulted = service.run(spec(), fault_plan=plan)
+            clean_again = service.run(spec())
+        assert faults.active() is None
+        # Degraded interconnect slows the simulated run but cannot
+        # change the functional result.
+        assert faulted.checksum == clean.checksum
+        assert faulted.seconds > clean.seconds
+        assert clean_again.seconds == pytest.approx(clean.seconds)
+
+    def test_mini_load_is_deterministic_across_runs(self, system):
+        first = run_load(queries=24, workers=3, seed=42)
+        second = run_load(queries=24, workers=3, seed=42)
+        assert first["deterministic"] == second["deterministic"]
+        assert first["deterministic"]["incorrect"] == 0
+        assert first["deterministic"]["failed"] == 0
+
+
+class TestOverlapRegression:
+    """Two concurrently-running queries must not conflate snapshots.
+
+    The serial ``snapshot()``/``delta_since()`` pattern attributed
+    whatever ran in between to the querying thread; the service's scoped
+    registries and ambient event tags exist so that cannot happen. This
+    pins it: both queries are provably in flight at the same time (a
+    barrier at their first checkpoints), run different plans, and each
+    handle's metrics and events must describe only its own plan.
+    """
+
+    def test_overlapping_queries_keep_metrics_and_events_apart(self, system):
+        barrier = threading.Barrier(2, timeout=30)
+        met = set()
+
+        def rendezvous(handle, stage):
+            if handle.id not in met:
+                met.add(handle.id)
+                barrier.wait()
+
+        events.enable()
+        with JoinService(
+            system=system, workers=2, stage_hook=rendezvous
+        ) as service:
+            # One plain triton join (1 traced run) vs one bloom-filtered
+            # join (2 traced runs: the wrapper and its inner join).
+            plain = service.submit(spec(name="plain", seed=5))
+            bloom = service.submit(
+                spec(name="bloom", algorithm="bloom-triton", seed=9)
+            )
+            plain_result = plain.result(timeout=30)
+            bloom_result = bloom.result(timeout=30)
+
+        # Both queries really overlapped (the barrier released both).
+        assert met == {plain.id, bloom.id}
+        assert plain_result.checksum != bloom_result.checksum
+
+        # Per-handle metrics snapshots: each counts only its own runs.
+        plain_runs = plain.metrics["timings"]["join.run_seconds"]["count"]
+        bloom_runs = bloom.metrics["timings"]["join.run_seconds"]["count"]
+        assert plain_runs == 1
+        assert bloom_runs == 2
+
+        # Event streams: every operator event carries its query's tag,
+        # and each query's stream describes only its own plan.
+        grouped = events.by_query(events.events())
+        assert set(grouped) == {plain.id, bloom.id}
+        plain_ops = [
+            event["operator"]
+            for event in grouped[plain.id]
+            if event["type"] == "run.start"
+        ]
+        bloom_ops = [
+            event["operator"]
+            for event in grouped[bloom.id]
+            if event["type"] == "run.start"
+        ]
+        assert len(plain_ops) == 1
+        assert len(bloom_ops) == 2
+        for query_id in (plain.id, bloom.id):
+            types = events.counts_by_type(grouped[query_id])
+            assert types["query.started"] == 1
+            assert types["query.finished"] == 1

@@ -95,4 +95,5 @@ class TestExtensionExperimentsSmoke:
         assert bw.rows and failures.rows
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 24
+        assert len(ALL_EXPERIMENTS) == 25
+        assert "ext_service" in ALL_EXPERIMENTS

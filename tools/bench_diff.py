@@ -28,6 +28,7 @@ Usage::
     PYTHONPATH=src python tools/bench_diff.py --check-invariants run.json
     PYTHONPATH=src python tools/bench_diff.py --check-outofcore BENCH_kernels.json
     PYTHONPATH=src python tools/bench_diff.py --check-events events.jsonl
+    PYTHONPATH=src python tools/bench_diff.py --check-service report.json
     PYTHONPATH=src python tools/bench_diff.py a.json b.json --fail-regression 1.5
 
 ``--check-outofcore`` audits a perf-smoke report's out-of-core gauges
@@ -35,7 +36,10 @@ Usage::
 CI gate for the out-of-core execution layer. ``--check-events``
 validates an event log against the flight-recorder schema
 (:func:`repro.telemetry.events.validate_events`) — the CI gate for the
-observability layer.
+observability layer. ``--check-service`` audits a ``tools/load_gen.py``
+report against the committed ``BENCH_service.json`` baseline (zero
+incorrect results; digest, rejected tally, and event counts
+byte-identical) — the CI gate for the concurrent join service.
 """
 
 from __future__ import annotations
@@ -414,6 +418,60 @@ def check_outofcore(document: dict, min_speedup: float = 1.0) -> List[str]:
     return problems
 
 
+# -- service gate ---------------------------------------------------------------
+
+
+def check_service(
+    report: dict, baseline: dict, max_p99_factor: float = 25.0
+) -> List[str]:
+    """Audit a load-generator report against the committed baseline.
+
+    Deterministic facts gate strictly: zero incorrect/failed queries,
+    and the results digest, rejected tally, and per-type event counts
+    byte-equal to ``BENCH_service.json`` (same queries/workers/seed —
+    the service's scheduling must not leak into results). Wall-clock
+    latency gates loosely: p99 within ``max_p99_factor`` of the
+    baseline's (different machines, same order of magnitude).
+    """
+    problems: List[str] = []
+    for field in ("queries", "workers", "seed", "theta"):
+        if report.get(field) != baseline.get(field):
+            problems.append(
+                f"report ran {field}={report.get(field)!r} but the "
+                f"baseline has {field}={baseline.get(field)!r}; rerun "
+                "tools/load_gen.py with the baseline's parameters"
+            )
+    if problems:
+        return problems
+    got = report.get("deterministic") or {}
+    want = baseline.get("deterministic") or {}
+    for count in ("incorrect", "failed"):
+        if got.get(count):
+            problems.append(
+                f"{got[count]} {count} quer(ies): concurrent results "
+                "diverged from the serial references"
+            )
+    for field in ("results_digest", "rejected", "event_counts"):
+        if got.get(field) != want.get(field):
+            problems.append(
+                f"deterministic field {field!r} is {got.get(field)!r}; "
+                f"baseline has {want.get(field)!r} — same-seed runs "
+                "must be byte-identical"
+            )
+    p99 = ((report.get("latency") or {}).get("percentiles") or {}).get("p99")
+    base_p99 = (
+        (baseline.get("latency") or {}).get("percentiles") or {}
+    ).get("p99")
+    if p99 is None:
+        problems.append("report has no latency.percentiles.p99")
+    elif base_p99 and p99 > base_p99 * max_p99_factor:
+        problems.append(
+            f"p99 {p99 * 1e3:.1f} ms exceeds {max_p99_factor:g}x the "
+            f"baseline's {base_p99 * 1e3:.1f} ms"
+        )
+    return problems
+
+
 # -- history --------------------------------------------------------------------
 
 
@@ -488,6 +546,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "event schema; exits 1 on any violation",
     )
     parser.add_argument(
+        "--check-service",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="audit a tools/load_gen.py report: zero incorrect "
+        "results, and results digest / rejected tally / event counts "
+        "byte-equal to the committed baseline (--service-baseline); "
+        "exits 1 on any violation",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        metavar="PATH",
+        help="baseline report for --check-service "
+        "(default BENCH_service.json)",
+    )
+    parser.add_argument(
+        "--max-p99-factor",
+        type=float,
+        default=25.0,
+        metavar="FACTOR",
+        help="with --check-service: allowed p99 growth over the "
+        "baseline (default 25; wall clock differs across machines)",
+    )
+    parser.add_argument(
         "--min-pool-speedup",
         type=float,
         default=1.0,
@@ -524,6 +608,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"event schema holds over {len(records)} event(s)"
             + (f": {summary}" if summary else "")
+        )
+        return 0
+
+    if args.check_service is not None:
+        report = _load(args.check_service)
+        if report.get("kind") != "service-load":
+            parser.error(
+                f"{args.check_service} is not a tools/load_gen.py report"
+            )
+        baseline = _load(args.service_baseline)
+        problems = check_service(
+            report, baseline, max_p99_factor=args.max_p99_factor
+        )
+        if problems:
+            print(f"{len(problems)} service gate violation(s):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        digest = report["deterministic"]["results_digest"]
+        print(
+            f"service gate holds: {report['queries']} queries, "
+            f"0 incorrect, digest {digest} matches baseline"
         )
         return 0
 
