@@ -157,7 +157,7 @@ def should_go_out_of_core(build, probe, config=None) -> bool:
     True when a config is active and either forces the out-of-core path
     or sets a budget the two relations' materialized tuple bytes exceed.
     """
-    config = config if config is not None else _active
+    config = config if config is not None else active()
     if config is None:
         return False
     if config.force:

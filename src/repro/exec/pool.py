@@ -38,6 +38,7 @@ import atexit
 import itertools
 import os
 import queue
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
@@ -166,8 +167,11 @@ def _claim(ctrl: np.ndarray, workers: int, worker_id: int, lock):
 
 
 def _run_job(worker_id: int, job: dict, lock) -> dict:
+    from contextlib import nullcontext
+
     from repro import faults, telemetry
     from repro.telemetry import events as _events
+    from repro.telemetry import tracing as _tracing
 
     out: dict = {
         "job_id": job["job_id"],
@@ -179,7 +183,18 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
     segments: list = []
     plan = job.get("fault_plan")
     record_events = bool(job.get("record_events"))
+    trace_payload = job.get("trace")
+    if trace_payload is not None:
+        # Adopt the dispatching query's trace context so morsel spans
+        # recorded here land under that query's span in the merged tree.
+        _tracing.enable()
+        ambient = _tracing.activate(
+            trace_payload["trace"], trace_payload["span"], name="pool-job"
+        )
+    else:
+        ambient = nullcontext()
     try:
+        ambient.__enter__()
         before = telemetry.registry.snapshot()
         if plan is not None:
             faults.activate(faults.FaultPlan.from_dict(plan))
@@ -227,9 +242,15 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
                     # flag this worker as silent.
                     time.sleep(pause[1])
                 started = time.perf_counter() - epoch
-                partial = execute_morsel(
-                    source, Morsel(*morsels[index]), job["buckets"]
-                )
+                with _tracing.span(
+                    f"morsel[{index}]",
+                    worker=worker_id,
+                    stolen=stolen,
+                    rows=morsels[index][3],
+                ):
+                    partial = execute_morsel(
+                        source, Morsel(*morsels[index]), job["buckets"]
+                    )
                 ended = time.perf_counter() - epoch
                 ctrl[2 * workers + 1 + index] = 1
                 out["partials"].append((index, partial))
@@ -250,6 +271,10 @@ def _run_job(worker_id: int, job: dict, lock) -> dict:
     except BaseException as error:  # noqa: BLE001 - report, don't kill worker
         out["error"] = repr(error)
     finally:
+        ambient.__exit__(None, None, None)
+        if trace_payload is not None:
+            out["trace_records"] = _tracing.drain()
+            _tracing.disable()
         if record_events:
             out["events"] = _events.drain()
             _events.disable()
@@ -355,6 +380,12 @@ class MorselPool:
         self._job_queues = [self._ctx.Queue() for _ in range(workers)]
         self._procs: List[Optional[object]] = [None] * workers
         self._job_ids = itertools.count(1)
+        # One job at a time: concurrent service queries that both go
+        # out-of-core must not interleave on the results queue (a
+        # reader discards replies that are not its own job's, so two
+        # concurrent run() calls would drop each other's results and
+        # deadlock). Jobs from other threads queue up behind the lock.
+        self._run_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -411,6 +442,18 @@ class MorselPool:
         timeout: float = DEFAULT_JOB_TIMEOUT,
         stall_after: float = DEFAULT_STALL_SECONDS,
     ) -> PoolResult:
+        """Thread-safe entry: one job owns the pool at a time."""
+        with self._run_lock:
+            return self._run(job, morsels, recover, timeout, stall_after)
+
+    def _run(
+        self,
+        job: dict,
+        morsels: List[Morsel],
+        recover: Callable[[Morsel], Partial],
+        timeout: float = DEFAULT_JOB_TIMEOUT,
+        stall_after: float = DEFAULT_STALL_SECONDS,
+    ) -> PoolResult:
         """Execute ``morsels`` under ``job``'s payload across the pool.
 
         ``job`` carries the source description (shared-memory block
@@ -437,6 +480,7 @@ class MorselPool:
 
         from repro import telemetry
         from repro.telemetry import events as _events
+        from repro.telemetry import tracing as _tracing
 
         job = dict(job)
         job["job_id"] = next(self._job_ids)
@@ -447,6 +491,10 @@ class MorselPool:
         # entry point (out-of-core runner, direct tests) inherits the
         # parent's recorder state without threading a parameter.
         job["record_events"] = _events.enabled()
+        # The ambient trace context rides the same way (None when the
+        # dispatching thread is untraced): workers re-parent their
+        # morsel spans under the dispatching query's span.
+        job["trace"] = _tracing.payload()
 
         _events.emit(
             "pool.job.start",
@@ -494,6 +542,7 @@ class MorselPool:
                     continue  # stale result from an abandoned job
                 pending.discard(reply["worker"])
                 _events.absorb(reply.get("events"))
+                _tracing.absorb(reply.get("trace_records"))
                 if reply.get("error") is not None:
                     result.deaths += 1
                     telemetry.registry.count("exec.pool.worker_errors")
@@ -544,17 +593,19 @@ class MorselPool:
 # -- shared pool ----------------------------------------------------------------
 
 _pool: Optional[MorselPool] = None
+_pool_lock = threading.Lock()
 
 
 def get_pool(workers: int) -> MorselPool:
     """The process-wide pool, resized (restarted) when ``workers`` changes."""
     global _pool
-    if _pool is not None and _pool.workers != workers:
-        _pool.shutdown()
-        _pool = None
-    if _pool is None:
-        _pool = MorselPool(workers)
-    return _pool
+    with _pool_lock:
+        if _pool is not None and _pool.workers != workers:
+            _pool.shutdown()
+            _pool = None
+        if _pool is None:
+            _pool = MorselPool(workers)
+        return _pool
 
 
 def shutdown_pool() -> None:

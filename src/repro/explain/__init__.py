@@ -82,6 +82,9 @@ class ExplainedRun:
     task_count: int = 0
     retries: int = 0
     fault_events: int = 0
+    #: Trace id of the query whose execution this run explains, when the
+    #: run happened under an ambient trace context ("" otherwise).
+    trace_id: str = ""
 
     # -- derived views -------------------------------------------------------
 
@@ -185,6 +188,7 @@ class ExplainedRun:
             "task_count": self.task_count,
             "retries": self.retries,
             "fault_events": self.fault_events,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -224,6 +228,7 @@ class ExplainedRun:
             task_count=int(data.get("task_count", 0)),
             retries=int(data.get("retries", 0)),
             fault_events=int(data.get("fault_events", 0)),
+            trace_id=str(data.get("trace_id", "")),
         )
 
     def format(self, max_rows: int = 12) -> str:
@@ -332,9 +337,12 @@ def maybe_collect(result) -> None:
     if not _collecting:
         return
     from repro import telemetry
+    from repro.telemetry import tracing
 
     label = telemetry.current_path() or f"sim #{len(_collected)}"
-    _collected.append(explain(result, label=label))
+    explained = explain(result, label=label)
+    explained.trace_id = tracing.current_trace_id() or ""
+    _collected.append(explained)
 
 
 def drain() -> List[ExplainedRun]:

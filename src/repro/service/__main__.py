@@ -10,6 +10,7 @@ tallies::
         --workers 4 --memory-budget 64M --events events.jsonl
     python -m repro.service --analytics --explain
     python -m repro.service --describe --analytics   # plan tree only
+    python -m repro.service --analytics --trace-out trace.json --slo
 
 ``--memory-budget`` is the admission budget: queries whose estimated
 build+probe footprint exceeds it are rejected deterministically at
@@ -27,7 +28,8 @@ from repro import faults as faults_module
 from repro.errors import ReproError
 from repro.service import analytics_spec, compile_plan
 from repro.service.server import JoinService
-from repro.telemetry import events
+from repro.telemetry import events, export, tracing
+from repro.telemetry import slo as slo_module
 from repro.units import parse_bytes
 
 
@@ -102,6 +104,23 @@ def main(argv=None) -> int:
         "lifecycle + operator event stream as JSONL",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="trace every query end to end and write the merged "
+        "Chrome trace (open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="SPEC",
+        nargs="?",
+        const="",
+        default=None,
+        help="evaluate the run against an SLO spec JSON file and "
+        "print each objective's burn rate (no argument: the default "
+        "spec)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="print results as JSON instead of tables",
@@ -145,13 +164,28 @@ def main(argv=None) -> int:
             print(plan.describe())
         return 0
 
+    slo_spec = None
+    if args.slo is not None:
+        if args.slo:
+            try:
+                slo_spec = slo_module.load_spec(args.slo)
+            except (OSError, ValueError, ReproError) as error:
+                parser.error(f"--slo {args.slo}: {error}")
+        else:
+            slo_spec = slo_module.default_spec()
+
     if args.events:
         events.enable()
         events.reset()
+    if args.trace_out:
+        tracing.enable()
+        tracing.reset()
 
     failed = 0
     service = JoinService(
-        workers=args.workers, memory_budget_bytes=memory_budget
+        workers=args.workers,
+        memory_budget_bytes=memory_budget,
+        slo=slo_spec,
     )
     try:
         handles = []
@@ -192,6 +226,7 @@ def main(argv=None) -> int:
                         print(stage["text"])
                 print()
         stats = service.stats()
+        slo_report = service.slo_report()
     finally:
         service.shutdown(wait=True)
 
@@ -207,6 +242,32 @@ def main(argv=None) -> int:
         events.reset()
         if not args.json:
             print(f"wrote {written} events to {args.events}")
+    if args.trace_out:
+        document = export.write_chrome_trace(args.trace_out)
+        problems = tracing.validate_trace_tree(tracing.records())
+        tracing.disable()
+        tracing.reset()
+        if problems:
+            for problem in problems:
+                print(f"trace problem: {problem}", file=sys.stderr)
+            failed += 1
+        if not args.json:
+            print(
+                f"wrote {len(document['traceEvents'])} trace events "
+                f"to {args.trace_out}"
+            )
+    if slo_report is not None:
+        if not slo_report["ok"]:
+            failed += 1
+        if not args.json:
+            for verdict in slo_report["objectives"]:
+                state = "ok" if verdict["ok"] else "VIOLATED"
+                print(
+                    f"slo {verdict['name']}: {state} "
+                    f"(burn rate {verdict['burn_rate']:.2f})"
+                )
+        else:
+            print(json.dumps(slo_report, sort_keys=True))
     return 1 if failed else 0
 
 

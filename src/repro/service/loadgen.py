@@ -25,10 +25,15 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ReproError
+from repro.exec.context import ExecutionConfig
 from repro.service.plan import execute_plan
 from repro.service.server import JoinService
-from repro.telemetry import events
+from repro.telemetry import events, tracing
 from repro.telemetry.histogram import Histogram
+
+#: Template the ``out_of_core_workers`` knob routes through the morsel
+#: pool (big enough that forcing the out-of-core path is meaningful).
+POOL_TEMPLATE = "big-state"
 
 #: Functional arrays stay tiny (min-materialized) at this divisor, so a
 #: single query costs milliseconds and thousands fit in a smoke run.
@@ -142,6 +147,9 @@ def run_load(
     budget_bytes: Optional[int] = None,
     verify: bool = True,
     record_events: bool = True,
+    trace: bool = False,
+    slo=None,
+    out_of_core_workers: int = 0,
     log=sys.stderr,
 ) -> dict:
     """Run the workload, audit it, and return the report dict.
@@ -149,7 +157,15 @@ def run_load(
     ``record_events=True`` owns the flight recorder for the run
     (enables it and resets the buffer — don't combine with an ongoing
     recording); the events stay buffered afterwards so the caller can
-    :func:`repro.telemetry.events.write_jsonl` them.
+    :func:`repro.telemetry.events.write_jsonl` them. ``trace=True``
+    similarly owns the trace-context layer: every query gets a
+    deterministic trace id and the span records stay buffered for
+    export. ``slo`` (an :class:`~repro.telemetry.slo.SLOSpec`, spec
+    dict, or monitor) evaluates the run against declared objectives and
+    adds an ``slo`` section to the report. ``out_of_core_workers > 0``
+    routes every big-state query through the morsel worker pool
+    (results are byte-identical; the knob exists so traced runs show
+    pool-worker spans).
     """
     templates = query_templates()
     rng = np.random.default_rng(seed)
@@ -160,17 +176,33 @@ def run_load(
     if record_events:
         events.enable()
         events.reset()
+    if trace:
+        tracing.enable()
+        tracing.reset()
+    pool_config = None
+    if out_of_core_workers > 0:
+        pool_config = ExecutionConfig(
+            workers=out_of_core_workers, force=True, morsel_rows=4096
+        )
 
     started = time.perf_counter()
-    service = JoinService(workers=workers, memory_budget_bytes=budget_bytes)
+    service = JoinService(
+        workers=workers, memory_budget_bytes=budget_bytes, slo=slo
+    )
     handles = []
     try:
         for template_index, priority in zip(choices, priorities):
+            template = templates[template_index]
+            exec_config = (
+                pool_config if template["name"] == POOL_TEMPLATE else None
+            )
             handles.append(
                 (
                     int(template_index),
                     service.submit(
-                        templates[template_index], priority=int(priority)
+                        template,
+                        priority=int(priority),
+                        exec_config=exec_config,
                     ),
                 )
             )
@@ -222,7 +254,7 @@ def run_load(
 
     digest = hashlib.sha256("|".join(checksums).encode()).hexdigest()[:16]
     event_records = events.events() if record_events else []
-    return {
+    report = {
         "kind": "service-load",
         "queries": queries,
         "workers": workers,
@@ -253,3 +285,14 @@ def run_load(
             "qps": (queries / wall) if wall > 0 else 0.0,
         },
     }
+    slo_report = service.slo_report()
+    if slo_report is not None:
+        report["slo"] = slo_report
+    if trace:
+        span_records = tracing.records()
+        report["tracing"] = {
+            "traces": len(tracing.by_trace(span_records)),
+            "spans": len(span_records),
+            "problems": tracing.validate_trace_tree(span_records),
+        }
+    return report

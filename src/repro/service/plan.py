@@ -59,6 +59,7 @@ from repro.errors import PlanError
 from repro.hw.specs import SystemSpec
 from repro.join.base import JoinMatch
 from repro.partition.radix import partition_relation
+from repro.telemetry import tracing
 
 #: Join algorithms a plan may name, mapped to operator factories in
 #: :meth:`JoinNode._make_operator`.
@@ -311,7 +312,8 @@ class PartitionNode(PlanNode):
         if batch is None:
             return None
         self._ctx.checkpoint(self.label)
-        parts = partition_relation(batch, self.bits)
+        with tracing.span(self.label, rows=len(batch)):
+            parts = partition_relation(batch, self.bits)
         self._ctx.record(
             {
                 "stage": self.label,
@@ -414,7 +416,10 @@ class JoinNode(PlanNode):
             # of the data. Folding the input lineage into the operator's
             # attributes (freeze() walks vars()) keeps the keys distinct.
             operator._plan_lineage = self.lineage
-        run = operator.run(workload)
+        with tracing.span(
+            self.label, build_rows=len(build), probe_rows=len(probe)
+        ):
+            run = operator.run(workload)
         ctx.record(
             {
                 "stage": self.label,
@@ -466,9 +471,10 @@ class GroupByNode(PlanNode):
         relation = _drain(self.children[0], "group-by input")
         ctx.checkpoint(self.label)
         operator = TritonAggregation(ctx.system, self.function)
-        run = operator.run(
-            relation, groups_nominal=ctx.workload.build.nominal_rows
-        )
+        with tracing.span(self.label, rows=len(relation)):
+            run = operator.run(
+                relation, groups_nominal=ctx.workload.build.nominal_rows
+            )
         ctx.record(
             {
                 "stage": self.label,

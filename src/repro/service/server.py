@@ -40,6 +40,7 @@ import heapq
 import itertools
 import threading
 import time
+from contextlib import nullcontext
 from typing import Callable, List, Optional
 
 from repro import faults
@@ -51,7 +52,7 @@ from repro.errors import (
 )
 from repro.exec import context as exec_context
 from repro.service import plan as plan_module
-from repro.telemetry import events, registry
+from repro.telemetry import events, registry, tracing
 
 #: Handle states, in lifecycle order.
 PENDING = "pending"
@@ -75,6 +76,11 @@ class QueryHandle:
         self.timeout = timeout
         self.status = PENDING
         self.estimate_bytes = 0
+        #: Deterministic trace id (set at submission while query
+        #: tracing is enabled; None otherwise).
+        self.trace_id: Optional[str] = None
+        self._root_span: Optional[str] = None
+        self._submitted_ts = 0.0
         #: Per-query metrics snapshot (set when the query finishes).
         self.metrics: Optional[dict] = None
         #: Simulated seconds + wall seconds (set on success).
@@ -161,6 +167,7 @@ class JoinService:
         queue_limit: Optional[int] = None,
         use_run_cache: bool = False,
         stage_hook: Optional[Callable[[QueryHandle, str], None]] = None,
+        slo=None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -174,6 +181,18 @@ class JoinService:
         self.memory_budget_bytes = memory_budget_bytes
         self.queue_limit = queue_limit
         self.stage_hook = stage_hook
+        #: Rolling SLO evaluator fed one observation per finished (or
+        #: rejected) query. Accepts an SLOMonitor, an SLOSpec, or a
+        #: plain spec dict; None = no SLO accounting.
+        self.slo_monitor = None
+        if slo is not None:
+            from repro.telemetry import slo as slo_module
+
+            self.slo_monitor = (
+                slo
+                if isinstance(slo, slo_module.SLOMonitor)
+                else slo_module.SLOMonitor(slo)
+            )
         if use_run_cache:
             from repro.join import run_cache
 
@@ -225,51 +244,104 @@ class JoinService:
         """
         if self._shutdown:
             raise ConfigurationError("service is shut down")
+        submitted_ts = tracing.wall_now()
         estimate = plan_module.estimate_query_bytes(spec)
         compiled = plan_module.compile_plan(spec)
+        compiled_ts = tracing.wall_now()
         with self._lock:
             self._submitted += 1
-            query_id = f"q{self._submitted:06d}"
+            sequence = self._submitted
+            query_id = f"q{sequence:06d}"
         handle = QueryHandle(query_id, spec, priority, timeout)
         handle.estimate_bytes = estimate
         handle._plan = compiled
         handle._fault_plan = fault_plan
         handle._exec_config = exec_config
         handle._explain = explain
-        events.emit(
-            "query.submitted", query=query_id, plan=compiled.name,
-            priority=priority, estimate_bytes=estimate,
-        )
-
-        reason = None
-        if (
-            self.memory_budget_bytes is not None
-            and estimate > self.memory_budget_bytes
-        ):
-            reason = (
-                f"estimate {estimate} B exceeds budget "
-                f"{self.memory_budget_bytes} B"
+        handle._submitted_ts = submitted_ts
+        if tracing.enabled():
+            # One trace per query, its id a pure function of the
+            # workload seed and the submission sequence — the same
+            # facts that make admission and results deterministic.
+            handle.trace_id = tracing.derive_trace_id(
+                compiled.config.seed, sequence
             )
-        elif (
-            self.queue_limit is not None
-            and len(self._queue) >= self.queue_limit
-        ):
-            reason = f"queue full ({self.queue_limit} pending)"
-        if reason is not None:
-            handle.status = REJECTED
-            handle.error = AdmissionError(f"query {query_id}: {reason}")
-            with self._lock:
-                self._rejected += 1
-            events.emit("query.rejected", query=query_id, reason=reason)
-            handle._done.set()
-            return handle
+            handle._root_span = tracing.root_span_id(handle.trace_id)
+            tracing.record_span(
+                "compile",
+                submitted_ts,
+                compiled_ts,
+                trace_id=handle.trace_id,
+                parent_id=handle._root_span,
+                query=query_id,
+                plan=compiled.name,
+            )
+        with self._ambient_trace(handle):
+            events.emit(
+                "query.submitted", query=query_id, plan=compiled.name,
+                priority=priority, estimate_bytes=estimate,
+            )
 
-        events.emit("query.admitted", query=query_id)
+            reason = None
+            if (
+                self.memory_budget_bytes is not None
+                and estimate > self.memory_budget_bytes
+            ):
+                reason = (
+                    f"estimate {estimate} B exceeds budget "
+                    f"{self.memory_budget_bytes} B"
+                )
+            elif (
+                self.queue_limit is not None
+                and len(self._queue) >= self.queue_limit
+            ):
+                reason = f"queue full ({self.queue_limit} pending)"
+            if reason is not None:
+                handle.status = REJECTED
+                handle.error = AdmissionError(f"query {query_id}: {reason}")
+                with self._lock:
+                    self._rejected += 1
+                events.emit("query.rejected", query=query_id, reason=reason)
+                if self.slo_monitor is not None:
+                    self.slo_monitor.record(
+                        compiled.name, 0.0, error=True, status=REJECTED
+                    )
+                self._finish_trace(handle, REJECTED)
+                handle._done.set()
+                return handle
+
+            events.emit("query.admitted", query=query_id)
         with self._lock:
             self._requests[query_id] = handle
             self._queue.push(handle)
             self._work_available.notify()
         return handle
+
+    def _ambient_trace(self, handle: QueryHandle):
+        """The handle's trace context as the thread's ambient context
+        (a null context when the query was submitted untraced)."""
+        if handle.trace_id is None:
+            return nullcontext()
+        return tracing.activate(
+            handle.trace_id, handle._root_span, name="query"
+        )
+
+    def _finish_trace(self, handle: QueryHandle, status: str) -> None:
+        """Record the query's deterministic root span, submit → now."""
+        if handle.trace_id is None:
+            return
+        tracing.record_span(
+            "query",
+            handle._submitted_ts,
+            tracing.wall_now(),
+            trace_id=handle.trace_id,
+            span_id=handle._root_span,
+            parent_id=None,
+            query=handle.id,
+            plan=handle._plan.name,
+            status=status,
+            priority=handle.priority,
+        )
 
     def run(self, spec: dict, **kwargs):
         """Submit and wait — the serial convenience path."""
@@ -314,15 +386,33 @@ class JoinService:
             handle.error = QueryCancelled(
                 f"query {handle.id} cancelled before start"
             )
-            events.emit(
-                "query.finished", query=handle.id, seconds=0.0,
-                status=CANCELLED,
-            )
+            with self._ambient_trace(handle):
+                events.emit(
+                    "query.finished", query=handle.id, seconds=0.0,
+                    status=CANCELLED,
+                )
+            if self.slo_monitor is not None:
+                self.slo_monitor.record(
+                    handle._plan.name, 0.0, error=True, status=CANCELLED
+                )
+            self._finish_trace(handle, CANCELLED)
             handle._done.set()
             return
 
         handle.status = RUNNING
-        events.emit("query.started", query=handle.id, worker=worker)
+        if handle.trace_id is not None:
+            # The time between admission and a worker picking the query
+            # up, measurable only in hindsight.
+            tracing.record_span(
+                "admission-wait",
+                handle._submitted_ts,
+                tracing.wall_now(),
+                trace_id=handle.trace_id,
+                parent_id=handle._root_span,
+                query=handle.id,
+            )
+        with self._ambient_trace(handle):
+            events.emit("query.started", query=handle.id, worker=worker)
         started = time.perf_counter()
         deadline = (
             None if handle.timeout is None else started + handle.timeout
@@ -351,7 +441,9 @@ class JoinService:
             with explain_ctx(), events.context(query=handle.id), \
                     registry.scoped() as scope, \
                     faults.thread_scoped(handle._fault_plan), \
-                    exec_context.thread_scoped(handle._exec_config):
+                    exec_context.thread_scoped(handle._exec_config), \
+                    self._ambient_trace(handle), \
+                    tracing.span("execute", query=handle.id, worker=worker):
                 if handle._explain:
                     result = self._execute_explained(handle, checkpoint)
                 else:
@@ -368,10 +460,17 @@ class JoinService:
         handle.wall_seconds = time.perf_counter() - started
         handle.metrics = scope.snapshot() if scope is not None else None
         handle.status = status
-        events.emit(
-            "query.finished", query=handle.id,
-            seconds=handle.wall_seconds, status=status,
-        )
+        with self._ambient_trace(handle):
+            events.emit(
+                "query.finished", query=handle.id,
+                seconds=handle.wall_seconds, status=status,
+            )
+        if self.slo_monitor is not None:
+            self.slo_monitor.record(
+                handle._plan.name, handle.wall_seconds,
+                error=status not in (DONE,), status=status,
+            )
+        self._finish_trace(handle, status)
         handle._done.set()
 
     def _execute_explained(self, handle: QueryHandle, checkpoint):
@@ -409,6 +508,12 @@ class JoinService:
                 telemetry.disable()
 
     # -- lifecycle -------------------------------------------------------------
+
+    def slo_report(self) -> Optional[dict]:
+        """The SLO monitor's current report (None when no SLO is set)."""
+        if self.slo_monitor is None:
+            return None
+        return self.slo_monitor.report()
 
     def stats(self) -> dict:
         with self._lock:

@@ -30,7 +30,16 @@ then open ``trace.json`` at https://ui.perfetto.dev. See
 ``docs/observability.md``.
 """
 
-from repro.telemetry import events, export, histogram, metrics, prometheus, spans
+from repro.telemetry import (
+    events,
+    export,
+    histogram,
+    metrics,
+    prometheus,
+    slo,
+    spans,
+    tracing,
+)
 from repro.telemetry.events import (
     EVENT_SCHEMA_VERSION,
     EVENT_TYPES,
@@ -56,6 +65,7 @@ from repro.telemetry.prometheus import (
     validate_prometheus,
     write_prometheus,
 )
+from repro.telemetry.slo import SLOMonitor, SLOObjective, SLOSpec
 from repro.telemetry.spans import (
     NULL_SPAN,
     absorb_trace,
@@ -82,10 +92,12 @@ emit_event = events.emit
 
 
 def reset() -> None:
-    """Drop all recorded spans, virtual tracks, metrics, and events."""
+    """Drop all recorded spans, virtual tracks, metrics, events, and
+    trace-context span records."""
     spans.reset()
     registry.reset()
     events.reset()
+    tracing.reset()
 
 
 __all__ = [
@@ -94,6 +106,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
+    "SLOMonitor",
+    "SLOObjective",
+    "SLOSpec",
     "absorb_trace",
     "add_sim_result",
     "annotate",
@@ -119,10 +134,12 @@ __all__ = [
     "registry",
     "update_process_gauges",
     "reset",
+    "slo",
     "span",
     "spans",
     "trace_snapshot",
     "traced",
+    "tracing",
     "validate_chrome_trace",
     "validate_events",
     "validate_prometheus",

@@ -21,10 +21,14 @@ Design mirrors the span layer:
   ``registry.delta_since``);
 - **versioned schema** — every event envelope carries
   ``v`` (:data:`EVENT_SCHEMA_VERSION`), ``type``, ``ts`` (Unix wall
-  clock, so events from many processes order globally), ``pid``, and a
-  per-process ``seq``; :data:`EVENT_TYPES` names each type's required
-  payload fields and :func:`validate_events` is the structural gate CI
-  runs over emitted logs;
+  clock on the fork-consistent basis of :func:`repro.telemetry.tracing.
+  wall_now`, so events from many processes order globally), ``pid``,
+  and a per-process ``seq``; while query tracing is on, the envelope
+  additionally carries the ambient ``trace``/``span`` ids, so
+  :func:`by_trace` splits a merged log per query trace the way
+  :func:`by_query` splits it per query id. :data:`EVENT_TYPES` names
+  each type's required payload fields and :func:`validate_events` is
+  the structural gate CI runs over emitted logs;
 - **JSONL sink** — :func:`write_jsonl` / :func:`read_jsonl`, one event
   per line sorted by ``(ts, pid, seq)``; ``python -m repro.bench ...
   --events out.jsonl`` is the CLI surface and ``tools/bench_diff.py``
@@ -36,9 +40,10 @@ from __future__ import annotations
 import json
 import os
 import threading
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.telemetry import tracing as _tracing
 
 #: Bumped whenever an event type's payload fields change shape.
 EVENT_SCHEMA_VERSION = 1
@@ -196,9 +201,17 @@ def emit(event_type: str, **fields) -> Optional[dict]:
     event = {
         "v": EVENT_SCHEMA_VERSION,
         "type": event_type,
-        "ts": time.time(),
+        # wall_now: time.time() values on a per-process-family monotonic
+        # basis — forked pool workers inherit the parent's offset, so
+        # merged (ts, pid, seq) ordering cannot be skewed by a system
+        # clock step between fork and emit.
+        "ts": _tracing.wall_now(),
         "pid": os.getpid(),
     }
+    trace_context = _tracing.current()
+    if trace_context is not None:
+        event["trace"] = trace_context.trace_id
+        event["span"] = trace_context.span_id
     event.update(fields)
     with _lock:
         event["seq"] = _seq
@@ -350,6 +363,21 @@ def by_query(records: Sequence[dict]) -> Dict[str, List[dict]]:
     grouped: Dict[str, List[dict]] = {}
     for event in records:
         grouped.setdefault(str(event.get("query", "")), []).append(event)
+    return grouped
+
+
+def by_trace(records: Sequence[dict]) -> Dict[str, List[dict]]:
+    """Group events by their ``trace`` id (untraced events under "").
+
+    The trace-context sibling of :func:`by_query`: while tracing is on,
+    every event the service, plan operators, and pool workers emit
+    inside a query's execution carries that query's trace id, so one
+    merged log splits into per-trace slices that line up with the span
+    forest in :mod:`repro.telemetry.tracing`.
+    """
+    grouped: Dict[str, List[dict]] = {}
+    for event in records:
+        grouped.setdefault(str(event.get("trace", "")), []).append(event)
     return grouped
 
 

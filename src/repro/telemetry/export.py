@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import spans as _spans
+from repro.telemetry import tracing as _tracing
 
 #: Virtual-time (simulated) tracks get pids in their own range so a
 #: viewer groups them apart from real host processes.
@@ -85,6 +86,7 @@ def sim_track_events(
     truncated: int = 0,
     instants: Sequence[tuple] = (),
     counters: Sequence[tuple] = (),
+    trace: Optional[str] = None,
 ) -> List[dict]:
     """Events for one virtual-time track.
 
@@ -98,6 +100,11 @@ def sim_track_events(
     ``counters`` are ``(resource_name, [(time_s, utilization), ...])``
     pairs — per-resource occupancy series — rendered as Perfetto counter
     tracks (``ph: "C"``), one named counter per resource.
+    ``trace`` is the owning query's trace id when the track was captured
+    under query tracing; it lands in every complete event's ``args`` so
+    :func:`repro.telemetry.tracing.validate_chrome_trace_tree` (and any
+    viewer query) can tie the simulated resources back to the query's
+    span tree.
     """
     events: List[dict] = [_metadata(pid, "process_name", f"sim: {label}")]
     tids: Dict[str, int] = {}
@@ -106,6 +113,9 @@ def sim_track_events(
         if tid is None:
             tid = tids[phase] = len(tids) + 1
             events.append(_metadata(pid, "thread_name", phase, tid=tid))
+        args = {"phase": phase, "virtual_time": True}
+        if trace is not None:
+            args["trace"] = trace
         events.append(
             {
                 "name": name,
@@ -115,7 +125,7 @@ def sim_track_events(
                 "dur": _us(max(end - start, 0.0)),
                 "pid": pid,
                 "tid": tid,
-                "args": {"phase": phase, "virtual_time": True},
+                "args": args,
             }
         )
     for time_s, kind, target, detail in instants:
@@ -226,10 +236,21 @@ def chrome_trace_events(collector: Optional[_spans.SpanCollector] = None) -> Lis
                 track["label"],
                 instants=track.get("instants", ()),
                 counters=track.get("counters", ()),
+                trace=track.get("trace"),
             )
         )
         sim_index += 1
-    events.extend(recorder_instant_events(collector.wall_epoch))
+    # Query-trace spans (repro.telemetry.tracing) share the recorder's
+    # wall-clock basis; anchor both on the same epoch so a query's
+    # service spans, pool-worker morsel spans, and recorder instants
+    # line up on one timeline.
+    trace_records = _tracing.records()
+    wall_epoch = collector.wall_epoch
+    if wall_epoch is None and trace_records:
+        wall_epoch = min(r.get("ts", 0.0) for r in trace_records)
+    if trace_records:
+        events.extend(_tracing.chrome_events(trace_records, epoch=wall_epoch))
+    events.extend(recorder_instant_events(wall_epoch))
     return events
 
 

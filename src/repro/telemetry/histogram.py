@@ -138,6 +138,48 @@ class Histogram:
         """The standard report section: ``{"p50": ..., "p90": ..., "p99": ...}``."""
         return {label: self.quantile(q) for label, q in DEFAULT_QUANTILES}
 
+    def count_below(self, threshold: float) -> float:
+        """Estimated number of samples ``<= threshold``.
+
+        Whole buckets below the threshold count exactly; the containing
+        bucket contributes linearly by the threshold's position inside
+        it — the same interpolation (and therefore the same error
+        bound) as :meth:`quantile`, just inverted. Clamps against the
+        recorded ``[min, max]`` so a threshold outside the observed
+        range answers 0 or ``count`` exactly.
+        """
+        threshold = float(threshold)
+        if self.count == 0:
+            return 0.0
+        if self.min is not None and threshold < self.min:
+            return 0.0
+        if self.max is not None and threshold >= self.max:
+            return float(self.count)
+        below = 0.0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else 0.0
+            hi = (
+                self.bounds[i]
+                if i < len(self.bounds)
+                else (self.max if self.max is not None else lo)
+            )
+            if threshold >= hi:
+                below += n
+                continue
+            if threshold > lo and hi > lo:
+                below += n * (threshold - lo) / (hi - lo)
+            break
+        return min(below, float(self.count))
+
+    def fraction_over(self, threshold: float) -> float:
+        """Estimated fraction of samples above ``threshold`` — the
+        "bad event" rate a latency SLO measures against its target."""
+        if self.count == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.count_below(threshold) / self.count)
+
     # -- serialization ---------------------------------------------------------
 
     def to_dict(self) -> dict:

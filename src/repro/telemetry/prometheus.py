@@ -11,7 +11,12 @@ latency SLO is scraped in. Naming follows the official conventions:
   ``<name>_bucket{le="..."}`` series over the shared geometric bounds
   (plus the mandatory ``le="+Inf"``), ``<name>_sum`` (total seconds),
   and ``<name>_count`` — so ``histogram_quantile(0.99, ...)`` works on
-  ``repro_bench_experiment_seconds_bucket`` out of the box.
+  ``repro_bench_experiment_seconds_bucket`` out of the box;
+- registry names may carry **labels** with a ``base{key=value,...}``
+  suffix (``service.slo.burn_rate{objective=availability}``); labeled
+  series of one base metric share a single HELP/TYPE header and render
+  as ``repro_service_slo_burn_rate{objective="availability"}``, with
+  ``le`` merged into each bucket line's label set for histograms.
 
 Surfaces: ``python -m repro.bench ... --prom out.prom`` writes a
 scrape-shaped file; ``--prom-port N`` additionally serves **one** scrape
@@ -48,6 +53,68 @@ def metric_name(name: str, suffix: str = "") -> str:
     return f"{NAME_PREFIX}{flattened}{suffix}"
 
 
+_LABEL_NAME_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def split_labels(name: str) -> "tuple[str, Dict[str, str]]":
+    """Split a registry key ``base{key=value,...}`` into base + labels.
+
+    The registry stores labeled series as flat strings (its merge and
+    snapshot machinery stays label-oblivious); this is the single
+    parser of that convention. A name without a well-formed label
+    suffix comes back unchanged with no labels.
+    """
+    if not name.endswith("}") or "{" not in name:
+        return name, {}
+    base, _, raw = name.partition("{")
+    labels: Dict[str, str] = {}
+    for part in raw[:-1].split(","):
+        key, eq, value = part.partition("=")
+        if not eq or not key.strip():
+            return name, {}
+        labels[key.strip()] = value.strip().strip('"')
+    return base, labels
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def render_labels(labels: Dict[str, str], extra: str = "") -> str:
+    """``{key="value",...}`` with sorted keys ("" when empty)."""
+    items = [
+        f'{_LABEL_NAME_INVALID.sub("_", key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        items.append(extra)
+    return "{" + ",".join(items) + "}" if items else ""
+
+
+def parse_sample_key(key: str) -> "tuple[str, Dict[str, str]]":
+    """Split a parsed sample key back into (metric name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, raw = key.partition("{")
+    labels: Dict[str, str] = {}
+    for match in re.finditer(
+        r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', raw
+    ):
+        value = (
+            match.group(2)
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        labels[match.group(1)] = value
+    return name, labels
+
+
 def _format_value(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
@@ -65,32 +132,53 @@ def prometheus_document(
     registry = registry if registry is not None else _metrics.registry
     snapshot = registry.snapshot()
     lines: List[str] = []
+    headed: set = set()
+
+    def _head(metric: str, kind: str, base: str) -> None:
+        # One HELP/TYPE pair per base metric, however many labeled
+        # series it fans into (the format forbids repeats).
+        if metric in headed:
+            return
+        headed.add(metric)
+        kind_word = "timing histogram" if kind == "histogram" else kind
+        lines.append(f"# HELP {metric} repro {kind_word} {base}")
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, value in sorted(snapshot["counters"].items()):
-        metric = metric_name(name, "_total")
-        lines.append(f"# HELP {metric} repro counter {name}")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(float(value))}")
+        base, labels = split_labels(name)
+        metric = metric_name(base, "_total")
+        _head(metric, "counter", base)
+        lines.append(
+            f"{metric}{render_labels(labels)} {_format_value(float(value))}"
+        )
     for name, value in sorted(snapshot["gauges"].items()):
-        metric = metric_name(name)
-        lines.append(f"# HELP {metric} repro gauge {name}")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_format_value(float(value))}")
+        base, labels = split_labels(name)
+        metric = metric_name(base)
+        _head(metric, "gauge", base)
+        lines.append(
+            f"{metric}{render_labels(labels)} {_format_value(float(value))}"
+        )
     for name, timing in sorted(snapshot["timings"].items()):
-        metric = metric_name(name)
-        lines.append(f"# HELP {metric} repro timing histogram {name}")
-        lines.append(f"# TYPE {metric} histogram")
+        base, labels = split_labels(name)
+        metric = metric_name(base)
+        _head(metric, "histogram", base)
         cumulative = 0
         buckets = timing["buckets"]
         for bound, count in zip(_metrics.BUCKET_BOUNDS, buckets):
             cumulative += count
-            lines.append(
-                f'{metric}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+            bucket_labels = render_labels(
+                labels, extra=f'le="{_format_bound(bound)}"'
             )
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {timing["count"]}')
+            lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+        inf_labels = render_labels(labels, extra='le="+Inf"')
+        lines.append(f'{metric}_bucket{inf_labels} {timing["count"]}')
         lines.append(
-            f"{metric}_sum {_format_value(float(timing['total_seconds']))}"
+            f"{metric}_sum{render_labels(labels)} "
+            f"{_format_value(float(timing['total_seconds']))}"
         )
-        lines.append(f"{metric}_count {timing['count']}")
+        lines.append(
+            f"{metric}_count{render_labels(labels)} {timing['count']}"
+        )
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -149,37 +237,48 @@ def validate_prometheus(text: str) -> List[str]:
     except ValueError as exc:
         return [str(exc)]
     problems: List[str] = []
-    histograms: Dict[str, List] = {}
-    bucket_re = re.compile(r'^(?P<base>.+)_bucket\{le="(?P<le>[^"]+)"\}$')
+    # Label-normalized index: series looked up by (name, sorted labels)
+    # so a labeled histogram's _count/_sum resolve regardless of the
+    # label order the document happened to write.
+    indexed: Dict[tuple, float] = {}
+    histograms: Dict[tuple, List] = {}
     for key, value in samples.items():
-        match = bucket_re.match(key)
-        if match:
-            le = match.group("le")
+        name, labels = parse_sample_key(key)
+        indexed[(name, tuple(sorted(labels.items())))] = value
+        if name.endswith("_bucket") and "le" in labels:
+            le = labels.pop("le")
             bound = float("inf") if le == "+Inf" else float(le)
-            histograms.setdefault(match.group("base"), []).append(
-                (bound, value)
+            series = (
+                name[: -len("_bucket")],
+                tuple(sorted(labels.items())),
             )
-    for base, buckets in sorted(histograms.items()):
+            histograms.setdefault(series, []).append((bound, value))
+    for (base, labels), buckets in sorted(histograms.items()):
+        shown = base + (
+            "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+            if labels
+            else ""
+        )
         buckets.sort(key=lambda pair: pair[0])
         previous = 0.0
         for bound, value in buckets:
             if value < previous:
                 problems.append(
-                    f"{base}: bucket le={bound:g} not cumulative "
+                    f"{shown}: bucket le={bound:g} not cumulative "
                     f"({value:g} < {previous:g})"
                 )
             previous = value
         if buckets[-1][0] != float("inf"):
-            problems.append(f"{base}: no le=\"+Inf\" bucket")
-        count = samples.get(f"{base}_count")
+            problems.append(f"{shown}: no le=\"+Inf\" bucket")
+        count = indexed.get((f"{base}_count", labels))
         if count is None:
-            problems.append(f"{base}: missing _count series")
+            problems.append(f"{shown}: missing _count series")
         elif buckets[-1][0] == float("inf") and buckets[-1][1] != count:
             problems.append(
-                f"{base}: +Inf bucket {buckets[-1][1]:g} != _count {count:g}"
+                f"{shown}: +Inf bucket {buckets[-1][1]:g} != _count {count:g}"
             )
-        if f"{base}_sum" not in samples:
-            problems.append(f"{base}: missing _sum series")
+        if (f"{base}_sum", labels) not in indexed:
+            problems.append(f"{shown}: missing _sum series")
     return problems
 
 

@@ -31,6 +31,8 @@ import os
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.telemetry import tracing as _tracing
+
 _enabled = False
 
 
@@ -158,6 +160,13 @@ class SpanCollector:
                 for e in entries
             ],
         }
+        trace_context = _tracing.current()
+        if trace_context is not None:
+            # Tag the virtual timeline with the owning query's trace so
+            # one Chrome export groups a query's service spans, pool
+            # morsels, and simulated resource tracks under one tree.
+            track["trace"] = trace_context.trace_id
+            track["span"] = trace_context.span_id
         if instants:
             # Injected fault events: (time_s, kind, target, detail)
             # tuples rendered as instant events on the virtual timeline.
@@ -254,9 +263,12 @@ def add_sim_result(result, label: Optional[str] = None) -> None:
     end plus ``.makespan_seconds``) so the simulator does not import the
     exporters. The label defaults to the open span path, which is how a
     trace viewer ties a simulated timeline back to the host span (e.g.
-    ``experiment:fig13 / GPU Triton Join / simulate``).
+    ``experiment:fig13 / GPU Triton Join / simulate``). Tracks are also
+    captured while query tracing (:mod:`repro.telemetry.tracing`) has
+    an active context, even with span recording off — the concurrent
+    service traces queries without the module-global span stack.
     """
-    if not _enabled:
+    if not _enabled and _tracing.current() is None:
         return
     counters = ()
     if getattr(result, "occupancy", ()):
@@ -269,8 +281,15 @@ def add_sim_result(result, label: Optional[str] = None) -> None:
             for name, samples in sorted(utilization_samples(result).items())
             if any(value > 0 for _, value in samples)
         )
+    if label is None:
+        trace_context = _tracing.current()
+        label = current_path() or (
+            " / ".join(trace_context.names)
+            if trace_context is not None
+            else ""
+        )
     _collector.add_virtual_track(
-        label or current_path() or "simulated",
+        label or "simulated",
         result.trace,
         result.makespan_seconds,
         instants=getattr(result, "fault_events", ()),

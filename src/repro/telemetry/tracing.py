@@ -1,0 +1,628 @@
+"""End-to-end query tracing: trace contexts, propagation, span records.
+
+The span layer (:mod:`repro.telemetry.spans`) answers "how long did
+this take" for *one* thread of execution — its stack is a module
+global, which is exactly why the concurrent join service runs explain
+queries under an exclusive lock. This module answers the question the
+service actually gets asked under load: **"what happened to query X"**,
+where X's work hops from the submitting thread to a service worker
+thread, from there into forked morsel-pool processes, and sideways into
+the simulated task graph.
+
+The design is the W3C trace-context shape reduced to what the repo
+needs:
+
+- **Deterministic ids.** A query's ``trace_id`` derives from its
+  workload seed and submission sequence number
+  (:func:`derive_trace_id`), and every span id derives from
+  ``(trace_id, parent_id, name, sibling index)``
+  (:func:`derive_span_id`) — same seed, same submission stream, same
+  forest of ids, so trace artifacts diff byte-for-byte across runs the
+  way ``BENCH_service.json``'s results digest does.
+- **Ambient propagation via context variables.** The active
+  :class:`TraceContext` lives in a :class:`contextvars.ContextVar`, so
+  concurrent service threads each carry their own query's context with
+  no locking and no module-global stack to corrupt —
+  :func:`trace_query` opens a root, :func:`span` nests under whatever
+  is ambient, and :func:`current` is what the flight recorder stamps
+  onto every event.
+- **Payload propagation across processes.** :func:`payload` serializes
+  the ambient context into a job dict; a pool worker re-activates it
+  with :func:`activate` so morsel spans parent under the dispatching
+  query's span, then ships its finished records back via the same
+  :func:`drain`/:func:`absorb` contract the flight recorder uses.
+- **Wall-clock on a fork-consistent basis.** Span timestamps come from
+  :func:`wall_now`: ``time.time`` sampled once at import plus
+  ``time.monotonic`` deltas. A forked child inherits the parent's
+  offset, so parent and child stamps share one monotonic basis and the
+  merged ``(ts, pid, seq)`` order of events and spans within one trace
+  is consistent even when the system clock steps (the flight recorder
+  stamps events with the same clock).
+
+Like spans and events, tracing is **off by default** — every
+instrumentation site costs one module-flag check while disabled, so
+``load_gen`` runs without ``--trace-out`` are byte-identical to the
+pre-tracing service.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Hex digits in every trace and span id (64-bit, like W3C span ids).
+ID_HEX_DIGITS = 16
+
+#: Wall-clock offset captured once per process *import*: ``wall_now()``
+#: is this offset plus ``time.monotonic()``. CLOCK_MONOTONIC is
+#: system-wide, and a forked child inherits this module constant, so
+#: every process forked from one parent stamps time on the same basis —
+#: the fix for merged cross-process orderings drifting when the system
+#: clock steps between fork and emit.
+_CLOCK_OFFSET = time.time() - time.monotonic()
+
+_enabled = False
+
+#: Finished span records (plain dicts — the JSONL/IPC currency).
+_records: List[dict] = []
+_lock = threading.Lock()
+
+#: The ambient trace context. ContextVars are per-thread (and survive
+#: into worker threads' callables only when explicitly propagated),
+#: which is the isolation the concurrent service needs: each worker
+#: thread activates its own query's context.
+_active: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace", default=None
+)
+
+
+def wall_now() -> float:
+    """Wall-clock seconds on the process family's shared monotonic basis.
+
+    Equal to ``time.time()`` up to clock steps; guaranteed monotonic
+    within a process and consistent across forked children (they
+    inherit :data:`_CLOCK_OFFSET`). The flight recorder and the span
+    records both stamp with this, so one query's events and spans sort
+    consistently across the service process and its pool workers.
+    """
+    return _CLOCK_OFFSET + time.monotonic()
+
+
+def _short_hash(*parts) -> str:
+    material = ":".join(str(part) for part in parts)
+    return hashlib.sha256(material.encode()).hexdigest()[:ID_HEX_DIGITS]
+
+
+def derive_trace_id(seed: int, sequence: int) -> str:
+    """The deterministic trace id of one submitted query.
+
+    Derived from the query's workload seed and its submission sequence
+    number — the same two facts that make the service's admission and
+    results deterministic — so re-running a seeded workload reproduces
+    every trace id exactly.
+    """
+    return _short_hash("trace", seed, sequence)
+
+
+def derive_span_id(
+    trace_id: str, parent_id: Optional[str], name: str, index: int
+) -> str:
+    """The deterministic id of one span within a trace.
+
+    ``index`` is the span's sibling index under ``parent_id`` (how many
+    same-parent spans preceded it), which keeps repeated stage names
+    (two ``morsel`` spans, say) distinct without any randomness.
+    """
+    return _short_hash("span", trace_id, parent_id or "", name, index)
+
+
+def is_valid_id(value) -> bool:
+    """Whether ``value`` is a well-formed trace/span id (16 hex chars)."""
+    if not isinstance(value, str) or len(value) != ID_HEX_DIGITS:
+        return False
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return True
+
+
+class TraceContext:
+    """The ambient state of one active trace on one thread.
+
+    ``span_id`` is the innermost open span (the parent of anything
+    opened next); ``sibling_counts`` allocates deterministic sibling
+    indices per parent. One instance exists per activation — contexts
+    are never shared across threads.
+    """
+
+    __slots__ = ("trace_id", "span_id", "names", "sibling_counts")
+
+    def __init__(self, trace_id: str, span_id: str, name: str) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.names = [name]
+        self.sibling_counts: Dict[str, int] = {}
+
+    def child_id(self, name: str) -> str:
+        index = self.sibling_counts.get(self.span_id, 0)
+        self.sibling_counts[self.span_id] = index + 1
+        return derive_span_id(self.trace_id, self.span_id, name, index)
+
+
+def enable() -> None:
+    """Turn tracing on (spans record; events/tracks gain trace tags)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Drop buffered span records (the ambient context is unaffected)."""
+    with _lock:
+        _records.clear()
+
+
+def current() -> Optional[TraceContext]:
+    """The ambient trace context, or ``None`` (also while disabled)."""
+    if not _enabled:
+        return None
+    return _active.get()
+
+
+def current_trace_id() -> Optional[str]:
+    context = current()
+    return context.trace_id if context is not None else None
+
+
+def record_span(
+    name: str,
+    start: float,
+    end: float,
+    *,
+    trace_id: str,
+    span_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
+    **attrs,
+) -> dict:
+    """Record one finished span retroactively (explicit ids and times).
+
+    The service uses this for intervals it can only measure after the
+    fact — admission wait (submit timestamp to execution start) and the
+    query root (submit to finish) — where no ``with`` block brackets
+    the interval. ``span_id`` defaults to a deterministic derivation
+    from the identifying fields.
+    """
+    if span_id is None:
+        span_id = derive_span_id(trace_id, parent_id, name, 0)
+    record = {
+        "trace": trace_id,
+        "span": span_id,
+        "parent": parent_id,
+        "name": name,
+        "ts": float(start),
+        "dur": max(float(end) - float(start), 0.0),
+        "pid": os.getpid(),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    with _lock:
+        _records.append(record)
+    return record
+
+
+class _OpenSpan:
+    """Context manager for one ambient span (only built while enabled)."""
+
+    __slots__ = ("name", "attrs", "_context", "_token", "_parent", "_start")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_OpenSpan":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_OpenSpan":
+        parent = _active.get()
+        if parent is None:
+            raise RuntimeError(
+                f"span {self.name!r} opened with no active trace; "
+                "wrap the work in trace_query()/activate() first"
+            )
+        context = TraceContext(
+            parent.trace_id, parent.child_id(self.name), self.name
+        )
+        context.names = parent.names + [self.name]
+        context.sibling_counts = parent.sibling_counts
+        self._context = context
+        self._parent = parent
+        self._token = _active.set(context)
+        self._start = wall_now()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _active.reset(self._token)
+        record_span(
+            self.name,
+            self._start,
+            wall_now(),
+            trace_id=self._context.trace_id,
+            span_id=self._context.span_id,
+            parent_id=self._parent.span_id,
+            **self.attrs,
+        )
+        return False
+
+
+class _NullTraceSpan:
+    """Shared no-op returned while tracing is off or no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTraceSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullTraceSpan":
+        return self
+
+
+NULL_TRACE_SPAN = _NullTraceSpan()
+
+
+def span(name: str, **attrs):
+    """Open one ambient child span; a shared no-op unless a trace is
+    active on this thread (one flag check while tracing is disabled)."""
+    if not _enabled or _active.get() is None:
+        return NULL_TRACE_SPAN
+    return _OpenSpan(name, attrs)
+
+
+@contextmanager
+def trace_query(trace_id: str, name: str = "query", **attrs):
+    """Activate a trace root on this thread for the block's duration.
+
+    Opens (and records, on exit) the trace's deterministic root span.
+    No-op context when tracing is disabled. The root span id is
+    ``derive_span_id(trace_id, None, name, 0)`` — callers that record
+    retroactive children against the root (admission wait) recompute it
+    with :func:`root_span_id`.
+    """
+    if not _enabled:
+        yield None
+        return
+    context = TraceContext(trace_id, root_span_id(trace_id, name), name)
+    token = _active.set(context)
+    start = wall_now()
+    try:
+        yield context
+    finally:
+        _active.reset(token)
+        record_span(
+            name,
+            start,
+            wall_now(),
+            trace_id=trace_id,
+            span_id=context.span_id,
+            parent_id=None,
+            **attrs,
+        )
+
+
+def root_span_id(trace_id: str, name: str = "query") -> str:
+    """The deterministic root span id :func:`trace_query` uses."""
+    return derive_span_id(trace_id, None, name, 0)
+
+
+@contextmanager
+def activate(trace_id: str, span_id: str, name: str = "(remote)"):
+    """Adopt a shipped context: spans opened inside parent under
+    ``span_id`` of ``trace_id``.
+
+    The worker-process half of :func:`payload` — the adopted span is
+    *not* re-recorded here (its owner records it); this only restores
+    the ambient parentage so the worker's own spans and events join the
+    dispatching query's tree.
+    """
+    context = TraceContext(trace_id, span_id, name)
+    token = _active.set(context)
+    try:
+        yield context
+    finally:
+        _active.reset(token)
+
+
+def payload() -> Optional[dict]:
+    """The ambient context as a job-payload dict (``None`` off-trace).
+
+    Rides multiprocessing job dicts the way the flight recorder's
+    ``record_events`` flag does; the worker passes it to
+    :func:`activate`.
+    """
+    context = current()
+    if context is None:
+        return None
+    return {"trace": context.trace_id, "span": context.span_id}
+
+
+# -- record buffer (drain/absorb across processes) ------------------------------
+
+
+def records() -> List[dict]:
+    """A copy of the buffered finished-span records."""
+    with _lock:
+        return list(_records)
+
+
+def drain() -> List[dict]:
+    """Remove and return buffered records — the worker-side contract."""
+    with _lock:
+        drained = list(_records)
+        _records.clear()
+    return drained
+
+
+def absorb(foreign: Optional[Iterable[dict]]) -> int:
+    """Fold a worker's drained span records into this process's buffer."""
+    if not foreign:
+        return 0
+    absorbed = list(foreign)
+    with _lock:
+        _records.extend(absorbed)
+    return len(absorbed)
+
+
+def _clear_after_fork() -> None:
+    # Same rationale as the flight recorder's fork hook: a forked
+    # worker inherits the parent's buffered records and must not
+    # re-report them.
+    _records.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_clear_after_fork)
+
+
+# -- grouping + export ----------------------------------------------------------
+
+
+def by_trace(
+    span_records: Optional[Sequence[dict]] = None,
+) -> Dict[str, List[dict]]:
+    """Group span records by trace id (records without one under "")."""
+    span_records = records() if span_records is None else span_records
+    grouped: Dict[str, List[dict]] = {}
+    for record in span_records:
+        grouped.setdefault(str(record.get("trace", "")), []).append(record)
+    return grouped
+
+
+def chrome_events(
+    span_records: Optional[Sequence[dict]] = None,
+    epoch: Optional[float] = None,
+) -> List[dict]:
+    """Chrome complete events (``cat: "trace"``) for span records.
+
+    Within one process, each trace gets its own thread track (tid
+    assigned by first appearance, named after the trace id), so a
+    query's spans render as one swimlane per process it touched —
+    service pid and pool-worker pids side by side, all carrying
+    ``args.trace``/``args.span``/``args.parent`` for tree
+    reconstruction. ``epoch`` anchors wall timestamps (defaults to the
+    earliest record).
+    """
+    span_records = records() if span_records is None else list(span_records)
+    span_records = sorted(
+        span_records,
+        key=lambda r: (r.get("ts", 0.0), r.get("pid", 0), r.get("span", "")),
+    )
+    if not span_records:
+        return []
+    if epoch is None:
+        epoch = min(float(r.get("ts", 0.0)) for r in span_records)
+    events: List[dict] = []
+    tids: Dict[tuple, int] = {}
+    pids_named = set()
+    for record in span_records:
+        pid = int(record.get("pid", 0))
+        trace_id = record.get("trace", "")
+        key = (pid, trace_id)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = (
+                sum(1 for (p, _t) in tids if p == pid) + 1_000_001
+            )
+            if pid not in pids_named:
+                pids_named.add(pid)
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "process_name",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": f"traced pid {pid}"},
+                    }
+                )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"trace {trace_id}"},
+                }
+            )
+        args = {
+            "trace": trace_id,
+            "span": record.get("span"),
+            "parent": record.get("parent"),
+        }
+        args.update(record.get("attrs") or {})
+        events.append(
+            {
+                "name": record.get("name", "span"),
+                "cat": "trace",
+                "ph": "X",
+                "ts": round(max(record.get("ts", 0.0) - epoch, 0.0) * 1e6, 3),
+                "dur": round(max(record.get("dur", 0.0), 0.0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def validate_trace_tree(span_records: Sequence[dict]) -> List[str]:
+    """Structural problems in a span forest ([] = well-formed).
+
+    The CI tracing gate: every record carries valid ``trace``/``span``
+    ids, parents (when present) are valid ids that exist among the same
+    trace's spans (no orphans), and no trace's parent edges form a
+    cycle. Duplicate span ids within one trace are flagged too — they
+    would make the tree ambiguous.
+    """
+    problems: List[str] = []
+    by_trace_spans: Dict[str, Dict[str, Optional[str]]] = {}
+    for i, record in enumerate(span_records):
+        if not isinstance(record, dict):
+            problems.append(f"record {i} is not an object")
+            continue
+        trace_id = record.get("trace")
+        span_id = record.get("span")
+        parent_id = record.get("parent")
+        name = record.get("name", "?")
+        if not is_valid_id(trace_id):
+            problems.append(
+                f"record {i} ({name}) has invalid trace id {trace_id!r}"
+            )
+            continue
+        if not is_valid_id(span_id):
+            problems.append(
+                f"record {i} ({name}) has invalid span id {span_id!r}"
+            )
+            continue
+        if parent_id is not None and not is_valid_id(parent_id):
+            problems.append(
+                f"record {i} ({name}) has invalid parent id {parent_id!r}"
+            )
+            continue
+        spans = by_trace_spans.setdefault(trace_id, {})
+        if span_id in spans:
+            problems.append(
+                f"record {i} ({name}) repeats span id {span_id} "
+                f"within trace {trace_id}"
+            )
+            continue
+        spans[span_id] = parent_id
+    for trace_id, spans in sorted(by_trace_spans.items()):
+        for span_id, parent_id in spans.items():
+            if parent_id is not None and parent_id not in spans:
+                problems.append(
+                    f"trace {trace_id}: span {span_id} has orphan "
+                    f"parent {parent_id} (no such span in the trace)"
+                )
+        # Cycle check: walk each span's parent chain with a visited set.
+        resolved: Dict[str, bool] = {}
+        for span_id in spans:
+            path = []
+            node: Optional[str] = span_id
+            while node is not None and node in spans and node not in resolved:
+                if node in path:
+                    problems.append(
+                        f"trace {trace_id}: parent cycle through "
+                        f"span {node}"
+                    )
+                    for member in path:
+                        resolved[member] = False
+                    break
+                path.append(node)
+                node = spans[node]
+            else:
+                for member in path:
+                    resolved[member] = True
+    return problems
+
+
+def validate_chrome_trace_tree(document) -> List[str]:
+    """Run :func:`validate_trace_tree` over a Chrome trace document.
+
+    Reconstructs span records from the document's ``cat: "trace"``
+    complete events (the inverse of :func:`chrome_events`) and also
+    checks that every ``cat: "sim"`` track tagged with a trace id tags
+    one that actually appears in the span forest.
+    """
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document has no traceEvents list"]
+    span_records = []
+    traces = set()
+    for event in events:
+        if not isinstance(event, dict) or event.get("cat") != "trace":
+            continue
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        span_records.append(
+            {
+                "trace": args.get("trace"),
+                "span": args.get("span"),
+                "parent": args.get("parent"),
+                "name": event.get("name"),
+                "pid": event.get("pid"),
+            }
+        )
+        traces.add(args.get("trace"))
+    if not span_records:
+        return ["document has no cat='trace' span events"]
+    problems = validate_trace_tree(span_records)
+    for event in events:
+        if not isinstance(event, dict) or event.get("cat") != "sim":
+            continue
+        trace_id = (event.get("args") or {}).get("trace")
+        if trace_id is not None and trace_id not in traces:
+            problems.append(
+                f"sim event {event.get('name')!r} tagged with trace "
+                f"{trace_id} that has no spans in the document"
+            )
+    return problems
+
+
+# -- JSONL sink (parallel to the flight recorder's) -----------------------------
+
+
+def write_jsonl(path, span_records: Optional[Sequence[dict]] = None) -> int:
+    """Write span records (default: the buffer) to ``path`` sorted by
+    ``(ts, pid, span)``; returns the line count."""
+    ordered = sorted(
+        records() if span_records is None else span_records,
+        key=lambda r: (r.get("ts", 0.0), r.get("pid", 0), r.get("span", "")),
+    )
+    with open(path, "w") as handle:
+        for record in ordered:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(ordered)

@@ -80,6 +80,60 @@ class TestEmit:
             assert required in events.EVENT_TYPES
 
 
+class TestForkConsistentClock:
+    """Timestamps come from ``tracing.wall_now`` — a monotonic clock on
+    a shared per-process-family basis — not ``time.time``, so a system
+    clock step between fork and emit cannot scramble merged ordering."""
+
+    def test_emit_is_immune_to_wall_clock_steps(self, monkeypatch):
+        import time as time_module
+
+        events.enable()
+        before = events.emit("experiment.start", experiment="a")
+        # A 1-hour backwards clock step must not move event stamps.
+        real_time = time_module.time
+        monkeypatch.setattr(
+            time_module, "time", lambda: real_time() - 3600.0
+        )
+        after = events.emit("experiment.end", experiment="a", seconds=0.1)
+        assert after["ts"] >= before["ts"]
+
+    def test_event_and_span_stamps_share_one_basis(self):
+        from repro.telemetry import tracing
+
+        events.enable()
+        low = tracing.wall_now()
+        event = events.emit("experiment.start", experiment="a")
+        high = tracing.wall_now()
+        assert low <= event["ts"] <= high
+
+    def test_forked_child_stamps_on_the_parent_basis(self):
+        import time as time_module
+
+        from repro.telemetry import tracing
+
+        if not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        read_fd, write_fd = os.pipe()
+        before = tracing.wall_now()
+        pid = os.fork()
+        if pid == 0:  # child
+            try:
+                # Sabotage time.time in the child: wall_now must not care.
+                time_module.time = lambda: 0.0
+                os.write(write_fd, repr(tracing.wall_now()).encode())
+            finally:
+                os._exit(0)
+        os.close(write_fd)
+        try:
+            child_stamp = float(os.read(read_fd, 64).decode())
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        after = tracing.wall_now()
+        assert before <= child_stamp <= after
+
+
 class TestDrainAbsorb:
     def test_drain_empties_the_buffer(self):
         events.enable()

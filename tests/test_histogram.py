@@ -117,6 +117,66 @@ class TestQuantileAccuracy:
         assert p50 <= p90 <= p99
 
 
+class TestFractionOver:
+    """``count_below`` / ``fraction_over`` — the SLO burn-rate input."""
+
+    def test_empty_histogram_has_no_overage(self):
+        histogram = Histogram()
+        assert histogram.count_below(1.0) == 0.0
+        assert histogram.fraction_over(1.0) == 0.0
+
+    def test_single_sample_sides(self):
+        histogram = Histogram().observe_many([0.2])
+        assert histogram.fraction_over(1.0) == 0.0
+        assert histogram.fraction_over(0.1) == 1.0
+
+    def test_known_mixture(self):
+        histogram = Histogram().observe_many([0.1] * 90 + [2.0] * 10)
+        assert histogram.fraction_over(1.0) == pytest.approx(0.1)
+        assert histogram.fraction_over(0.01) == 1.0
+        assert histogram.fraction_over(10.0) == 0.0
+
+    @given(values=samples, threshold=st.floats(1e-6, 99.0))
+    @settings(max_examples=80, deadline=None)
+    def test_within_one_bucket_of_exact(self, values, threshold):
+        histogram = Histogram().observe_many(values)
+        fraction = histogram.fraction_over(threshold)
+        assert 0.0 <= fraction <= 1.0
+        # Exact bound: samples strictly over one bucket above the
+        # threshold must be counted; samples at or below one bucket
+        # under it must not be.
+        certainly_over = sum(
+            1 for v in values if v > threshold * BUCKET_FACTOR
+        )
+        certainly_under = sum(
+            1 for v in values if v <= threshold / BUCKET_FACTOR
+        )
+        assert fraction * len(values) >= certainly_over - 1e-6
+        assert fraction * len(values) <= len(values) - certainly_under + 1e-6
+
+    @given(shards=st.lists(samples, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_preserves_fraction(self, shards):
+        merged = Histogram()
+        for shard in shards:
+            merged.merge(Histogram().observe_many(shard))
+        flat = Histogram().observe_many(
+            [value for shard in shards for value in shard]
+        )
+        for threshold in (0.01, 1.0, 50.0):
+            assert merged.fraction_over(threshold) == pytest.approx(
+                flat.fraction_over(threshold)
+            )
+
+    def test_count_below_is_monotonic(self):
+        histogram = Histogram().observe_many([0.05, 0.5, 5.0, 50.0])
+        counts = [
+            histogram.count_below(t) for t in (0.01, 0.1, 1.0, 10.0, 100.0)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == pytest.approx(4.0)
+
+
 class TestSerialization:
     @given(values=samples)
     @settings(max_examples=30, deadline=None)

@@ -10,8 +10,11 @@ from repro.telemetry.prometheus import (
     CONTENT_TYPE,
     metric_name,
     parse_prometheus,
+    parse_sample_key,
     prometheus_document,
+    render_labels,
     serve_once,
+    split_labels,
     validate_prometheus,
     write_prometheus,
 )
@@ -93,6 +96,83 @@ class TestDocument:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError, match="not a sample"):
             parse_prometheus("this is { not } prometheus at all }{")
+
+
+class TestLabels:
+    """Label support: registry keys ``base{k=v,...}`` render, parse, and
+    validate as labelled series."""
+
+    def test_split_labels_round_trip(self):
+        base, labels = split_labels(
+            "service.slo.burn_rate{objective=availability}"
+        )
+        assert base == "service.slo.burn_rate"
+        assert labels == {"objective": "availability"}
+
+    def test_split_labels_passes_plain_names_through(self):
+        assert split_labels("run_cache.hits") == ("run_cache.hits", {})
+        assert split_labels("weird{unclosed") == ("weird{unclosed", {})
+
+    def test_labeled_gauge_renders_and_parses(self, registry):
+        registry.gauge(
+            "service.slo.burn_rate{objective=availability}", 1.25
+        )
+        registry.gauge(
+            "service.slo.burn_rate{objective=query-latency}", 0.5
+        )
+        document = prometheus_document(registry)
+        assert validate_prometheus(document) == []
+        samples = parse_prometheus(document)
+        base = "repro_service_slo_burn_rate"
+        assert samples[f'{base}{{objective="availability"}}'] == 1.25
+        assert samples[f'{base}{{objective="query-latency"}}'] == 0.5
+        # One HELP/TYPE head per base metric, not per labelled series.
+        assert document.count(f"# TYPE {base} ") == 1
+
+    def test_labeled_counter_keeps_total_suffix(self, registry):
+        registry.count("queries{template=big-state}", 3)
+        samples = parse_prometheus(prometheus_document(registry))
+        assert (
+            samples['repro_queries_total{template="big-state"}'] == 3.0
+        )
+
+    def test_labeled_timing_merges_le_into_label_set(self, registry):
+        registry.observe("wait{queue=high}", 0.01)
+        registry.observe("wait{queue=high}", 0.5)
+        document = prometheus_document(registry)
+        assert validate_prometheus(document) == []
+        samples = parse_prometheus(document)
+        assert samples['repro_wait_count{queue="high"}'] == 2.0
+        inf_buckets = [
+            key
+            for key in samples
+            if key.startswith("repro_wait_bucket") and "+Inf" in key
+        ]
+        assert len(inf_buckets) == 1
+        name, labels = parse_sample_key(inf_buckets[0])
+        assert name == "repro_wait_bucket"
+        assert labels == {"queue": "high", "le": "+Inf"}
+
+    def test_label_values_escape_and_unescape(self):
+        rendered = render_labels({"path": 'a"b\\c'})
+        assert rendered == '{path="a\\"b\\\\c"}'
+        _, labels = parse_sample_key(f"metric{rendered}")
+        assert labels == {"path": 'a"b\\c'}
+
+    def test_validator_distinguishes_label_sets(self):
+        # Two label sets of the same histogram validate independently:
+        # a count mismatch in one is attributed to that series.
+        document = (
+            'repro_w_bucket{queue="a",le="+Inf"} 2\n'
+            'repro_w_sum{queue="a"} 1\n'
+            'repro_w_count{queue="a"} 2\n'
+            'repro_w_bucket{queue="b",le="+Inf"} 4\n'
+            'repro_w_sum{queue="b"} 1\n'
+            'repro_w_count{queue="b"} 3\n'
+        )
+        problems = validate_prometheus(document)
+        assert any('queue="b"' in p or "queue=b" in p for p in problems)
+        assert not any('queue="a"' in p and "count" in p for p in problems)
 
 
 class TestFileAndCli:

@@ -1,0 +1,465 @@
+"""Trace contexts: deterministic ids, propagation, forest validation.
+
+The properties the end-to-end tracing story rests on:
+
+1. ids are pure functions of (seed, sequence) and span position, so a
+   seeded run reproduces its whole id forest;
+2. ambient propagation is per-thread (concurrent service workers never
+   cross-parent) and survives the drain/absorb hop into pool workers;
+3. ``validate_trace_tree`` rejects every malformation the CI gate is
+   meant to catch (bad ids, orphans, cycles, duplicates);
+4. the Chrome export round-trips the forest
+   (``validate_chrome_trace_tree`` re-validates from the document).
+"""
+
+import threading
+
+import pytest
+
+from repro.telemetry import events, export, tracing
+from repro.telemetry.export import chrome_trace_document, validate_chrome_trace
+
+
+@pytest.fixture
+def traced():
+    """Tracing on with an empty buffer; always off again afterwards."""
+    tracing.enable()
+    tracing.reset()
+    yield tracing
+    tracing.disable()
+    tracing.reset()
+
+
+class TestDeterministicIds:
+    def test_trace_id_is_a_pure_function_of_seed_and_sequence(self):
+        assert tracing.derive_trace_id(0, 7) == tracing.derive_trace_id(0, 7)
+        assert tracing.derive_trace_id(0, 7) != tracing.derive_trace_id(0, 8)
+        assert tracing.derive_trace_id(1, 7) != tracing.derive_trace_id(0, 7)
+
+    def test_ids_are_sixteen_hex_chars(self):
+        trace_id = tracing.derive_trace_id(3, 11)
+        assert tracing.is_valid_id(trace_id)
+        assert tracing.is_valid_id(
+            tracing.derive_span_id(trace_id, None, "query", 0)
+        )
+        assert tracing.is_valid_id(tracing.root_span_id(trace_id))
+
+    def test_sibling_index_disambiguates_repeated_names(self):
+        trace_id = tracing.derive_trace_id(0, 0)
+        parent = tracing.root_span_id(trace_id)
+        first = tracing.derive_span_id(trace_id, parent, "morsel", 0)
+        second = tracing.derive_span_id(trace_id, parent, "morsel", 1)
+        assert first != second
+
+    def test_invalid_ids_rejected(self):
+        for bad in (None, 17, "xyz", "0" * 15, "g" * 16, "0" * 17):
+            assert not tracing.is_valid_id(bad)
+
+    def test_same_run_reproduces_span_forest(self, traced):
+        def run():
+            trace_id = tracing.derive_trace_id(42, 5)
+            with tracing.trace_query(trace_id):
+                with tracing.span("execute"):
+                    with tracing.span("morsel"):
+                        pass
+                    with tracing.span("morsel"):
+                        pass
+            drained = tracing.drain()
+            return [(r["trace"], r["span"], r["parent"]) for r in drained]
+
+        assert run() == run()
+
+
+class TestAmbientPropagation:
+    def test_spans_nest_under_the_active_query(self, traced):
+        trace_id = tracing.derive_trace_id(0, 0)
+        with tracing.trace_query(trace_id):
+            with tracing.span("execute", worker=1):
+                with tracing.span("Join(triton)"):
+                    pass
+        records = tracing.records()
+        by_name = {record["name"]: record for record in records}
+        assert set(by_name) == {"query", "execute", "Join(triton)"}
+        root = by_name["query"]
+        assert root["parent"] is None
+        assert root["span"] == tracing.root_span_id(trace_id)
+        assert by_name["execute"]["parent"] == root["span"]
+        assert by_name["Join(triton)"]["parent"] == by_name["execute"]["span"]
+        assert {record["trace"] for record in records} == {trace_id}
+        assert by_name["execute"]["attrs"] == {"worker": 1}
+        assert tracing.validate_trace_tree(records) == []
+
+    def test_span_is_noop_when_disabled_or_off_trace(self):
+        tracing.disable()
+        assert tracing.span("x") is tracing.NULL_TRACE_SPAN
+        tracing.enable()
+        try:
+            # Enabled but no ambient trace on this thread: still a no-op.
+            assert tracing.span("x") is tracing.NULL_TRACE_SPAN
+            assert tracing.current() is None
+            assert tracing.payload() is None
+        finally:
+            tracing.disable()
+
+    def test_span_outside_trace_records_nothing(self, traced):
+        with tracing.span("orphan"):
+            pass
+        assert tracing.records() == []
+
+    def test_concurrent_threads_do_not_cross_parent(self, traced):
+        barrier = threading.Barrier(2)
+        trace_ids = [
+            tracing.derive_trace_id(0, 0),
+            tracing.derive_trace_id(0, 1),
+        ]
+
+        def worker(trace_id):
+            with tracing.trace_query(trace_id):
+                barrier.wait(timeout=10)
+                with tracing.span("execute"):
+                    barrier.wait(timeout=10)
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,)) for tid in trace_ids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        records = tracing.records()
+        assert tracing.validate_trace_tree(records) == []
+        grouped = tracing.by_trace(records)
+        assert set(grouped) == set(trace_ids)
+        for trace_id, spans in grouped.items():
+            # Each trace's execute parents under its own root — never
+            # the other thread's.
+            by_name = {record["name"]: record for record in spans}
+            assert by_name["execute"]["parent"] == by_name["query"]["span"]
+
+    def test_exception_unwinding_still_records_the_span(self, traced):
+        trace_id = tracing.derive_trace_id(0, 0)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracing.trace_query(trace_id):
+                with tracing.span("execute"):
+                    raise RuntimeError("boom")
+        names = sorted(r["name"] for r in tracing.records())
+        assert names == ["execute", "query"]
+        assert tracing.validate_trace_tree(tracing.records()) == []
+
+    def test_record_span_backdates_intervals(self, traced):
+        trace_id = tracing.derive_trace_id(0, 3)
+        start = tracing.wall_now()
+        end = start + 0.25
+        record = tracing.record_span(
+            "admission-wait",
+            start,
+            end,
+            trace_id=trace_id,
+            parent_id=tracing.root_span_id(trace_id),
+            query="q3",
+        )
+        assert record["dur"] == pytest.approx(0.25)
+        assert record["attrs"] == {"query": "q3"}
+        # Negative intervals clamp rather than corrupting the timeline.
+        clamped = tracing.record_span(
+            "skewed", end, start, trace_id=trace_id
+        )
+        assert clamped["dur"] == 0.0
+
+    def test_wall_now_is_monotonic(self):
+        stamps = [tracing.wall_now() for _ in range(100)]
+        assert stamps == sorted(stamps)
+
+
+class TestCrossProcessContract:
+    """payload/activate + drain/absorb — the pool-worker hop, simulated."""
+
+    def test_payload_round_trip_reparents_worker_spans(self, traced):
+        trace_id = tracing.derive_trace_id(0, 0)
+        with tracing.trace_query(trace_id):
+            with tracing.span("execute"):
+                shipped = tracing.payload()
+        assert shipped == {
+            "trace": trace_id,
+            "span": tracing.derive_span_id(
+                trace_id, tracing.root_span_id(trace_id), "execute", 0
+            ),
+        }
+        parent_records = tracing.drain()
+
+        # "Worker process": fresh buffer, adopts the shipped context.
+        with tracing.activate(shipped["trace"], shipped["span"]):
+            with tracing.span("morsel[0]", worker=0):
+                pass
+            with tracing.span("morsel[1]", worker=1):
+                pass
+        worker_records = tracing.drain()
+        assert {r["parent"] for r in worker_records} == {shipped["span"]}
+
+        # Parent absorbs the worker's records: one well-formed tree.
+        tracing.absorb(parent_records)
+        assert tracing.absorb(worker_records) == 2
+        merged = tracing.records()
+        assert tracing.validate_trace_tree(merged) == []
+        assert len(tracing.by_trace(merged)[trace_id]) == 4
+
+    def test_activate_does_not_rerecord_the_adopted_span(self, traced):
+        trace_id = tracing.derive_trace_id(0, 0)
+        with tracing.activate(trace_id, tracing.root_span_id(trace_id)):
+            pass
+        assert tracing.records() == []
+
+    def test_absorb_tolerates_empty(self, traced):
+        assert tracing.absorb(None) == 0
+        assert tracing.absorb([]) == 0
+
+
+class TestForestValidation:
+    def _forest(self):
+        trace_id = tracing.derive_trace_id(0, 0)
+        root = tracing.root_span_id(trace_id)
+        child = tracing.derive_span_id(trace_id, root, "execute", 0)
+        return [
+            {"trace": trace_id, "span": root, "parent": None, "name": "query"},
+            {"trace": trace_id, "span": child, "parent": root,
+             "name": "execute"},
+        ]
+
+    def test_well_formed_forest_passes(self):
+        assert tracing.validate_trace_tree(self._forest()) == []
+
+    def test_invalid_ids_flagged(self):
+        records = self._forest()
+        records[0]["trace"] = "nope"
+        records[1]["span"] = 12
+        problems = tracing.validate_trace_tree(records)
+        assert any("invalid trace id" in p for p in problems)
+        assert any("invalid span id" in p for p in problems)
+
+    def test_orphan_parent_flagged(self):
+        records = self._forest()
+        records[1]["parent"] = "f" * 16
+        assert any(
+            "orphan parent" in p
+            for p in tracing.validate_trace_tree(records)
+        )
+
+    def test_duplicate_span_id_flagged(self):
+        records = self._forest()
+        records.append(dict(records[1]))
+        assert any(
+            "repeats span id" in p
+            for p in tracing.validate_trace_tree(records)
+        )
+
+    def test_parent_cycle_flagged(self):
+        trace_id = tracing.derive_trace_id(0, 0)
+        a = tracing.derive_span_id(trace_id, None, "a", 0)
+        b = tracing.derive_span_id(trace_id, None, "b", 0)
+        records = [
+            {"trace": trace_id, "span": a, "parent": b, "name": "a"},
+            {"trace": trace_id, "span": b, "parent": a, "name": "b"},
+        ]
+        assert any(
+            "cycle" in p for p in tracing.validate_trace_tree(records)
+        )
+
+
+class TestChromeExport:
+    def test_export_round_trips_through_document_validation(self, traced):
+        for sequence in range(2):
+            trace_id = tracing.derive_trace_id(0, sequence)
+            with tracing.trace_query(trace_id, query=f"q{sequence}"):
+                with tracing.span("execute"):
+                    pass
+        document = chrome_trace_document(
+            events=tracing.chrome_events(tracing.records())
+        )
+        assert validate_chrome_trace(document) == []
+        assert tracing.validate_chrome_trace_tree(document) == []
+        spans = [
+            event
+            for event in document["traceEvents"]
+            if event.get("cat") == "trace" and event.get("ph") == "X"
+        ]
+        assert len(spans) == 4
+        # One swimlane (tid) per trace within the process.
+        assert len({event["tid"] for event in spans}) == 2
+
+    def test_document_validation_catches_a_broken_forest(self):
+        trace_id = tracing.derive_trace_id(0, 0)
+        span_id = tracing.root_span_id(trace_id)
+        document = chrome_trace_document(
+            events=[
+                {
+                    "name": "query",
+                    "cat": "trace",
+                    "ph": "X",
+                    "ts": 0.0,
+                    "dur": 1.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "trace": trace_id,
+                        "span": span_id,
+                        "parent": "f" * 16,  # orphan
+                    },
+                }
+            ]
+        )
+        assert any(
+            "orphan" in p
+            for p in tracing.validate_chrome_trace_tree(document)
+        )
+
+    def test_empty_document_is_flagged(self):
+        assert tracing.validate_chrome_trace_tree({"traceEvents": []}) == [
+            "document has no cat='trace' span events"
+        ]
+
+    def test_jsonl_sink_sorts_by_time(self, traced, tmp_path):
+        trace_id = tracing.derive_trace_id(0, 0)
+        now = tracing.wall_now()
+        tracing.record_span("late", now + 1.0, now + 2.0, trace_id=trace_id)
+        tracing.record_span("early", now, now + 0.5, trace_id=trace_id)
+        path = tmp_path / "trace.jsonl"
+        assert tracing.write_jsonl(path) == 2
+        names = [
+            line.split('"name": "')[1].split('"')[0]
+            for line in path.read_text().splitlines()
+        ]
+        assert names == ["early", "late"]
+
+
+class TestServiceIntegration:
+    """The tentpole contract, at test scale: queries through the real
+    JoinService produce one well-formed span tree each, and every
+    lifecycle event carries its query's trace id."""
+
+    def _spec(self, seed=1):
+        return {
+            "name": "tiny",
+            "workload": {
+                "build_m_tuples": 64,
+                "probe_m_tuples": 64,
+                "scale_divisor": 65536,
+                "seed": seed,
+            },
+            "root": {
+                "op": "join",
+                "algorithm": "triton",
+                "build": {"op": "scan", "relation": "build"},
+                "probe": {"op": "scan", "relation": "probe"},
+            },
+        }
+
+    def test_traced_service_run_builds_one_tree_per_query(self, traced):
+        from repro.service.server import JoinService
+
+        events.enable()
+        events.reset()
+        service = JoinService(workers=2)
+        try:
+            handles = [
+                service.submit(self._spec(seed)) for seed in (1, 2, 3)
+            ]
+            for handle in handles:
+                handle.result()
+            recorded = events.events()
+        finally:
+            service.shutdown(wait=True)
+            events.disable()
+            events.reset()
+
+        records = tracing.records()
+        assert tracing.validate_trace_tree(records) == []
+        grouped = tracing.by_trace(records)
+        trace_ids = {handle.trace_id for handle in handles}
+        assert len(trace_ids) == 3
+        assert set(grouped) == trace_ids
+        for handle in handles:
+            names = {r["name"] for r in grouped[handle.trace_id]}
+            assert {"query", "compile", "admission-wait", "execute"} <= names
+            roots = [
+                r for r in grouped[handle.trace_id] if r["parent"] is None
+            ]
+            assert len(roots) == 1 and roots[0]["name"] == "query"
+            assert roots[0]["attrs"]["status"] == "done"
+
+        # Every lifecycle event carries its query's (valid) trace id.
+        lifecycle = [
+            e for e in recorded if e["type"].startswith("query.")
+        ]
+        assert len(lifecycle) == 12  # submitted/admitted/started/finished x3
+        assert all(tracing.is_valid_id(e.get("trace")) for e in lifecycle)
+        assert {e["trace"] for e in lifecycle} == trace_ids
+
+    def test_untraced_service_run_records_nothing(self):
+        from repro.service.server import JoinService
+
+        tracing.disable()
+        tracing.reset()
+        service = JoinService(workers=1)
+        try:
+            handle = service.submit(self._spec())
+            handle.result()
+        finally:
+            service.shutdown(wait=True)
+        assert handle.trace_id is None
+        assert tracing.records() == []
+
+    def test_trace_ids_reproduce_across_runs(self, traced):
+        from repro.service.server import JoinService
+
+        def run():
+            tracing.reset()
+            service = JoinService(workers=1)
+            try:
+                handles = [
+                    service.submit(self._spec(seed)) for seed in (5, 6)
+                ]
+                for handle in handles:
+                    handle.result()
+            finally:
+                service.shutdown(wait=True)
+            return [handle.trace_id for handle in handles]
+
+        first, second = run(), run()
+        assert first == second
+        assert all(tracing.is_valid_id(tid) for tid in first)
+
+
+class TestEventTagging:
+    def test_events_inside_a_trace_carry_the_context(self, traced):
+        events.enable()
+        events.reset()
+        try:
+            trace_id = tracing.derive_trace_id(0, 0)
+            with tracing.trace_query(trace_id):
+                events.emit("run.start", operator="t")
+            events.emit("run.end", operator="t", seconds=0.1,
+                        cache_hit=False)
+            recorded = events.events()
+        finally:
+            events.disable()
+            events.reset()
+        tagged = [e for e in recorded if e["type"] == "run.start"]
+        untagged = [e for e in recorded if e["type"] == "run.end"]
+        assert tagged[0]["trace"] == trace_id
+        assert tagged[0]["span"] == tracing.root_span_id(trace_id)
+        assert "trace" not in untagged[0]
+        assert set(events.by_trace(recorded)) == {trace_id, ""}
+
+    def test_sim_tracks_tagged_with_owning_trace(self, traced):
+        trace_id = tracing.derive_trace_id(0, 0)
+        with tracing.trace_query(trace_id):
+            sim_events = export.sim_track_events(
+                [("probe", "Join", 0.0, 1.0)],
+                pid=10_000_001,
+                label="test",
+                trace=tracing.current_trace_id(),
+            )
+        spans = [e for e in sim_events if e.get("ph") == "X"]
+        assert spans and all(
+            e["args"]["trace"] == trace_id for e in spans
+        )

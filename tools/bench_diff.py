@@ -29,6 +29,8 @@ Usage::
     PYTHONPATH=src python tools/bench_diff.py --check-outofcore BENCH_kernels.json
     PYTHONPATH=src python tools/bench_diff.py --check-events events.jsonl
     PYTHONPATH=src python tools/bench_diff.py --check-service report.json
+    PYTHONPATH=src python tools/bench_diff.py --check-slo report.json
+    PYTHONPATH=src python tools/bench_diff.py --check-trace trace.json
     PYTHONPATH=src python tools/bench_diff.py a.json b.json --fail-regression 1.5
 
 ``--check-outofcore`` audits a perf-smoke report's out-of-core gauges
@@ -40,6 +42,11 @@ observability layer. ``--check-service`` audits a ``tools/load_gen.py``
 report against the committed ``BENCH_service.json`` baseline (zero
 incorrect results; digest, rejected tally, and event counts
 byte-identical) — the CI gate for the concurrent join service.
+``--check-slo`` audits a report's SLO section (every objective within
+its error budget, deterministic error tallies equal to the baseline's,
+no perf-history anomalies) and ``--check-trace`` audits a Chrome trace
+file's span forest (valid ids, acyclic, no orphan parents) — the CI
+gates for the tracing + SLO layer.
 """
 
 from __future__ import annotations
@@ -472,6 +479,107 @@ def check_service(
     return problems
 
 
+# -- SLO gate -------------------------------------------------------------------
+
+
+def check_slo(
+    report: dict,
+    baseline: Optional[dict] = None,
+    history: Optional[dict] = None,
+    anomaly_factor: float = 5.0,
+) -> List[str]:
+    """Audit a load-generator report's SLO section ([] = clean).
+
+    Every declared objective must be met (its bad fraction within the
+    error budget). Error-kind objectives are deterministic — exact
+    count ratios of the seeded workload — so when the committed
+    baseline carries an ``slo`` section, their (total, bad) tallies
+    must match it exactly; latency objectives are wall clock and only
+    gate on their own budget. When a perf trajectory is supplied, it
+    is swept for per-experiment anomalies (seconds blowing past
+    ``anomaly_factor`` times their trailing mean) with the same
+    "observed over allowed" lens.
+    """
+    from repro.telemetry import slo as slo_mod
+
+    slo_report = report.get("slo")
+    if not isinstance(slo_report, dict):
+        return [
+            "report has no 'slo' section; rerun tools/load_gen.py "
+            "with --slo"
+        ]
+    problems: List[str] = []
+    verdicts = slo_report.get("objectives") or []
+    if not verdicts:
+        problems.append("slo section declares no objectives")
+    for verdict in verdicts:
+        if not verdict.get("ok"):
+            problems.append(
+                f"objective {verdict.get('name')!r} violated: bad "
+                f"fraction {verdict.get('bad_fraction', 0.0):.4%} exceeds "
+                f"the {verdict.get('error_budget', 0.0):.4%} error budget "
+                f"(burn rate {verdict.get('burn_rate', 0.0):.2f})"
+            )
+    baseline_slo = (baseline or {}).get("slo") or {}
+    baseline_verdicts = {
+        v.get("name"): v for v in baseline_slo.get("objectives") or []
+    }
+    for verdict in verdicts:
+        if verdict.get("kind") != "errors":
+            continue
+        want = baseline_verdicts.get(verdict.get("name"))
+        if want is None:
+            continue
+        for field in ("objective", "total", "bad"):
+            if verdict.get(field) != want.get(field):
+                problems.append(
+                    f"objective {verdict.get('name')!r}: deterministic "
+                    f"field {field!r} is {verdict.get(field)!r}; baseline "
+                    f"has {want.get(field)!r}"
+                )
+    if history is not None:
+        for anomaly in slo_mod.history_anomalies(
+            history, factor=anomaly_factor
+        ):
+            problems.append(
+                f"history entry {anomaly['entry']} "
+                f"({anomaly['timestamp']}): {anomaly['experiment']} took "
+                f"{anomaly['seconds']:.3f}s, {anomaly['ratio']:.1f}x its "
+                f"trailing mean {anomaly['trailing_mean']:.3f}s"
+            )
+    return problems
+
+
+# -- trace gate -----------------------------------------------------------------
+
+
+def check_trace(document: dict, min_traces: int = 1) -> List[str]:
+    """Audit a Chrome trace document's span forest ([] = clean).
+
+    Runs the exporter's structural validator (events well-formed, host
+    spans nested) plus the trace-context validator (ids valid, span
+    forest acyclic, no orphan parents, sim tracks tagged with known
+    traces), and requires at least ``min_traces`` distinct trace trees.
+    """
+    from repro.telemetry import tracing
+    from repro.telemetry.export import validate_chrome_trace
+
+    problems = list(validate_chrome_trace(document))
+    problems += tracing.validate_chrome_trace_tree(document)
+    trace_ids = {
+        event.get("args", {}).get("trace")
+        for event in document.get("traceEvents", [])
+        if event.get("cat") == "trace" and event.get("ph") == "X"
+    }
+    trace_ids.discard(None)
+    if len(trace_ids) < min_traces:
+        problems.append(
+            f"document has {len(trace_ids)} trace tree(s); expected at "
+            f"least {min_traces} (was the run traced?)"
+        )
+    return problems
+
+
 # -- history --------------------------------------------------------------------
 
 
@@ -564,6 +672,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default BENCH_service.json)",
     )
     parser.add_argument(
+        "--check-slo",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="audit a tools/load_gen.py report's SLO section: every "
+        "objective within its error budget, error-kind tallies equal "
+        "to the baseline's, no perf-history anomalies; exits 1 on any "
+        "violation",
+    )
+    parser.add_argument(
+        "--check-trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="audit a Chrome trace file: structure valid, trace-span "
+        "forest acyclic with no orphan parents, sim tracks tagged with "
+        "known traces; exits 1 on any violation",
+    )
+    parser.add_argument(
+        "--min-traces",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --check-trace: require at least N distinct trace "
+        "trees in the document (default 1)",
+    )
+    parser.add_argument(
+        "--anomaly-factor",
+        type=float,
+        default=5.0,
+        metavar="FACTOR",
+        help="with --check-slo: flag history entries whose seconds "
+        "exceed FACTOR times their trailing mean (default 5)",
+    )
+    parser.add_argument(
         "--max-p99-factor",
         type=float,
         default=25.0,
@@ -630,6 +773,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"service gate holds: {report['queries']} queries, "
             f"0 incorrect, digest {digest} matches baseline"
+        )
+        return 0
+
+    if args.check_slo is not None:
+        report = _load(args.check_slo)
+        baseline = (
+            _load(args.service_baseline)
+            if args.service_baseline.exists()
+            else None
+        )
+        history = (
+            _load(DEFAULT_HISTORY) if DEFAULT_HISTORY.exists() else None
+        )
+        problems = check_slo(
+            report,
+            baseline=baseline,
+            history=history,
+            anomaly_factor=args.anomaly_factor,
+        )
+        if problems:
+            print(f"{len(problems)} SLO gate violation(s):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        objectives = (report.get("slo") or {}).get("objectives") or []
+        print(
+            f"SLO gate holds: {len(objectives)} objective(s) within "
+            "budget, deterministic tallies match, history clean"
+        )
+        return 0
+
+    if args.check_trace is not None:
+        document = _load(args.check_trace)
+        problems = check_trace(document, min_traces=args.min_traces)
+        if problems:
+            print(f"{len(problems)} trace gate violation(s):")
+            for problem in problems:
+                print(f"  ! {problem}")
+            return 1
+        spans = sum(
+            1
+            for event in document.get("traceEvents", [])
+            if event.get("cat") == "trace" and event.get("ph") == "X"
+        )
+        print(
+            f"trace gate holds: {spans} spans form a well-formed "
+            "trace forest"
         )
         return 0
 

@@ -20,6 +20,15 @@ budget — and then audits the whole run:
 - **Latency**: per-query wall seconds feed a
   :class:`repro.telemetry.histogram.Histogram`; the report carries
   p50/p90/p99.
+- **Tracing** (``--trace-out``): every query gets a deterministic
+  trace id; service spans, pool-worker morsel spans, and simulated
+  resource tracks merge into one Chrome trace file, and the report
+  gains a ``tracing`` section (trace/span counts + structural
+  problems, which must be empty).
+- **SLOs** (``--slo`` / ``--slo-out``): the run is evaluated against a
+  declarative SLO spec (:mod:`repro.telemetry.slo`); the report gains
+  an ``slo`` section with per-objective error budgets and burn rates,
+  gated by ``tools/bench_diff.py --check-slo``.
 
 The workload mix and audit loop live in :mod:`repro.service.loadgen`
 (shared with the ``ext_service`` benchmark experiment); this file is
@@ -28,7 +37,8 @@ the CLI.
 Run::
 
     PYTHONPATH=src python tools/load_gen.py --queries 1000 --workers 4 \\
-        --seed 0 --report report.json --events events.jsonl
+        --seed 0 --report report.json --events events.jsonl \\
+        --trace-out trace.json --slo --slo-out slo.json
 """
 
 from __future__ import annotations
@@ -40,13 +50,15 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.errors import ReproError  # noqa: E402
 from repro.service.loadgen import (  # noqa: E402,F401  (re-exported)
     SCALE_DIVISOR,
     query_templates,
     run_load,
     zipf_weights,
 )
-from repro.telemetry import events  # noqa: E402
+from repro.telemetry import events, export, tracing  # noqa: E402
+from repro.telemetry import slo as slo_mod  # noqa: E402
 from repro.units import parse_bytes  # noqa: E402
 
 
@@ -89,15 +101,59 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the serial reference checks (latency-only runs)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="trace every query and write the merged Chrome trace "
+        "(service spans + pool morsel spans + sim tracks)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="SPEC",
+        nargs="?",
+        const="",
+        default=None,
+        help="evaluate the run against an SLO spec JSON file "
+        "(no argument: the committed default spec)",
+    )
+    parser.add_argument(
+        "--slo-out",
+        metavar="PATH",
+        default=None,
+        help="write the SLO report (objectives, budgets, burn rates) "
+        "as its own JSON file",
+    )
+    parser.add_argument(
+        "--oc-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="route big-state queries through an N-process morsel pool "
+        "(results identical; traced runs then show pool-worker spans)",
+    )
     args = parser.parse_args(argv)
     if args.queries < 1 or args.workers < 1:
         parser.error("--queries and --workers must be >= 1")
+    if args.oc_workers < 0:
+        parser.error("--oc-workers cannot be negative")
     budget = None
     if args.budget:
         try:
             budget = parse_bytes(args.budget)
         except ValueError as error:
             parser.error(str(error))
+    slo_spec = None
+    if args.slo_out and args.slo is None:
+        parser.error("--slo-out requires --slo")
+    if args.slo is not None:
+        if args.slo:
+            try:
+                slo_spec = slo_mod.load_spec(args.slo)
+            except (OSError, ValueError, ReproError) as error:
+                parser.error(f"--slo {args.slo}: {error}")
+        else:
+            slo_spec = slo_mod.default_spec()
 
     report = run_load(
         queries=args.queries,
@@ -106,11 +162,24 @@ def main(argv=None) -> int:
         theta=args.theta,
         budget_bytes=budget,
         verify=not args.no_verify,
+        trace=args.trace_out is not None,
+        slo=slo_spec,
+        out_of_core_workers=args.oc_workers,
     )
 
     if args.events:
         written = events.write_jsonl(args.events)
         print(f"wrote {written} events to {args.events}")
+    if args.trace_out:
+        document = export.write_chrome_trace(args.trace_out)
+        spans = report["tracing"]["spans"]
+        traces = report["tracing"]["traces"]
+        print(
+            f"wrote {len(document['traceEvents'])} trace events "
+            f"({spans} spans across {traces} traces) to {args.trace_out}"
+        )
+        tracing.disable()
+        tracing.reset()
     events.disable()
     events.reset()
 
@@ -129,13 +198,36 @@ def main(argv=None) -> int:
         f"p99 {p['p99'] * 1e3:.1f} ms; {latency['qps']:.0f} qps; "
         f"results digest {deterministic['results_digest']}"
     )
+    slo_failed = False
+    if "slo" in report:
+        slo_report = report["slo"]
+        slo_failed = not slo_report["ok"]
+        for verdict in slo_report["objectives"]:
+            state = "ok" if verdict["ok"] else "VIOLATED"
+            print(
+                f"slo {verdict['name']}: {state} "
+                f"(bad {verdict['bad_fraction']:.4%} of budget "
+                f"{verdict['error_budget']:.4%}, "
+                f"burn rate {verdict['burn_rate']:.2f})"
+            )
+        if args.slo_out:
+            with open(args.slo_out, "w") as handle:
+                json.dump(slo_report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote SLO report to {args.slo_out}")
     if args.report:
         with open(args.report, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote report to {args.report}")
 
-    return 1 if (deterministic["incorrect"] or deterministic["failed"]) else 0
+    failed = bool(
+        deterministic["incorrect"]
+        or deterministic["failed"]
+        or slo_failed
+        or report.get("tracing", {}).get("problems")
+    )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
